@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Ablation (paper Section 5.3): the effect of the core-activation
+ * ramp length on sprint responsiveness. At the paper's 128 us the
+ * impact is negligible against sub-second sprints; the sweep shows
+ * where a ramp would start to matter. Ramp lengths are quoted at
+ * physical scale and applied through the same time scaling as the
+ * thermal capacitances (see EXPERIMENTS.md).
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "sprint/experiment.hh"
+#include "sprint/simulation.hh"
+#include "workloads/workload.hh"
+
+using namespace csprint;
+
+int
+main()
+{
+    std::cout << "Ablation: activation-ramp length vs sprint speedup "
+                 "(sobel, size B, 16 cores)\n\n";
+
+    const ParallelProgram prog =
+        buildKernelProgram(KernelId::Sobel, InputSize::B, 42);
+    const RunResult base = runSprint(prog, SprintConfig::baseline());
+
+    Table t("speedup vs physical ramp length");
+    t.setHeader({"ramp (physical)", "speedup", "ramp share of task"});
+    for (double ramp_us : {0.0, 128.0, 1280.0, 12800.0, 128000.0}) {
+        SprintConfig cfg = SprintConfig::parallelSprint(16, kFullPcm);
+        cfg.activation_ramp = ramp_us * 1e-6 * 7e-4;  // time-scaled
+        const RunResult r = runSprint(prog, cfg);
+        t.startRow();
+        t.cell(ramp_us >= 1000.0
+                   ? Table::formatNumber(ramp_us / 1000.0, 2) + " ms"
+                   : Table::formatNumber(ramp_us, 0) + " us");
+        t.cell(base.task_time / r.task_time, 2);
+        t.cell(100.0 * cfg.activation_ramp / r.task_time, 1);
+    }
+    t.print(std::cout);
+
+    std::cout << "\npaper: the 128 us ramp needed for supply "
+                 "integrity costs a negligible share of a\nsub-second "
+                 "sprint; only ramps orders of magnitude longer erode "
+                 "the speedup.\n";
+    return 0;
+}

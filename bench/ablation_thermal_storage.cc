@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Ablation (paper Section 4.1 vs 4.2): heat storage in solid metal
+ * versus phase-change material. Prints the paper's worked examples
+ * (slab thickness for 16 J / 10 C), cold-start sprint durations, and
+ * the two PCM advantages: retained headroom after sustained
+ * operation, and the constant-temperature latent plateau.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "thermal/metal.hh"
+#include "thermal/package.hh"
+#include "thermal/transients.hh"
+
+using namespace csprint;
+
+int
+main()
+{
+    std::cout << "Ablation: solid-metal vs phase-change heat storage "
+                 "(16 W sprint on a 1 W TDP package)\n\n";
+
+    Table sizing("Section 4.1 sizing: absorb 16 J with a 10 C rise "
+                 "over a 64 mm^2 die");
+    sizing.setHeader({"material", "J/(cm^3 K)", "thickness (mm)"});
+    for (const MetalProperties &m :
+         {MetalProperties::copper(), MetalProperties::aluminum()}) {
+        sizing.startRow();
+        sizing.cell(m.name);
+        sizing.cell(m.volumetric_heat_capacity, 2);
+        sizing.cell(metalThicknessFor(m, 64.0, 16.0, 10.0) * 1e3, 1);
+    }
+    sizing.print(std::cout);
+    std::cout << "paper: 7.2 mm copper or 10.3 mm aluminum\n\n";
+
+    // Cold-start sprints and post-sustained headroom.
+    struct Design
+    {
+        const char *label;
+        MobilePackageParams params;
+    };
+    const Design designs[] = {
+        {"PCM 150 mg", MobilePackageParams::phonePcm()},
+        {"copper slug 7.2 mm", metalSlugPackage(MetalSlugSpec{})},
+        {"no storage", MobilePackageParams::phoneNoPcm()},
+    };
+
+    Table t("cold start vs pre-heated (after 1 W sustained operation)");
+    t.setHeader({"design", "budget cold (J)", "sprint cold (s)",
+                 "plateau (s)", "budget hot (J)", "hot/cold"});
+    for (const Design &d : designs) {
+        MobilePackageModel cold_model(d.params);
+        const Joules budget_cold = cold_model.sprintEnergyBudget();
+        const auto tr = runSprintTransient(cold_model, 16.0, 30.0, 5e-3);
+
+        MobilePackageModel hot_model(d.params);
+        hot_model.setDiePower(1.0);
+        for (int i = 0; i < 4000; ++i)
+            hot_model.step(1.0);
+        const Joules budget_hot = hot_model.sprintEnergyBudget();
+
+        t.startRow();
+        t.cell(d.label);
+        t.cell(budget_cold, 1);
+        t.cell(tr.time_to_limit, 2);
+        t.cell(tr.plateau_duration, 2);
+        t.cell(budget_hot, 1);
+        t.cell(budget_cold > 0.0 ? budget_hot / budget_cold : 0.0, 2);
+    }
+    t.print(std::cout);
+
+    std::cout << "\npaper: the metal slug's headroom erodes once the "
+                 "system has been running at TDP\n(the slab is "
+                 "pre-heated), while the PCM's latent budget survives "
+                 "as long as the\nsustained load stays below the melt "
+                 "point - the paper's case for phase change.\n";
+    return 0;
+}

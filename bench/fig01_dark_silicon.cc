@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 1 reproduction: power density and percent dark silicon per
+ * process node under the ITRS, Borkar, and ITRS+Borkar-Vdd scaling
+ * scenarios.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "scaling/darksilicon.hh"
+
+using namespace csprint;
+
+int
+main()
+{
+    std::cout << "Figure 1: power density and dark-silicon trends\n"
+              << "(fixed-area chip normalized to the 45 nm node)\n\n";
+
+    const auto scenarios = {ScalingScenario::Itrs,
+                            ScalingScenario::Borkar,
+                            ScalingScenario::ItrsBorkarVdd};
+
+    Table density("Figure 1(a): power density (relative to 45 nm)");
+    std::vector<std::string> header = {"process (nm)"};
+    for (auto s : scenarios)
+        header.push_back(scalingScenarioName(s));
+    density.setHeader(header);
+
+    Table dark("Figure 1(b): percent dark silicon");
+    dark.setHeader(header);
+
+    const auto &nodes = figure1Nodes();
+    std::vector<std::vector<NodeProjection>> proj;
+    for (auto s : scenarios)
+        proj.push_back(projectDarkSilicon(s));
+
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        density.startRow();
+        density.cell(static_cast<long long>(nodes[i]));
+        for (const auto &p : proj)
+            density.cell(p[i].power_density, 2);
+        dark.startRow();
+        dark.cell(static_cast<long long>(nodes[i]));
+        for (const auto &p : proj)
+            dark.cell(100.0 * p[i].dark_fraction, 1);
+    }
+
+    density.print(std::cout);
+    std::cout << "\n";
+    dark.print(std::cout);
+    std::cout << "\npaper: power density rises ~2-16x by the 6-8 nm "
+                 "nodes; dark silicon reaches ~80-90%+\n";
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Figure 4 reproduction: (a) the transient thermal behaviour of a
+ * 16 W sprint on a 1 W-TDP PCM-augmented system (rise, latent-heat
+ * plateau, rise to the junction limit) and (b) the post-sprint
+ * cooldown back to ambient.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "thermal/package.hh"
+#include "thermal/transients.hh"
+
+using namespace csprint;
+
+int
+main()
+{
+    MobilePackageModel pkg(MobilePackageParams::phonePcm());
+
+    std::cout << "Figure 4: thermal transients of a 16 W sprint on a "
+                 "1 W TDP PCM system\n";
+    std::cout << "package: sustainable TDP "
+              << Table::formatNumber(pkg.sustainableTdp(), 2)
+              << " W, max sprint power "
+              << Table::formatNumber(pkg.maxSprintPower(), 1)
+              << " W, sprint budget "
+              << Table::formatNumber(pkg.sprintEnergyBudget(), 1)
+              << " J\n\n";
+
+    const auto sprint = runSprintTransient(pkg, 16.0, 3.0, 1e-3);
+
+    Table a("Figure 4(a): sprint initiation (16 W)");
+    a.setHeader({"time (s)", "junction (C)", "melt fraction"});
+    const TimeSeries temp = sprint.junction_temp.decimate(16);
+    for (std::size_t i = 0; i < temp.size(); ++i) {
+        a.startRow();
+        a.cell(temp.timeAt(i), 3);
+        a.cell(temp.valueAt(i), 1);
+        std::size_t j = 0;
+        const auto &melt = sprint.melt_fraction;
+        while (j + 1 < melt.size() && melt.timeAt(j) < temp.timeAt(i))
+            ++j;
+        a.cell(melt.valueAt(j), 2);
+    }
+    a.print(std::cout);
+    std::cout << "plateau duration: "
+              << Table::formatNumber(sprint.plateau_duration, 2)
+              << " s (paper: ~0.95 s)\n"
+              << "time to Tmax:     "
+              << Table::formatNumber(sprint.time_to_limit, 2)
+              << " s (paper: a little over 1 s)\n\n";
+
+    const TimeSeries cool = runCooldownTransient(pkg, 40.0, 0.05);
+    Table b("Figure 4(b): post-sprint cooldown");
+    b.setHeader({"time (s)", "junction (C)"});
+    const TimeSeries cool_d = cool.decimate(16);
+    for (std::size_t i = 0; i < cool_d.size(); ++i) {
+        b.startRow();
+        b.cell(cool_d.timeAt(i), 1);
+        b.cell(cool_d.valueAt(i), 1);
+    }
+    b.print(std::cout);
+    const auto near_ambient =
+        cool.firstTimeBelow(pkg.params().ambient + 5.0);
+    std::cout << "near ambient (+5 C) after: "
+              << (near_ambient
+                      ? Table::formatNumber(*near_ambient, 1) + " s"
+                      : std::string("never"))
+              << " (paper: ~24 s)\n";
+    return 0;
+}

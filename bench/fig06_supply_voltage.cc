@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 6 reproduction: supply voltage versus time on the Figure 5
+ * RLC power-delivery network when activating 16 cores (a) within a
+ * nanosecond, (b) over a 1.28 us linear ramp, and (c) over a 128 us
+ * linear ramp; plus the tolerance/settling summary of Section 5.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "powergrid/pdn.hh"
+
+using namespace csprint;
+
+namespace {
+
+struct Case
+{
+    const char *label;
+    ActivationSchedule schedule;
+    Seconds window;
+    Seconds dt;
+};
+
+} // namespace
+
+int
+main()
+{
+    const Seconds t0 = 10e-6;
+    const PdnParams params = PdnParams::paper16();
+    const Case cases[] = {
+        {"(a) instantaneous activation",
+         ActivationSchedule::abrupt(t0), 120e-6, 1e-9},
+        {"(b) linear ramp over 1.28 us",
+         ActivationSchedule::linearRamp(1.28e-6, t0), 120e-6, 1e-9},
+        {"(c) linear ramp over 128 us",
+         ActivationSchedule::linearRamp(128e-6, t0), 400e-6, 2e-9},
+    };
+
+    std::cout << "Figure 6: supply voltage during 16-core activation\n"
+              << "nominal " << params.vdd
+              << " V, tolerance 2% (>= " << 0.98 * params.vdd
+              << " V)\n\n";
+
+    Table summary("Section 5 summary");
+    summary.setHeader({"schedule", "min V", "settled V",
+                       "settle time (us)", "within 2%?"});
+
+    for (const Case &c : cases) {
+        PowerDeliveryNetwork pdn(params, c.schedule);
+        const SupplyTrace trace =
+            pdn.simulate(c.window, c.dt, c.window / 400.0);
+        const SupplyMetrics m =
+            computeSupplyMetrics(trace, params.vdd, 0.02, t0);
+
+        Table t(c.label);
+        t.setHeader({"time (us)", "supply (V)"});
+        const TimeSeries d = trace.worst_supply.decimate(14);
+        for (std::size_t i = 0; i < d.size(); ++i) {
+            t.startRow();
+            t.cell(d.timeAt(i) * 1e6, 2);
+            t.cell(d.valueAt(i), 4);
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+
+        summary.startRow();
+        summary.cell(c.label);
+        summary.cell(m.min_voltage, 4);
+        summary.cell(m.settled, 4);
+        summary.cell(m.settling_time * 1e6, 2);
+        summary.cell(m.within_tolerance ? "yes" : "NO");
+    }
+
+    summary.print(std::cout);
+    std::cout << "\npaper: abrupt activation dips to 1.171 V (97.5% of "
+                 "nominal, ~2.53 us settle);\n"
+                 "1.28 us ramp still violates 2%; 128 us ramp stays "
+                 "within tolerance and settles\n~10 mV below nominal "
+                 "(resistive droop).\n";
+    return 0;
+}

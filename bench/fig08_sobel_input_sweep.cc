@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figure 8 reproduction: sobel speedup as computational demand grows
+ * with image resolution, for the parallel sprint at both thermal
+ * design points, the DVFS sprint at the small design point, and the
+ * single-core baseline.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "sprint/experiment.hh"
+#include "sprint/simulation.hh"
+#include "workloads/sobel.hh"
+
+using namespace csprint;
+
+namespace {
+
+double
+runSobelSweep(std::size_t dim, const SprintConfig &cfg,
+              const RunResult &base)
+{
+    SobelConfig scfg;
+    scfg.width = dim;
+    scfg.height = dim;
+    const ParallelProgram prog = sobelProgram(scfg);
+    const RunResult r = runSprint(prog, cfg);
+    return base.task_time / r.task_time;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Figure 8: sobel speedup vs input size, 16 cores\n"
+              << "(input sizes are scaled-down equivalents of the "
+                 "paper's 2-12 MPix sweep)\n\n";
+
+    Table t("normalized speedup");
+    t.setHeader({"image", "MPix-equiv", "Par 150mg", "Par 1.5mg",
+                 "DVFS 1.5mg", "1 core"});
+
+    for (std::size_t dim : {128u, 192u, 256u, 320u, 384u, 512u}) {
+        SobelConfig scfg;
+        scfg.width = dim;
+        scfg.height = dim;
+        const ParallelProgram prog = sobelProgram(scfg);
+        const RunResult base =
+            runSprint(prog, SprintConfig::baseline());
+
+        const double par_full = runSobelSweep(
+            dim, SprintConfig::parallelSprint(16, kFullPcm), base);
+        const double par_small = runSobelSweep(
+            dim, SprintConfig::parallelSprint(16, kSmallPcm), base);
+        const double dvfs_small = runSobelSweep(
+            dim, SprintConfig::dvfsSprint(kPowerHeadroom, kSmallPcm),
+            base);
+
+        t.startRow();
+        t.cell(std::to_string(dim) + "^2");
+        // Map the largest sweep point to the paper's 12 MPix.
+        t.cell(12.0 * (static_cast<double>(dim) * dim) /
+                   (512.0 * 512.0),
+               1);
+        t.cell(par_full, 2);
+        t.cell(par_small, 2);
+        t.cell(dvfs_small, 2);
+        t.cell(1.0, 2);
+    }
+    t.print(std::cout);
+    std::cout << "\npaper: with full PCM the sprint covers every "
+                 "resolution (flat ~linear speedup);\nwith 1.5 mg the "
+                 "speedup decays as the fixed sprint covers less of "
+                 "the task;\nDVFS decays fastest (less work per "
+                 "joule).\n";
+    return 0;
+}

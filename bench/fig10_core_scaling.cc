@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 10 reproduction: parallel speedup with 1, 4, 16, and 64
+ * sprinting cores at fixed voltage and frequency (largest input),
+ * plus the doubled-memory-bandwidth series the paper quotes for the
+ * bandwidth-limited kernels.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "sprint/experiment.hh"
+
+using namespace csprint;
+
+int
+main()
+{
+    std::cout << "Figure 10: parallel speedup vs core count "
+                 "(largest input, fixed V/f)\n\n";
+
+    Table t("normalized speedup over 1-core baseline");
+    t.setHeader({"kernel", "1", "4", "16", "64", "64 (2x BW)"});
+
+    for (KernelId id : allKernels()) {
+        t.startRow();
+        t.cell(kernelName(id));
+        ExperimentSpec spec;
+        spec.kernel = id;
+        spec.size = InputSize::D;
+        // Fixed-V/f scaling study: ample thermal budget so sprint
+        // exhaustion does not confound the sweep (paper Figure 10).
+        spec.time_scale = 1e-2;
+        const RunResult base = runBaselineExperiment(spec);
+        for (int cores : {1, 4, 16, 64}) {
+            spec.cores = cores;
+            const double s = speedupOver(
+                base, runParallelSprintExperiment(spec));
+            t.cell(s, 2);
+        }
+        // Doubled per-channel bandwidth at 64 cores.
+        ExperimentSpec bw = spec;
+        bw.cores = 64;
+        bw.bandwidth_mult = 2.0;
+        const RunResult base2 = runBaselineExperiment(bw);
+        t.cell(speedupOver(base2, runParallelSprintExperiment(bw)), 2);
+    }
+    t.print(std::cout);
+    std::cout << "\npaper: kmeans and sobel keep scaling to 64 cores; "
+                 "segment and texture are\nparallelism-limited; "
+                 "feature and disparity are bandwidth-limited and "
+                 "reach ~12x at\n64 cores when per-channel bandwidth "
+                 "is doubled.\nnote: our scaled inputs fit the 4 MB "
+                 "LLC, so disparity keeps (super)linear scaling\n"
+                 "(aggregate-L1 reuse); feature, whose strided passes "
+                 "defeat the caches, reproduces\nthe bandwidth-limited "
+                 "flattening and the 2x-bandwidth recovery. See "
+                 "EXPERIMENTS.md.\n";
+    return 0;
+}

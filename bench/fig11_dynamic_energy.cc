@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 11 reproduction: total dynamic energy with varying core
+ * counts, normalized to single-core execution, plus the Section 8.4
+ * DVFS-energy comparison.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "energy/model.hh"
+#include "sprint/experiment.hh"
+
+using namespace csprint;
+
+int
+main()
+{
+    std::cout << "Figure 11: normalized dynamic energy vs core count "
+                 "(largest input, fixed V/f)\n\n";
+
+    Table t("dynamic energy normalized to 1-core execution");
+    t.setHeader({"kernel", "1", "4", "16", "64"});
+
+    double overhead16_sum = 0.0;
+    int under_ten_pct = 0;
+    for (KernelId id : allKernels()) {
+        t.startRow();
+        t.cell(kernelName(id));
+        ExperimentSpec spec;
+        spec.kernel = id;
+        spec.size = InputSize::D;
+        // Fixed-V/f scaling study: ample thermal budget (Figure 11).
+        spec.time_scale = 1e-2;
+        const RunResult base = runBaselineExperiment(spec);
+        for (int cores : {1, 4, 16, 64}) {
+            spec.cores = cores;
+            const double ratio = energyRatio(
+                base, runParallelSprintExperiment(spec));
+            t.cell(ratio, 2);
+            if (cores == 16) {
+                overhead16_sum += ratio - 1.0;
+                if (ratio < 1.10)
+                    ++under_ten_pct;
+            }
+        }
+    }
+    t.print(std::cout);
+
+    std::cout << "\n16-core energy overhead: average "
+              << Table::formatNumber(
+                     100.0 * overhead16_sum / allKernels().size(), 1)
+              << "% (paper: 12%), under 10% on " << under_ten_pct
+              << "/6 kernels (paper: 5/6)\n";
+
+    // Section 8.4: DVFS energy comparison at the 16x headroom.
+    const double boost = dvfsBoostFromHeadroom(kPowerHeadroom);
+    ExperimentSpec spec;
+    spec.kernel = KernelId::Sobel;
+    spec.size = InputSize::B;
+    spec.time_scale = 1e-2;  // ample budget: measure the pure
+                             // quadratic cost, not exhaustion
+    const RunResult base = runBaselineExperiment(spec);
+    const RunResult dvfs = runDvfsSprintExperiment(spec);
+    std::cout << "\nSection 8.4: DVFS sprint energy (sobel, size B): "
+              << Table::formatNumber(energyRatio(base, dvfs), 2)
+              << "x sequential (paper: ~6x; analytic boost^2 = "
+              << Table::formatNumber(dvfsEnergyFactor(boost), 2)
+              << "x)\n";
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation substrates:
+ * thermal-network stepping, MNA circuit stepping, cache access,
+ * memory model, and end-to-end machine throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "archsim/cache.hh"
+#include "archsim/machine.hh"
+#include "powergrid/pdn.hh"
+#include "thermal/package.hh"
+#include "workloads/sobel.hh"
+
+namespace {
+
+using namespace csprint;
+
+void
+BM_ThermalStep(benchmark::State &state)
+{
+    MobilePackageModel pkg(MobilePackageParams::phonePcm());
+    pkg.setDiePower(16.0);
+    for (auto _ : state) {
+        pkg.step(1e-3);
+        benchmark::DoNotOptimize(pkg.junctionTemp());
+    }
+}
+BENCHMARK(BM_ThermalStep);
+
+void
+BM_CircuitStep(benchmark::State &state)
+{
+    PdnParams params = PdnParams::paper16();
+    params.num_cores = static_cast<int>(state.range(0));
+    PowerDeliveryNetwork pdn(params, ActivationSchedule::abrupt(1e-6));
+    pdn.circuit().beginTransient(1e-9);
+    for (auto _ : state) {
+        pdn.circuit().step();
+        benchmark::DoNotOptimize(pdn.circuit().time());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CircuitStep)->Arg(4)->Arg(16);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache cache(32 * 1024, 8, 64);
+    std::uint64_t line = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(line, false).hit);
+        line = (line * 1103515245 + 12345) % 4096;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_MachineSobel(benchmark::State &state)
+{
+    const int cores = static_cast<int>(state.range(0));
+    SobelConfig cfg;
+    cfg.width = 64;
+    cfg.height = 64;
+    for (auto _ : state) {
+        const ParallelProgram prog = sobelProgram(cfg);
+        MachineConfig mcfg;
+        mcfg.num_cores = cores;
+        mcfg.num_threads = cores;
+        Machine m(mcfg, prog);
+        m.run();
+        benchmark::DoNotOptimize(m.stats().cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * 64 * 64);
+}
+BENCHMARK(BM_MachineSobel)->Arg(1)->Arg(16)->Unit(
+    benchmark::kMillisecond);
+
+} // namespace

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Quickstart: build a sprint-enabled platform, run one kernel under
+ * the three execution modes of the paper, and print the comparison.
+ *
+ *   ./quickstart --kernel sobel --size B --cores 16
+ */
+
+#include <iostream>
+
+#include "common/args.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "sprint/experiment.hh"
+#include "sprint/simulation.hh"
+#include "workloads/workload.hh"
+
+using namespace csprint;
+
+namespace {
+
+KernelId
+kernelFromName(const std::string &name)
+{
+    for (KernelId id : allKernels()) {
+        if (kernelName(id) == name)
+            return id;
+    }
+    SPRINT_FATAL("unknown kernel '", name,
+                 "' (try sobel, feature, kmeans, disparity, texture, "
+                 "segment)");
+}
+
+InputSize
+sizeFromName(const std::string &name)
+{
+    if (name == "A")
+        return InputSize::A;
+    if (name == "B")
+        return InputSize::B;
+    if (name == "C")
+        return InputSize::C;
+    if (name == "D")
+        return InputSize::D;
+    SPRINT_FATAL("unknown input size '", name, "' (A-D)");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args(argc, argv, {"kernel", "size", "cores", "seed"});
+    const KernelId kernel =
+        kernelFromName(args.get("kernel", "sobel"));
+    const InputSize size = sizeFromName(args.get("size", "B"));
+    const int cores = static_cast<int>(args.getInt("cores", 16));
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(args.getInt("seed", 42));
+
+    std::cout << "computational sprinting quickstart: "
+              << kernelName(kernel) << ", input size "
+              << inputSizeName(size) << ", " << cores
+              << " sprint cores\n\n";
+
+    const ParallelProgram program =
+        buildKernelProgram(kernel, size, seed);
+
+    const RunResult base =
+        runSprint(program, SprintConfig::baseline());
+    const RunResult par = runSprint(
+        program, SprintConfig::parallelSprint(cores, kFullPcm));
+    const RunResult dvfs = runSprint(
+        program, SprintConfig::dvfsSprint(kPowerHeadroom, kFullPcm));
+
+    Table t("execution modes");
+    t.setHeader({"mode", "response time (ms)", "speedup",
+                 "energy (mJ)", "peak Tj (C)", "exhausted?"});
+    auto row = [&](const char *mode, const RunResult &r) {
+        t.startRow();
+        t.cell(mode);
+        t.cell(r.task_time * 1e3, 3);
+        t.cell(base.task_time / r.task_time, 2);
+        t.cell(r.dynamic_energy * 1e3, 3);
+        t.cell(r.peak_junction, 1);
+        t.cell(r.sprint_exhausted ? "yes" : "no");
+    };
+    row("sustained (1 core)", base);
+    row("parallel sprint", par);
+    row("DVFS sprint", dvfs);
+    t.print(std::cout);
+
+    std::cout << "\nsprint duration "
+              << Table::formatNumber(par.sprint_duration * 1e3, 3)
+              << " ms; estimated cooldown before the next sprint "
+              << Table::formatNumber(par.cooldown_estimate * 1e3, 1)
+              << " ms\n";
+    return 0;
+}

@@ -1,0 +1,131 @@
+#include "archsim/cache.hh"
+
+#include "common/logging.hh"
+
+namespace csprint {
+
+Cache::Cache(std::size_t size_bytes, int assoc, std::size_t line_bytes)
+    : ways(assoc)
+{
+    SPRINT_ASSERT(assoc > 0, "associativity must be positive");
+    SPRINT_ASSERT(line_bytes > 0 && size_bytes >= line_bytes * assoc,
+                  "cache too small for one set");
+    sets = size_bytes / (line_bytes * static_cast<std::size_t>(assoc));
+    SPRINT_ASSERT(sets > 0 && (sets & (sets - 1)) == 0,
+                  "set count must be a power of two");
+    lines.resize(sets * static_cast<std::size_t>(ways));
+}
+
+Cache::Line *
+Cache::findLine(std::uint64_t line)
+{
+    const std::size_t set = line & (sets - 1);
+    const std::uint64_t tag = line >> 0;  // full line index as tag
+    Line *base = &lines[set * ways];
+    for (int w = 0; w < ways; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(std::uint64_t line) const
+{
+    return const_cast<Cache *>(this)->findLine(line);
+}
+
+CacheAccessResult
+Cache::access(std::uint64_t line, bool write)
+{
+    ++tick;
+    CacheAccessResult result;
+    if (Line *hit = findLine(line)) {
+        hit->lru = tick;
+        hit->dirty = hit->dirty || write;
+        result.hit = true;
+        ++counters.hits;
+        return result;
+    }
+
+    ++counters.misses;
+    const std::size_t set = line & (sets - 1);
+    Line *base = &lines[set * ways];
+    Line *victim = &base[0];
+    for (int w = 1; w < ways; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (!victim->valid)
+            break;
+        if (base[w].lru < victim->lru)
+            victim = &base[w];
+    }
+    if (victim->valid) {
+        result.evicted = true;
+        result.evicted_line = victim->tag;
+        result.evicted_dirty = victim->dirty;
+        ++counters.evictions;
+        if (victim->dirty)
+            ++counters.dirty_evictions;
+    }
+    victim->tag = line;
+    victim->valid = true;
+    victim->dirty = write;
+    victim->lru = tick;
+    return result;
+}
+
+bool
+Cache::contains(std::uint64_t line) const
+{
+    return findLine(line) != nullptr;
+}
+
+bool
+Cache::isDirty(std::uint64_t line) const
+{
+    const Line *l = findLine(line);
+    return l != nullptr && l->dirty;
+}
+
+bool
+Cache::invalidate(std::uint64_t line)
+{
+    if (Line *l = findLine(line)) {
+        const bool dirty = l->dirty;
+        l->valid = false;
+        l->dirty = false;
+        ++counters.invalidations;
+        return dirty;
+    }
+    return false;
+}
+
+void
+Cache::markClean(std::uint64_t line)
+{
+    if (Line *l = findLine(line))
+        l->dirty = false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &l : lines) {
+        l.valid = false;
+        l.dirty = false;
+    }
+}
+
+std::size_t
+Cache::validLines() const
+{
+    std::size_t n = 0;
+    for (const auto &l : lines)
+        n += l.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace csprint

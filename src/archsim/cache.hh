@@ -1,0 +1,102 @@
+/**
+ * @file
+ * A set-associative, write-back, write-allocate cache tag array with
+ * true-LRU replacement. Used for the private 32 KB L1s and as the tag
+ * store of the shared L2 (paper Section 8.1). The cache operates on
+ * line indices (byte address divided by the line size); data values
+ * are not modelled, only presence, dirtiness, and recency.
+ */
+
+#ifndef CSPRINT_ARCHSIM_CACHE_HH
+#define CSPRINT_ARCHSIM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace csprint {
+
+/** Per-cache event counters. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t dirty_evictions = 0;
+    std::uint64_t invalidations = 0;
+};
+
+/** Outcome of one access. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    bool evicted = false;            ///< a victim line was displaced
+    std::uint64_t evicted_line = 0;  ///< the victim's line index
+    bool evicted_dirty = false;      ///< victim needed a write-back
+};
+
+/** Set-associative LRU tag array. */
+class Cache
+{
+  public:
+    /**
+     * @param size_bytes total capacity
+     * @param assoc ways per set
+     * @param line_bytes line size (used only to derive the set count)
+     */
+    Cache(std::size_t size_bytes, int assoc, std::size_t line_bytes);
+
+    /**
+     * Look up @p line and allocate it on a miss; @p write marks the
+     * installed/present line dirty.
+     */
+    CacheAccessResult access(std::uint64_t line, bool write);
+
+    /** True when @p line is present. */
+    bool contains(std::uint64_t line) const;
+
+    /** True when @p line is present and dirty. */
+    bool isDirty(std::uint64_t line) const;
+
+    /** Remove @p line if present; true when the line was dirty. */
+    bool invalidate(std::uint64_t line);
+
+    /** Clear a present line's dirty bit (coherence downgrade). */
+    void markClean(std::uint64_t line);
+
+    /** Invalidate everything (sprint start: "L1s initially empty"). */
+    void flush();
+
+    /** Number of sets. */
+    std::size_t numSets() const { return sets; }
+
+    /** Ways per set. */
+    int associativity() const { return ways; }
+
+    /** Number of currently valid lines. */
+    std::size_t validLines() const;
+
+    /** Event counters. */
+    const CacheStats &stats() const { return counters; }
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lru = 0;
+    };
+
+    Line *findLine(std::uint64_t line);
+    const Line *findLine(std::uint64_t line) const;
+
+    std::size_t sets;
+    int ways;
+    std::vector<Line> lines;  ///< sets * ways, row-major by set
+    std::uint64_t tick = 0;
+    CacheStats counters;
+};
+
+} // namespace csprint
+
+#endif // CSPRINT_ARCHSIM_CACHE_HH

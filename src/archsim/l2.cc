@@ -1,0 +1,129 @@
+#include "archsim/l2.hh"
+
+#include "common/logging.hh"
+
+namespace csprint {
+
+SharedL2::SharedL2(const L2Config &cfg, MemorySystem &memory)
+    : cfg(cfg), memory(memory),
+      tags(cfg.size_bytes, cfg.assoc, cfg.line_bytes)
+{
+}
+
+void
+SharedL2::evict(std::uint64_t line, bool dirty, Cycles now,
+                std::vector<Cache> &l1s)
+{
+    // Inclusion: recall the line from every L1 holding it.
+    auto it = directory.find(line);
+    bool any_l1_dirty = false;
+    if (it != directory.end()) {
+        for (std::size_t c = 0; c < l1s.size(); ++c) {
+            if (it->second.sharers & (1ULL << c)) {
+                any_l1_dirty |= l1s[c].invalidate(line);
+                ++counters.inclusion_recalls;
+            }
+        }
+        directory.erase(it);
+    }
+    if (dirty || any_l1_dirty)
+        memory.writeback(line, now);
+}
+
+Cycles
+SharedL2::access(std::uint64_t line, bool write, int requester,
+                 Cycles now, std::vector<Cache> &l1s)
+{
+    SPRINT_ASSERT(requester >= 0 &&
+                      static_cast<std::size_t>(requester) < l1s.size(),
+                  "bad requester");
+    SPRINT_ASSERT(l1s.size() <= 64, "directory bitmap supports 64 cores");
+
+    Cycles latency = cfg.hit_latency;
+    const std::uint64_t req_bit = 1ULL << requester;
+
+    const CacheAccessResult tag_result = tags.access(line, false);
+    DirEntry &entry = directory[line];
+
+    if (tag_result.hit) {
+        ++counters.hits;
+    } else {
+        ++counters.misses;
+        latency += memory.read(line, now + latency);
+        if (tag_result.evicted) {
+            evict(tag_result.evicted_line,
+                  [&] {
+                      auto vic = directory.find(tag_result.evicted_line);
+                      return vic != directory.end() &&
+                             vic->second.l2_dirty;
+                  }(),
+                  now, l1s);
+        }
+    }
+
+    if (write) {
+        // Invalidate every other sharer.
+        bool remote = false;
+        for (std::size_t c = 0; c < l1s.size(); ++c) {
+            const std::uint64_t bit = 1ULL << c;
+            if ((entry.sharers & bit) && static_cast<int>(c) != requester) {
+                const bool was_dirty = l1s[c].invalidate(line);
+                if (was_dirty)
+                    entry.l2_dirty = true;
+                ++counters.invalidations_sent;
+                remote = true;
+            }
+        }
+        entry.sharers = req_bit;
+        entry.dirty_owner = requester;
+        entry.l2_dirty = true;
+        if (remote)
+            latency += cfg.coherence_penalty;
+    } else {
+        // Downgrade a remote dirty owner so the reader sees clean data.
+        if (entry.dirty_owner >= 0 && entry.dirty_owner != requester) {
+            l1s[entry.dirty_owner].markClean(line);
+            entry.l2_dirty = true;
+            entry.dirty_owner = -1;
+            ++counters.downgrades_sent;
+            latency += cfg.coherence_penalty;
+        }
+        entry.sharers |= req_bit;
+    }
+    return latency;
+}
+
+void
+SharedL2::writebackFromL1(std::uint64_t line, int from, Cycles now)
+{
+    ++counters.writebacks_received;
+    auto it = directory.find(line);
+    if (it != directory.end()) {
+        it->second.l2_dirty = true;
+        it->second.sharers &= ~(1ULL << from);
+        if (it->second.dirty_owner == from)
+            it->second.dirty_owner = -1;
+    } else {
+        // The line already left the L2 (inclusion recall raced with
+        // the eviction in this approximation); forward to memory.
+        memory.writeback(line, now);
+    }
+}
+
+void
+SharedL2::dropCore(int core, std::vector<Cache> &l1s)
+{
+    const std::uint64_t bit = 1ULL << core;
+    for (auto &kv : directory) {
+        if (kv.second.sharers & bit) {
+            if (l1s[core].invalidate(kv.first))
+                kv.second.l2_dirty = true;
+            kv.second.sharers &= ~bit;
+            if (kv.second.dirty_owner == core)
+                kv.second.dirty_owner = -1;
+        }
+    }
+    l1s[core].flush();
+}
+
+} // namespace csprint

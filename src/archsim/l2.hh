@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Shared, inclusive last-level cache with a co-located full-map
+ * directory implementing invalidation-based coherence (paper
+ * Section 8.1: "a standard invalidation-based cache coherence protocol
+ * with the directory co-located with the last-level cache").
+ *
+ * On a write, all other sharers' L1 copies are invalidated; on a read
+ * of a line another core holds dirty, the owner is downgraded and its
+ * L1 copy marked clean. Inclusion is enforced: an L2 eviction recalls
+ * the line from every L1 that holds it.
+ */
+
+#ifndef CSPRINT_ARCHSIM_L2_HH
+#define CSPRINT_ARCHSIM_L2_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "archsim/cache.hh"
+#include "archsim/memory.hh"
+#include "common/units.hh"
+
+namespace csprint {
+
+/** Shared-L2 configuration (paper defaults). */
+struct L2Config
+{
+    std::size_t size_bytes = 4 * 1024 * 1024;
+    int assoc = 16;
+    std::size_t line_bytes = 64;
+    Cycles hit_latency = 20;
+    Cycles coherence_penalty = 20;  ///< extra cycles to reach remote L1s
+};
+
+/** Coherence/LLC event counters. */
+struct L2Stats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t invalidations_sent = 0;
+    std::uint64_t downgrades_sent = 0;
+    std::uint64_t inclusion_recalls = 0;
+    std::uint64_t writebacks_received = 0;
+};
+
+/**
+ * The shared L2 plus directory. L1 caches are owned by the machine
+ * and passed in so the directory can act on them directly.
+ */
+class SharedL2
+{
+  public:
+    SharedL2(const L2Config &cfg, MemorySystem &memory);
+
+    /**
+     * Core @p requester accesses @p line (read or write) at @p now.
+     * Returns the access latency in cycles and performs all coherence
+     * side effects on @p l1s.
+     */
+    Cycles access(std::uint64_t line, bool write, int requester,
+                  Cycles now, std::vector<Cache> &l1s);
+
+    /**
+     * Core @p from writes back a dirty L1 victim. No core stall is
+     * modelled, but the L2 copy is marked dirty (or forwarded to
+     * memory if the line has already left the L2).
+     */
+    void writebackFromL1(std::uint64_t line, int from, Cycles now);
+
+    /** Drop core @p core from all sharer sets (core deactivated). */
+    void dropCore(int core, std::vector<Cache> &l1s);
+
+    /** Event counters. */
+    const L2Stats &stats() const { return counters; }
+
+    /** Configuration in use. */
+    const L2Config &config() const { return cfg; }
+
+  private:
+    struct DirEntry
+    {
+        std::uint64_t sharers = 0;  ///< bitmap over cores
+        int dirty_owner = -1;       ///< core with a dirty L1 copy
+        bool l2_dirty = false;      ///< L2 copy newer than memory
+    };
+
+    void evict(std::uint64_t line, bool dirty, Cycles now,
+               std::vector<Cache> &l1s);
+
+    L2Config cfg;
+    MemorySystem &memory;
+    Cache tags;
+    std::unordered_map<std::uint64_t, DirEntry> directory;
+    L2Stats counters;
+};
+
+} // namespace csprint
+
+#endif // CSPRINT_ARCHSIM_L2_HH

@@ -1,0 +1,448 @@
+#include "archsim/machine.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace csprint {
+
+MachineConfig
+MachineConfig::paper16(int threads)
+{
+    MachineConfig cfg;
+    cfg.num_cores = 16;
+    cfg.num_threads = threads;
+    return cfg;
+}
+
+Machine::Machine(const MachineConfig &config,
+                 const ParallelProgram &prog)
+    : cfg(config), program(prog), freq_mult(config.freq_mult)
+{
+    SPRINT_ASSERT(cfg.num_cores >= 1 && cfg.num_cores <= 64,
+                  "core count must be in [1, 64]");
+    SPRINT_ASSERT(cfg.num_threads >= 1, "need at least one thread");
+    SPRINT_ASSERT(freq_mult > 0.0, "bad frequency multiplier");
+
+    memory = std::make_unique<MemorySystem>(cfg.memory,
+                                            cfg.nominal_clock, freq_mult);
+    l2 = std::make_unique<SharedL2>(cfg.l2, *memory);
+
+    l1s.reserve(cfg.num_cores);
+    cores.resize(cfg.num_cores);
+    for (int c = 0; c < cfg.num_cores; ++c) {
+        l1s.emplace_back(cfg.l1_bytes, cfg.l1_assoc, cfg.line_bytes);
+        cores[c].id = c;
+        cores[c].active = true;
+    }
+
+    threads.resize(cfg.num_threads);
+    for (int t = 0; t < cfg.num_threads; ++t) {
+        threads[t].id = static_cast<std::size_t>(t);
+        cores[t % cfg.num_cores].run_queue.push_back(t);
+    }
+
+    enterPhase(0);
+}
+
+Machine::~Machine() = default;
+
+void
+Machine::setSampleHook(SampleHook new_hook, Cycles quantum)
+{
+    SPRINT_ASSERT(quantum > 0, "sampling quantum must be positive");
+    hook = std::move(new_hook);
+    sample_quantum = quantum;
+}
+
+bool
+Machine::finished() const
+{
+    return phase_idx >= program.phases().size();
+}
+
+void
+Machine::enterPhase(std::size_t index)
+{
+    phase_idx = index;
+    if (finished())
+        return;
+    const Phase &phase = program.phases()[index];
+    SPRINT_ASSERT(phase.make_task != nullptr || phase.num_tasks == 0,
+                  "phase needs a task factory");
+
+    barrier_count = 0;
+    serial_next_task = 0;
+    dynamic_next_task = 0;
+    dequeue_free_at = cycle;
+
+    const std::size_t n = phase.num_tasks;
+    const std::size_t nt = threads.size();
+    for (std::size_t t = 0; t < nt; ++t) {
+        Thread &thread = threads[t];
+        thread.stream.reset();
+        thread.at_barrier = false;
+        thread.has_pending = false;
+        thread.spin_failures = 0;
+        if (phase.kind == PhaseKind::ParallelStatic) {
+            thread.next_task = t * n / nt;
+            thread.task_end = (t + 1) * n / nt;
+        } else {
+            thread.next_task = 0;
+            thread.task_end = 0;
+        }
+    }
+}
+
+bool
+Machine::threadRunnable(const Thread &thread, Cycles now) const
+{
+    return !thread.at_barrier && now >= thread.sleep_until;
+}
+
+bool
+Machine::acquireNextTask(Thread &thread, Cycles now)
+{
+    const Phase &phase = program.phases()[phase_idx];
+    auto to_barrier = [&]() {
+        thread.at_barrier = true;
+        ++barrier_count;
+        ++totals.sleep_cycles;  // barrier arrival marker
+        return false;
+    };
+
+    switch (phase.kind) {
+      case PhaseKind::Serial:
+        if (thread.id != 0)
+            return to_barrier();
+        if (serial_next_task >= phase.num_tasks)
+            return to_barrier();
+        thread.stream = phase.make_task(serial_next_task++);
+        return true;
+
+      case PhaseKind::ParallelStatic:
+        if (thread.next_task >= thread.task_end)
+            return to_barrier();
+        thread.stream = phase.make_task(thread.next_task++);
+        return true;
+
+      case PhaseKind::ParallelDynamic:
+        if (dynamic_next_task >= phase.num_tasks)
+            return to_barrier();
+        if (now < dequeue_free_at)
+            return false;  // dequeue lock held: spin this cycle
+        dequeue_free_at = now + cfg.task_dequeue_cycles;
+        thread.stream = phase.make_task(dynamic_next_task++);
+        return true;
+    }
+    SPRINT_PANIC("unknown phase kind");
+}
+
+void
+Machine::chargeOp(OpKind kind)
+{
+    ++totals.ops_retired;
+    ++totals.ops_by_kind[static_cast<std::size_t>(kind)];
+    totals.dynamic_energy += cfg.energy.opEnergy(kind);
+}
+
+Cycles
+Machine::memoryAccess(Core &core, bool write, std::uint64_t addr,
+                      Cycles now)
+{
+    const std::uint64_t line = addr / cfg.line_bytes;
+    Cache &l1 = l1s[core.id];
+
+    if (l1.contains(line)) {
+        // A dirty local copy is exclusive (MESI M state); loads and
+        // stores to it complete locally. A store to a clean copy
+        // needs a directory upgrade (S -> M) that invalidates other
+        // sharers.
+        if (!write || l1.isDirty(line)) {
+            l1.access(line, write);
+            ++totals.l1_hits;
+            return 1;
+        }
+        const Cycles lat = l2->access(line, true, core.id, now, l1s);
+        l1.access(line, true);
+        ++totals.l1_hits;  // data was local; only ownership was remote
+        return std::max<Cycles>(1, lat);
+    }
+
+    ++totals.l1_misses;
+    const Cycles lat = l2->access(line, write, core.id, now, l1s);
+    CacheAccessResult fill = l1.access(line, write);
+    if (fill.evicted && fill.evicted_dirty)
+        l2->writebackFromL1(fill.evicted_line, core.id, now + lat);
+    return std::max<Cycles>(1, lat);
+}
+
+void
+Machine::executeOp(Core &core, Thread &thread, const MicroOp &op,
+                   Cycles now)
+{
+    switch (op.kind) {
+      case OpKind::IntAlu:
+      case OpKind::FpAlu:
+      case OpKind::Branch:
+        chargeOp(op.kind);
+        core.busy_until = now + 1;
+        thread.has_pending = false;
+        return;
+
+      case OpKind::Pause: {
+        chargeOp(op.kind);
+        thread.has_pending = false;
+        thread.sleep_until = now + cfg.pause_sleep_cycles;
+        totals.sleep_cycles += cfg.pause_sleep_cycles;
+        totals.idle_cycles += cfg.pause_sleep_cycles;
+        totals.dynamic_energy +=
+            cfg.energy.idleCycleEnergy() *
+            static_cast<double>(cfg.pause_sleep_cycles);
+        core.current = -1;  // yield the core
+        core.busy_until = now + 1;
+        return;
+      }
+
+      case OpKind::Load:
+      case OpKind::Store: {
+        chargeOp(op.kind);
+        const Cycles lat = memoryAccess(core, op.kind == OpKind::Store,
+                                        op.addr, now);
+        if (lat > 1) {
+            totals.idle_cycles += lat - 1;
+            totals.dynamic_energy +=
+                cfg.energy.idleCycleEnergy() *
+                static_cast<double>(lat - 1);
+            // Accesses past the L1 burn L2/DRAM energy.
+            totals.dynamic_energy += cfg.energy.l2AccessEnergy();
+            if (lat > cfg.l2.hit_latency + cfg.l2.coherence_penalty + 1)
+                totals.dynamic_energy += cfg.energy.dramAccessEnergy();
+        }
+        core.busy_until = now + lat;
+        thread.has_pending = false;
+        return;
+      }
+
+      case OpKind::LockAcquire: {
+        if (op.addr >= locks.size())
+            locks.resize(op.addr + 1);
+        LockState &lock = locks[op.addr];
+        if (lock.holder < 0) {
+            lock.holder = static_cast<int>(thread.id);
+            chargeOp(op.kind);
+            thread.spin_failures = 0;
+            thread.has_pending = false;
+            core.busy_until = now + 2;
+        } else {
+            // Spin; after enough failures, PAUSE-sleep (Section 8.1).
+            ++thread.spin_failures;
+            totals.idle_cycles += 2;
+            totals.dynamic_energy += 2.0 * cfg.energy.idleCycleEnergy();
+            if (thread.spin_failures >= cfg.spin_tries_before_pause) {
+                thread.spin_failures = 0;
+                thread.sleep_until = now + cfg.pause_sleep_cycles;
+                totals.sleep_cycles += cfg.pause_sleep_cycles;
+                totals.idle_cycles += cfg.pause_sleep_cycles;
+                totals.dynamic_energy +=
+                    cfg.energy.idleCycleEnergy() *
+                    static_cast<double>(cfg.pause_sleep_cycles);
+                core.current = -1;
+            }
+            core.busy_until = now + 2;
+        }
+        return;
+      }
+
+      case OpKind::LockRelease: {
+        SPRINT_ASSERT(op.addr < locks.size() &&
+                          locks[op.addr].holder ==
+                              static_cast<int>(thread.id),
+                      "release of a lock not held by this thread");
+        locks[op.addr].holder = -1;
+        chargeOp(op.kind);
+        thread.has_pending = false;
+        core.busy_until = now + 1;
+        return;
+      }
+    }
+    SPRINT_PANIC("unknown op kind");
+}
+
+void
+Machine::tickCore(Core &core, Cycles now)
+{
+    // Validate / preempt the current thread.
+    if (core.current >= 0) {
+        Thread &t = threads[core.current];
+        if (!threadRunnable(t, now)) {
+            core.current = -1;
+        } else if (now >= core.quantum_end &&
+                   core.run_queue.size() > 1) {
+            core.current = -1;
+        }
+    }
+
+    // Select the next runnable thread round-robin.
+    if (core.current < 0) {
+        const std::size_t n = core.run_queue.size();
+        bool found = false;
+        for (std::size_t k = 0; k < n; ++k) {
+            const std::size_t idx =
+                core.run_queue[(core.rr + k) % n];
+            if (threadRunnable(threads[idx], now)) {
+                core.rr = (core.rr + k + 1) % n;
+                core.current = static_cast<int>(idx);
+                core.quantum_end = now + cfg.thread_quantum;
+                found = true;
+                // Context-switch cost when multiplexing.
+                if (n > 1) {
+                    core.busy_until = now + cfg.context_switch_cycles;
+                    totals.idle_cycles += cfg.context_switch_cycles;
+                    totals.dynamic_energy +=
+                        cfg.energy.idleCycleEnergy() *
+                        static_cast<double>(cfg.context_switch_cycles);
+                    return;
+                }
+                break;
+            }
+        }
+        if (!found) {
+            core.busy_until = now + 1;
+            ++totals.idle_cycles;
+            totals.dynamic_energy += cfg.energy.idleCycleEnergy();
+            return;
+        }
+    }
+
+    Thread &thread = threads[core.current];
+
+    // Fetch the next op, pulling a fresh task when the stream drains.
+    if (!thread.has_pending) {
+        while (true) {
+            if (thread.stream && thread.stream->next(thread.pending)) {
+                thread.has_pending = true;
+                break;
+            }
+            if (!acquireNextTask(thread, now)) {
+                // Barrier or dequeue contention: nothing this cycle.
+                if (thread.at_barrier)
+                    core.current = -1;
+                core.busy_until = now + 1;
+                ++totals.idle_cycles;
+                totals.dynamic_energy += cfg.energy.idleCycleEnergy();
+                return;
+            }
+            if (program.phases()[phase_idx].kind ==
+                PhaseKind::ParallelDynamic) {
+                // Charge the dequeue critical section.
+                core.busy_until = now + cfg.task_dequeue_cycles;
+                totals.idle_cycles += cfg.task_dequeue_cycles;
+                totals.dynamic_energy +=
+                    cfg.energy.idleCycleEnergy() *
+                    static_cast<double>(cfg.task_dequeue_cycles);
+                return;
+            }
+        }
+    }
+
+    executeOp(core, thread, thread.pending, now);
+}
+
+void
+Machine::maybeAdvanceBarrier()
+{
+    while (!finished() && barrier_count == threads.size())
+        enterPhase(phase_idx + 1);
+}
+
+void
+Machine::run()
+{
+    constexpr Cycles kMaxCycles = 200ULL * 1000 * 1000 * 1000;
+    while (!finished() && !aborted) {
+        for (auto &core : cores) {
+            if (core.active && cycle >= core.busy_until)
+                tickCore(core, cycle);
+        }
+        maybeAdvanceBarrier();
+        ++cycle;
+        if (hook && cycle % sample_quantum == 0) {
+            const Seconds dt =
+                static_cast<double>(sample_quantum) /
+                (cfg.nominal_clock * freq_mult);
+            const Joules delta =
+                totals.dynamic_energy - energy_at_last_sample;
+            energy_at_last_sample = totals.dynamic_energy;
+            hook(*this, dt, delta);
+        }
+        SPRINT_ASSERT(cycle < kMaxCycles,
+                      "machine exceeded the cycle safety bound");
+    }
+    totals.cycles = cycle;
+    totals.seconds = simTime();
+    totals.l1_hits = 0;
+    totals.l1_misses = 0;
+    for (const auto &l1 : l1s) {
+        totals.l1_hits += l1.stats().hits;
+        totals.l1_misses += l1.stats().misses;
+    }
+}
+
+void
+Machine::consolidateToSingleCore()
+{
+    if (activeCores() == 1)
+        return;
+    std::vector<std::size_t> all_threads;
+    for (auto &core : cores) {
+        for (std::size_t t : core.run_queue)
+            all_threads.push_back(t);
+        core.run_queue.clear();
+        core.current = -1;
+        if (core.id != 0) {
+            core.active = false;
+            l2->dropCore(core.id, l1s);
+        }
+    }
+    std::sort(all_threads.begin(), all_threads.end());
+    cores[0].run_queue = std::move(all_threads);
+    cores[0].rr = 0;
+    cores[0].busy_until =
+        std::max(cores[0].busy_until, cycle + cfg.migration_cycles);
+    totals.idle_cycles += cfg.migration_cycles;
+    totals.dynamic_energy +=
+        cfg.energy.idleCycleEnergy() *
+        static_cast<double>(cfg.migration_cycles);
+}
+
+void
+Machine::setFrequencyMult(double mult)
+{
+    SPRINT_ASSERT(mult > 0.0, "bad frequency multiplier");
+    // Fold elapsed wall time at the old frequency.
+    time_base += static_cast<double>(cycle - cycle_base) /
+                 (cfg.nominal_clock * freq_mult);
+    cycle_base = cycle;
+    freq_mult = mult;
+    memory->setFrequencyMult(mult, cycle);
+}
+
+int
+Machine::activeCores() const
+{
+    int n = 0;
+    for (const auto &core : cores)
+        n += core.active ? 1 : 0;
+    return n;
+}
+
+Seconds
+Machine::simTime() const
+{
+    return time_base + static_cast<double>(cycle - cycle_base) /
+                           (cfg.nominal_clock * freq_mult);
+}
+
+} // namespace csprint

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * The many-core machine: in-order cores (CPI of one plus cache-miss
+ * penalties), private L1s, a shared directory-coherent L2, a
+ * dual-channel memory system, and the threading runtime that executes
+ * a ParallelProgram (paper Section 8.1).
+ *
+ * Threads map onto active cores; when there are more threads than
+ * active cores (the post-sprint single-core mode of Section 7) each
+ * core round-robin multiplexes its threads with a context-switch cost.
+ * A PAUSE op puts the executing core to sleep for ~1000 cycles at 10%
+ * of active power. An external controller (the sprint governor) may
+ * observe energy every sampling quantum and react by consolidating all
+ * threads onto core 0 or by throttling frequency.
+ */
+
+#ifndef CSPRINT_ARCHSIM_MACHINE_HH
+#define CSPRINT_ARCHSIM_MACHINE_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "archsim/cache.hh"
+#include "archsim/l2.hh"
+#include "archsim/memory.hh"
+#include "archsim/program.hh"
+#include "common/units.hh"
+#include "energy/model.hh"
+#include "energy/ops.hh"
+
+namespace csprint {
+
+/** Machine configuration (paper defaults). */
+struct MachineConfig
+{
+    int num_cores = 16;      ///< cores physically present and active
+    int num_threads = 16;    ///< software threads executing the program
+    Hertz nominal_clock = 1e9;
+    double freq_mult = 1.0;  ///< DVFS multiplier (voltage tracks it)
+
+    std::size_t l1_bytes = 32 * 1024;
+    int l1_assoc = 8;
+    std::size_t line_bytes = 64;
+
+    L2Config l2;
+    MemoryConfig memory;
+
+    Cycles pause_sleep_cycles = 1000;   ///< PAUSE sleep duration
+    Cycles context_switch_cycles = 2000;
+    Cycles thread_quantum = 100000;     ///< multiplexing quantum
+    Cycles task_dequeue_cycles = 40;    ///< dynamic-dequeue critical path
+    Cycles migration_cycles = 30000;    ///< consolidation cost on core 0
+    int spin_tries_before_pause = 16;   ///< lock spin before PAUSE
+
+    InstructionEnergyModel energy;
+
+    /** Sixteen-core sprint chip of the paper's evaluation. */
+    static MachineConfig paper16(int threads = 16);
+};
+
+/** Aggregate machine statistics. */
+struct MachineStats
+{
+    Cycles cycles = 0;          ///< core-clock cycles elapsed
+    Seconds seconds = 0.0;      ///< wall-clock time elapsed
+    std::uint64_t ops_retired = 0;
+    std::array<std::uint64_t, kNumOpKinds> ops_by_kind{};
+    std::uint64_t l1_hits = 0;
+    std::uint64_t l1_misses = 0;
+    std::uint64_t idle_cycles = 0;   ///< stall/sleep/idle core-cycles
+    std::uint64_t sleep_cycles = 0;  ///< PAUSE/barrier sleep subset
+    Joules dynamic_energy = 0.0;
+};
+
+/**
+ * Executes one ParallelProgram to completion.
+ */
+class Machine
+{
+  public:
+    Machine(const MachineConfig &cfg, const ParallelProgram &program);
+    ~Machine();
+
+    /**
+     * Observer invoked every sampling quantum with the wall-clock
+     * span and the dynamic energy dissipated within it; may call the
+     * control methods below.
+     */
+    using SampleHook =
+        std::function<void(Machine &, Seconds dt, Joules energy)>;
+
+    /** Install the per-quantum observer. */
+    void setSampleHook(SampleHook hook, Cycles quantum = 1000);
+
+    /** Run until the program completes (or abort() is called). */
+    void run();
+
+    /** True once every phase has finished. */
+    bool finished() const;
+
+    /** Stop at the end of the current cycle (governor emergency). */
+    void abort() { aborted = true; }
+
+    // --- Control surface used by the sprint runtime (Section 7) ---
+
+    /** Migrate every thread to core 0 and power down other cores. */
+    void consolidateToSingleCore();
+
+    /** Hardware frequency throttle (voltage tracks frequency). */
+    void setFrequencyMult(double mult);
+
+    /** Swap the energy model (DVFS boost entry/exit re-prices ops). */
+    void setEnergyModel(const InstructionEnergyModel &model)
+    {
+        cfg.energy = model;
+    }
+
+    /** Number of currently active cores. */
+    int activeCores() const;
+
+    /** Current frequency multiplier. */
+    double frequencyMult() const { return freq_mult; }
+
+    // --- Introspection ---
+
+    const MachineStats &stats() const { return totals; }
+    const L2Stats &l2Stats() const { return l2->stats(); }
+    const MemoryStats &memoryStats() const { return memory->stats(); }
+    const MachineConfig &config() const { return cfg; }
+
+    /** Wall-clock time simulated so far. */
+    Seconds simTime() const;
+
+  private:
+    struct Thread
+    {
+        std::size_t id = 0;
+        std::unique_ptr<OpStream> stream;  ///< current task
+        bool at_barrier = false;
+        bool waiting_lock = false;
+        Cycles sleep_until = 0;
+        int spin_failures = 0;
+        // Static-partition bookkeeping for the current phase.
+        std::size_t next_task = 0;
+        std::size_t task_end = 0;
+        MicroOp pending{};
+        bool has_pending = false;
+    };
+
+    struct Core
+    {
+        int id = 0;
+        bool active = true;
+        std::vector<std::size_t> run_queue;
+        std::size_t rr = 0;           ///< round-robin cursor
+        int current = -1;             ///< running thread (-1: none)
+        Cycles busy_until = 0;
+        Cycles quantum_end = 0;
+    };
+
+    struct LockState
+    {
+        int holder = -1;
+        std::vector<std::size_t> waiters;
+    };
+
+    void enterPhase(std::size_t index);
+    bool acquireNextTask(Thread &thread, Cycles now);
+    bool threadRunnable(const Thread &thread, Cycles now) const;
+    void tickCore(Core &core, Cycles now);
+    void executeOp(Core &core, Thread &thread, const MicroOp &op,
+                   Cycles now);
+    Cycles memoryAccess(Core &core, bool write, std::uint64_t addr,
+                        Cycles now);
+    void maybeAdvanceBarrier();
+    void chargeOp(OpKind kind);
+
+    MachineConfig cfg;
+    const ParallelProgram &program;
+
+    std::unique_ptr<MemorySystem> memory;
+    std::unique_ptr<SharedL2> l2;
+    std::vector<Cache> l1s;  ///< indexed by core id
+    std::vector<Core> cores;
+    std::vector<Thread> threads;
+    std::vector<LockState> locks;
+
+    std::size_t phase_idx = 0;
+    std::size_t serial_next_task = 0;   ///< serial-phase task cursor
+    std::size_t dynamic_next_task = 0;  ///< dynamic-phase shared counter
+    Cycles dequeue_free_at = 0;         ///< dynamic-dequeue lock horizon
+    std::size_t barrier_count = 0;
+
+    Cycles cycle = 0;
+    double freq_mult = 1.0;
+    Seconds time_base = 0.0;   ///< wall time folded at freq changes
+    Cycles cycle_base = 0;
+
+    SampleHook hook;
+    Cycles sample_quantum = 1000;
+    Joules energy_at_last_sample = 0.0;
+
+    MachineStats totals;
+    bool aborted = false;
+};
+
+} // namespace csprint
+
+#endif // CSPRINT_ARCHSIM_MACHINE_HH

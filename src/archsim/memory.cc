@@ -1,0 +1,80 @@
+#include "archsim/memory.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace csprint {
+
+MemorySystem::MemorySystem(const MemoryConfig &cfg, Hertz clock,
+                           double freq_mult)
+    : cfg(cfg), clock(clock), mult(freq_mult)
+{
+    SPRINT_ASSERT(cfg.channels > 0, "need at least one channel");
+    SPRINT_ASSERT(cfg.channel_bytes_per_sec > 0.0, "bad bandwidth");
+    next_free.assign(cfg.channels, 0.0);
+}
+
+int
+MemorySystem::channelOf(std::uint64_t line) const
+{
+    return static_cast<int>(line % static_cast<std::uint64_t>(
+                                       cfg.channels));
+}
+
+Cycles
+MemorySystem::uncontendedLatency() const
+{
+    return static_cast<Cycles>(std::llround(cfg.round_trip * clock * mult));
+}
+
+Cycles
+MemorySystem::serviceCycles() const
+{
+    const double bytes_per_cycle =
+        cfg.channel_bytes_per_sec / (clock * mult);
+    return static_cast<Cycles>(
+        std::ceil(cfg.line_bytes / bytes_per_cycle));
+}
+
+Cycles
+MemorySystem::read(std::uint64_t line, Cycles now)
+{
+    const int ch = channelOf(line);
+    const double t_now = static_cast<double>(now);
+    const double start = std::max(t_now, next_free[ch]);
+    const Cycles queue = static_cast<Cycles>(start - t_now);
+    const Cycles service = serviceCycles();
+    next_free[ch] = start + static_cast<double>(service);
+    counters.reads++;
+    counters.queued_cycles += queue;
+    return queue + uncontendedLatency() + service;
+}
+
+void
+MemorySystem::writeback(std::uint64_t line, Cycles now)
+{
+    const int ch = channelOf(line);
+    const double t_now = static_cast<double>(now);
+    const double start = std::max(t_now, next_free[ch]);
+    next_free[ch] = start + static_cast<double>(serviceCycles());
+    counters.writebacks++;
+}
+
+void
+MemorySystem::setFrequencyMult(double freq_mult, Cycles now)
+{
+    SPRINT_ASSERT(freq_mult > 0.0, "bad frequency multiplier");
+    // Rescale outstanding channel-busy horizons into the new cycle
+    // domain: the remaining *wall-clock* busy time is preserved.
+    const double ratio = freq_mult / mult;
+    const double t_now = static_cast<double>(now);
+    for (auto &nf : next_free) {
+        if (nf > t_now)
+            nf = t_now + (nf - t_now) * ratio;
+    }
+    mult = freq_mult;
+}
+
+} // namespace csprint

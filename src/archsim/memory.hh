@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Off-chip memory model: a dual-channel interface with per-channel
+ * bandwidth (4 GB/s each in the paper) and a fixed uncontended round
+ * trip of 60 ns (paper Section 8.1). Lines are address-interleaved
+ * across channels; each channel is a single server whose queue models
+ * bandwidth contention. Latencies are expressed in core cycles, so a
+ * frequency multiplier (DVFS mode) rescales both the round trip and
+ * the per-line service time.
+ */
+
+#ifndef CSPRINT_ARCHSIM_MEMORY_HH
+#define CSPRINT_ARCHSIM_MEMORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace csprint {
+
+/** Memory configuration (paper defaults). */
+struct MemoryConfig
+{
+    int channels = 2;
+    double channel_bytes_per_sec = 4.0e9;  ///< per-channel bandwidth
+    Seconds round_trip = 60e-9;            ///< uncontended latency
+    std::size_t line_bytes = 64;
+};
+
+/** Memory event counters. */
+struct MemoryStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t queued_cycles = 0;  ///< total cycles spent queueing
+};
+
+/** Dual-channel bandwidth/latency model. */
+class MemorySystem
+{
+  public:
+    /**
+     * @param cfg configuration
+     * @param clock core clock the cycle domain refers to
+     * @param freq_mult DVFS multiplier applied to the clock
+     */
+    MemorySystem(const MemoryConfig &cfg, Hertz clock,
+                 double freq_mult = 1.0);
+
+    /**
+     * A demand read of @p line issued at @p now [cycles]; returns the
+     * total latency in cycles including queueing, the round trip, and
+     * the line transfer.
+     */
+    Cycles read(std::uint64_t line, Cycles now);
+
+    /**
+     * A write-back of @p line issued at @p now: occupies channel
+     * bandwidth but does not stall the issuing core.
+     */
+    void writeback(std::uint64_t line, Cycles now);
+
+    /** Change the core-frequency multiplier (rescales cycle costs). */
+    void setFrequencyMult(double freq_mult, Cycles now);
+
+    /** Uncontended read latency in cycles at the current frequency. */
+    Cycles uncontendedLatency() const;
+
+    /** Per-line channel occupancy in cycles at the current frequency. */
+    Cycles serviceCycles() const;
+
+    /** Event counters. */
+    const MemoryStats &stats() const { return counters; }
+
+  private:
+    int channelOf(std::uint64_t line) const;
+
+    MemoryConfig cfg;
+    Hertz clock;
+    double mult;
+    std::vector<double> next_free;  ///< per-channel, in cycles
+    MemoryStats counters;
+};
+
+} // namespace csprint
+
+#endif // CSPRINT_ARCHSIM_MEMORY_HH

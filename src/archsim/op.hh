@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The micro-operation record the simulator executes: an abstract
+ * instruction class plus a byte address for memory operations (or a
+ * lock identifier for the lock primitives).
+ */
+
+#ifndef CSPRINT_ARCHSIM_OP_HH
+#define CSPRINT_ARCHSIM_OP_HH
+
+#include <cstdint>
+
+#include "energy/ops.hh"
+
+namespace csprint {
+
+/** One simulated operation. */
+struct MicroOp
+{
+    OpKind kind = OpKind::IntAlu;
+    std::uint64_t addr = 0;  ///< byte address (Load/Store) or lock id
+
+    static MicroOp intAlu() { return {OpKind::IntAlu, 0}; }
+    static MicroOp fpAlu() { return {OpKind::FpAlu, 0}; }
+    static MicroOp branch() { return {OpKind::Branch, 0}; }
+    static MicroOp pause() { return {OpKind::Pause, 0}; }
+    static MicroOp load(std::uint64_t addr) { return {OpKind::Load, addr}; }
+    static MicroOp store(std::uint64_t addr)
+    {
+        return {OpKind::Store, addr};
+    }
+    static MicroOp lockAcquire(std::uint64_t id)
+    {
+        return {OpKind::LockAcquire, id};
+    }
+    static MicroOp lockRelease(std::uint64_t id)
+    {
+        return {OpKind::LockRelease, id};
+    }
+};
+
+} // namespace csprint
+
+#endif // CSPRINT_ARCHSIM_OP_HH

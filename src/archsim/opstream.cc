@@ -1,0 +1,49 @@
+#include "archsim/opstream.hh"
+
+#include "common/logging.hh"
+
+namespace csprint {
+
+VectorOpStream::VectorOpStream(std::vector<MicroOp> ops)
+    : ops(std::move(ops))
+{
+}
+
+bool
+VectorOpStream::next(MicroOp &op)
+{
+    if (pos >= ops.size())
+        return false;
+    op = ops[pos++];
+    return true;
+}
+
+ChunkedOpStream::ChunkedOpStream(std::size_t num_chunks, ChunkFn fn)
+    : num_chunks(num_chunks), fn(std::move(fn))
+{
+    SPRINT_ASSERT(this->fn != nullptr, "chunk function required");
+}
+
+bool
+ChunkedOpStream::refill()
+{
+    while (next_chunk < num_chunks) {
+        buffer.clear();
+        pos = 0;
+        fn(next_chunk++, buffer);
+        if (!buffer.empty())
+            return true;
+    }
+    return false;
+}
+
+bool
+ChunkedOpStream::next(MicroOp &op)
+{
+    if (pos >= buffer.size() && !refill())
+        return false;
+    op = buffer[pos++];
+    return true;
+}
+
+} // namespace csprint

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Operation-stream abstraction: tasks hand the simulator a lazily
+ * generated sequence of micro-ops. ChunkedOpStream lets workload
+ * kernels generate one natural unit of work at a time (an image row, a
+ * batch of points) without storing whole-task traces in memory.
+ */
+
+#ifndef CSPRINT_ARCHSIM_OPSTREAM_HH
+#define CSPRINT_ARCHSIM_OPSTREAM_HH
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "archsim/op.hh"
+
+namespace csprint {
+
+/** A pull-based generator of micro-ops. */
+class OpStream
+{
+  public:
+    virtual ~OpStream() = default;
+
+    /** Produce the next op; false when the stream is exhausted. */
+    virtual bool next(MicroOp &op) = 0;
+};
+
+/** A stream backed by a pre-built vector of ops (tests, tiny tasks). */
+class VectorOpStream : public OpStream
+{
+  public:
+    explicit VectorOpStream(std::vector<MicroOp> ops);
+
+    bool next(MicroOp &op) override;
+
+  private:
+    std::vector<MicroOp> ops;
+    std::size_t pos = 0;
+};
+
+/**
+ * A stream generated chunk by chunk: the callback fills a buffer with
+ * the ops of chunk @p i (for example one image row); the stream drains
+ * the buffer and then requests the next chunk.
+ */
+class ChunkedOpStream : public OpStream
+{
+  public:
+    /** @param fn fills the buffer for a chunk index; buffer is cleared
+     *  before each call. */
+    using ChunkFn = std::function<void(std::size_t chunk,
+                                       std::vector<MicroOp> &out)>;
+
+    ChunkedOpStream(std::size_t num_chunks, ChunkFn fn);
+
+    bool next(MicroOp &op) override;
+
+  private:
+    bool refill();
+
+    std::size_t num_chunks;
+    std::size_t next_chunk = 0;
+    ChunkFn fn;
+    std::vector<MicroOp> buffer;
+    std::size_t pos = 0;
+};
+
+} // namespace csprint
+
+#endif // CSPRINT_ARCHSIM_OPSTREAM_HH

@@ -1,0 +1,3 @@
+// ParallelProgram is header-only today; this translation unit anchors
+// the library target and is the future home of program-level helpers.
+#include "archsim/program.hh"

@@ -1,0 +1,70 @@
+#include "common/args.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace csprint {
+
+ArgParser::ArgParser(int argc, const char *const *argv,
+                     const std::vector<std::string> &known)
+{
+    auto is_known = [&](const std::string &name) {
+        return std::find(known.begin(), known.end(), name) != known.end();
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            extras.push_back(arg);
+            continue;
+        }
+        arg = arg.substr(2);
+        std::string name = arg;
+        std::string value = "1";
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+        } else if (i + 1 < argc &&
+                   std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            value = argv[++i];
+        }
+        if (!is_known(name))
+            SPRINT_FATAL("unknown flag --", name);
+        flags[name] = value;
+    }
+}
+
+bool
+ArgParser::has(const std::string &name) const
+{
+    return flags.count(name) != 0;
+}
+
+std::string
+ArgParser::get(const std::string &name, const std::string &fallback) const
+{
+    auto it = flags.find(name);
+    return it == flags.end() ? fallback : it->second;
+}
+
+double
+ArgParser::getDouble(const std::string &name, double fallback) const
+{
+    auto it = flags.find(name);
+    return it == flags.end() ? fallback : std::strtod(it->second.c_str(),
+                                                      nullptr);
+}
+
+long long
+ArgParser::getInt(const std::string &name, long long fallback) const
+{
+    auto it = flags.find(name);
+    return it == flags.end()
+               ? fallback
+               : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+} // namespace csprint

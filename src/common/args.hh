@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Minimal command-line flag parsing for the example programs.
+ *
+ * Supports --name=value and --name value forms plus boolean switches.
+ * Unknown flags are fatal (per the fatal/panic convention these are the
+ * user's fault, not the library's).
+ */
+
+#ifndef CSPRINT_COMMON_ARGS_HH
+#define CSPRINT_COMMON_ARGS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace csprint {
+
+/** Parsed command line: flag map plus positional arguments. */
+class ArgParser
+{
+  public:
+    /** Parse argv; @p known lists the accepted flag names (no "--"). */
+    ArgParser(int argc, const char *const *argv,
+              const std::vector<std::string> &known);
+
+    /** True when --name was given. */
+    bool has(const std::string &name) const;
+
+    /** String value for --name, or @p fallback when absent. */
+    std::string get(const std::string &name,
+                    const std::string &fallback) const;
+
+    /** Numeric value for --name, or @p fallback when absent. */
+    double getDouble(const std::string &name, double fallback) const;
+
+    /** Integer value for --name, or @p fallback when absent. */
+    long long getInt(const std::string &name, long long fallback) const;
+
+    /** Positional (non-flag) arguments in order. */
+    const std::vector<std::string> &positional() const { return extras; }
+
+  private:
+    std::map<std::string, std::string> flags;
+    std::vector<std::string> extras;
+};
+
+} // namespace csprint
+
+#endif // CSPRINT_COMMON_ARGS_HH

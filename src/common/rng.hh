@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in the library (synthetic image content, task
+ * weights, fault injection) flows through these generators so that every
+ * simulation is reproducible from a single seed. SplitMix64 seeds
+ * Xoshiro256**, the main generator.
+ */
+
+#ifndef CSPRINT_COMMON_RNG_HH
+#define CSPRINT_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace csprint {
+
+/** SplitMix64: tiny seeding generator (Steele et al.). */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+
+    /** Next 64 pseudo-random bits. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+/** Xoshiro256**: fast, high-quality 64-bit PRNG (Blackman & Vigna). */
+class Rng
+{
+  public:
+    /** Seed via SplitMix64 so any 64-bit seed yields a good state. */
+    explicit Rng(std::uint64_t seed = 0x5eedf00dULL)
+    {
+        SplitMix64 sm(seed);
+        for (auto &word : s)
+            word = sm.next();
+    }
+
+    /** Next 64 pseudo-random bits. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+        const std::uint64_t t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, bound) without modulo bias for small bounds. */
+    std::uint64_t
+    uniformInt(std::uint64_t bound)
+    {
+        if (bound == 0)
+            return 0;
+        // Rejection sampling on the top bits.
+        const std::uint64_t threshold = (-bound) % bound;
+        for (;;) {
+            std::uint64_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s[4];
+};
+
+} // namespace csprint
+
+#endif // CSPRINT_COMMON_RNG_HH

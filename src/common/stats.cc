@@ -1,0 +1,35 @@
+#include "common/stats.hh"
+
+#include <cmath>
+
+namespace csprint {
+
+void
+RunningStat::add(double x)
+{
+    ++n;
+    total += x;
+    const double delta = x - m;
+    m += delta / static_cast<double>(n);
+    m2 += delta * (x - m);
+    if (x < lo)
+        lo = x;
+    if (x > hi)
+        hi = x;
+}
+
+double
+RunningStat::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+} // namespace csprint

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Streaming summary statistics.
+ */
+
+#ifndef CSPRINT_COMMON_STATS_HH
+#define CSPRINT_COMMON_STATS_HH
+
+#include <cstddef>
+#include <limits>
+
+namespace csprint {
+
+/**
+ * Welford-style running summary: count, mean, variance, min, max.
+ *
+ * Numerically stable for long streams; O(1) memory.
+ */
+class RunningStat
+{
+  public:
+    /** Fold one sample into the summary. */
+    void add(double x);
+
+    /** Number of samples folded in so far. */
+    std::size_t count() const { return n; }
+
+    /** Mean of the samples (0 when empty). */
+    double mean() const { return n ? m : 0.0; }
+
+    /** Unbiased sample variance (0 when fewer than two samples). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample seen (+inf when empty). */
+    double min() const { return lo; }
+
+    /** Largest sample seen (-inf when empty). */
+    double max() const { return hi; }
+
+    /** Sum of all samples. */
+    double sum() const { return total; }
+
+  private:
+    std::size_t n = 0;
+    double m = 0.0;
+    double m2 = 0.0;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    double total = 0.0;
+};
+
+} // namespace csprint
+
+#endif // CSPRINT_COMMON_STATS_HH

@@ -1,0 +1,104 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace csprint {
+
+Table::Table(std::string title) : title(std::move(title)) {}
+
+void
+Table::setHeader(std::vector<std::string> names)
+{
+    header = std::move(names);
+}
+
+void
+Table::startRow()
+{
+    rows.emplace_back();
+}
+
+void
+Table::cell(const std::string &text)
+{
+    SPRINT_ASSERT(!rows.empty(), "cell() before startRow()");
+    rows.back().push_back(text);
+}
+
+void
+Table::cell(const char *text)
+{
+    cell(std::string(text));
+}
+
+void
+Table::cell(double value, int precision)
+{
+    cell(formatNumber(value, precision));
+}
+
+void
+Table::cell(long long value)
+{
+    cell(std::to_string(value));
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    rows.push_back(std::move(cells));
+}
+
+std::string
+Table::formatNumber(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header.size(), 0);
+    auto widen = [&](const std::vector<std::string> &cells) {
+        if (cells.size() > widths.size())
+            widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    widen(header);
+    for (const auto &row : rows)
+        widen(row);
+
+    if (!title.empty())
+        os << "== " << title << " ==\n";
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::string text = i < cells.size() ? cells[i] : "";
+            os << std::left << std::setw(static_cast<int>(widths[i]))
+               << text;
+            if (i + 1 < widths.size())
+                os << "  ";
+        }
+        os << "\n";
+    };
+
+    if (!header.empty()) {
+        emit(header);
+        std::size_t total = 0;
+        for (std::size_t w : widths)
+            total += w;
+        total += 2 * (widths.empty() ? 0 : widths.size() - 1);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &row : rows)
+        emit(row);
+}
+
+} // namespace csprint

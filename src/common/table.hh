@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Column-aligned plain-text table printer used by the benchmark harness
+ * to emit paper-style rows and series.
+ */
+
+#ifndef CSPRINT_COMMON_TABLE_HH
+#define CSPRINT_COMMON_TABLE_HH
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace csprint {
+
+/**
+ * A simple table: set headers, append rows of cells, then print.
+ *
+ * Numeric convenience overloads format with a configurable precision.
+ * Output is aligned with two-space gutters and an underline below the
+ * header, suitable for terminals and for diffing in EXPERIMENTS.md.
+ */
+class Table
+{
+  public:
+    /** Create a table titled @p title (title may be empty). */
+    explicit Table(std::string title = "");
+
+    /** Set the column headers; defines the column count. */
+    void setHeader(std::vector<std::string> names);
+
+    /** Begin a new row (cells are appended with cell()). */
+    void startRow();
+
+    /** Append a string cell to the current row. */
+    void cell(const std::string &text);
+
+    /** Append a C-string cell to the current row. */
+    void cell(const char *text);
+
+    /** Append a formatted numeric cell to the current row. */
+    void cell(double value, int precision = 3);
+
+    /** Append an integer cell to the current row. */
+    void cell(long long value);
+
+    /** Append a whole row at once. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows so far. */
+    std::size_t rowCount() const { return rows.size(); }
+
+    /** Render the table to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Format a double with fixed precision (shared helper). */
+    static std::string formatNumber(double value, int precision = 3);
+
+  private:
+    std::string title;
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace csprint
+
+#endif // CSPRINT_COMMON_TABLE_HH

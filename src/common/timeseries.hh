@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Sampled time series with the analysis helpers the thermal and
+ * power-grid experiments need (extrema, threshold crossings, settling
+ * time, decimation for printing).
+ */
+
+#ifndef CSPRINT_COMMON_TIMESERIES_HH
+#define CSPRINT_COMMON_TIMESERIES_HH
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace csprint {
+
+/** A pair of parallel vectors: sample times and sample values. */
+class TimeSeries
+{
+  public:
+    /** Append one sample; times must be non-decreasing. */
+    void add(double t, double v);
+
+    /** Number of samples. */
+    std::size_t size() const { return times.size(); }
+
+    /** True when no samples have been recorded. */
+    bool empty() const { return times.empty(); }
+
+    /** Sample time at index @p i. */
+    double timeAt(std::size_t i) const { return times[i]; }
+
+    /** Sample value at index @p i. */
+    double valueAt(std::size_t i) const { return values[i]; }
+
+    /** Last sample value; series must be non-empty. */
+    double back() const;
+
+    /** Smallest sample value; series must be non-empty. */
+    double minValue() const;
+
+    /** Largest sample value; series must be non-empty. */
+    double maxValue() const;
+
+    /**
+     * First time the series rises to or above @p threshold
+     * (linearly interpolated), if it ever does.
+     */
+    std::optional<double> firstTimeAbove(double threshold) const;
+
+    /**
+     * First time the series falls to or below @p threshold
+     * (linearly interpolated), if it ever does.
+     */
+    std::optional<double> firstTimeBelow(double threshold) const;
+
+    /**
+     * Earliest time T such that every sample at or after T stays within
+     * +/- @p tolerance of the final sample value. Returns the first
+     * sample time when the series never leaves the band.
+     */
+    std::optional<double> settlingTime(double tolerance) const;
+
+    /** Total time the series spends at or above @p threshold. */
+    double timeAbove(double threshold) const;
+
+    /**
+     * Reduce to at most @p max_points samples (uniform stride) for
+     * compact printing. The final sample is always retained.
+     */
+    TimeSeries decimate(std::size_t max_points) const;
+
+    /** Direct access to sample times. */
+    const std::vector<double> &timeData() const { return times; }
+
+    /** Direct access to sample values. */
+    const std::vector<double> &valueData() const { return values; }
+
+  private:
+    std::vector<double> times;
+    std::vector<double> values;
+};
+
+} // namespace csprint
+
+#endif // CSPRINT_COMMON_TIMESERIES_HH

@@ -1,0 +1,70 @@
+#include "energy/model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace csprint {
+
+TechParams
+TechParams::lop22nm()
+{
+    return TechParams{};
+}
+
+InstructionEnergyModel::InstructionEnergyModel(const TechParams &tech)
+    : params(tech)
+{
+    // Base energies at the 22 nm LOP reference point, in joules per
+    // event. The mix-weighted average across the vision kernels is
+    // ~1 nJ per retired op, i.e. ~1 W at 1 GHz and CPI 1.
+    const double ref_vdd = 0.8;
+    const double scale = params.cap_scale *
+                         (params.vdd * params.vdd) / (ref_vdd * ref_vdd);
+
+    auto set = [&](OpKind kind, double joules) {
+        op_energy[static_cast<std::size_t>(kind)] = joules * scale;
+    };
+    set(OpKind::IntAlu, 0.80e-9);
+    set(OpKind::FpAlu, 1.25e-9);
+    set(OpKind::Load, 1.15e-9);
+    set(OpKind::Store, 1.25e-9);
+    set(OpKind::Branch, 0.70e-9);
+    // PAUSE itself is cheap; the savings come from the sleep cycles
+    // that follow it (charged at idleCycleEnergy()).
+    set(OpKind::Pause, 0.20e-9);
+    set(OpKind::LockAcquire, 1.30e-9);
+    set(OpKind::LockRelease, 1.10e-9);
+
+    l2_energy = 2.5e-9 * scale;
+    dram_energy = 12.0e-9 * scale;
+    nominal_cycle = 1.0e-9 * scale;
+    // A sleeping/stalled core dissipates 10% of active power (paper
+    // Section 8.1).
+    idle_energy = 0.1 * nominal_cycle;
+}
+
+InstructionEnergyModel
+InstructionEnergyModel::boosted(double voltage_boost) const
+{
+    SPRINT_ASSERT(voltage_boost > 0.0, "boost must be positive");
+    TechParams t = params;
+    t.vdd *= voltage_boost;
+    t.clock *= voltage_boost;
+    return InstructionEnergyModel(t);
+}
+
+double
+dvfsBoostFromHeadroom(double power_headroom)
+{
+    SPRINT_ASSERT(power_headroom >= 1.0, "headroom below nominal");
+    return std::cbrt(power_headroom);
+}
+
+double
+dvfsEnergyFactor(double boost)
+{
+    return boost * boost;
+}
+
+} // namespace csprint

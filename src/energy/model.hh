@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Per-instruction dynamic-energy model in the spirit of McPAT, as used
+ * by the paper's evaluation (Section 8.1): energies are associated with
+ * the type of instruction being executed, configured for a ~1 GHz, 1 W
+ * core at a 22 nm low-operating-power node. Dynamic energy scales as
+ * C * Vdd^2; a voltage/frequency boost multiplies per-op energy by the
+ * square of the boost (the quadratic power cost of DVFS the paper
+ * contrasts with parallel sprinting).
+ */
+
+#ifndef CSPRINT_ENERGY_MODEL_HH
+#define CSPRINT_ENERGY_MODEL_HH
+
+#include <array>
+
+#include "common/units.hh"
+#include "energy/ops.hh"
+
+namespace csprint {
+
+/** Technology/operating-point parameters for the energy model. */
+struct TechParams
+{
+    int node_nm = 22;        ///< process node
+    Volts vdd = 0.8;         ///< nominal supply at LOP
+    Hertz clock = 1e9;       ///< nominal core clock
+    double cap_scale = 1.0;  ///< effective switched-capacitance scale
+
+    /** The paper's 22 nm LOP, 1 GHz, ~1 W core operating point. */
+    static TechParams lop22nm();
+};
+
+/**
+ * Maps executed instructions (and memory-hierarchy events) to dynamic
+ * energy. Calibrated so a fully active core at the nominal operating
+ * point dissipates approximately 1 W with a typical kernel op mix.
+ */
+class InstructionEnergyModel
+{
+  public:
+    explicit InstructionEnergyModel(const TechParams &tech =
+                                        TechParams::lop22nm());
+
+    /** Dynamic energy charged when an op of @p kind retires. */
+    Joules opEnergy(OpKind kind) const
+    {
+        return op_energy[static_cast<std::size_t>(kind)];
+    }
+
+    /** Extra energy for an access that reaches the shared L2. */
+    Joules l2AccessEnergy() const { return l2_energy; }
+
+    /** Extra energy for an access that reaches DRAM. */
+    Joules dramAccessEnergy() const { return dram_energy; }
+
+    /**
+     * Energy charged for a cycle in which the core does not retire an
+     * op (stalled, sleeping after PAUSE, or idle). The paper assumes a
+     * sleeping core dissipates 10% of an active core's power.
+     */
+    Joules idleCycleEnergy() const { return idle_energy; }
+
+    /** Average active-cycle energy the calibration targets. */
+    Joules nominalCycleEnergy() const { return nominal_cycle; }
+
+    /**
+     * The model under a DVFS boost of @p voltage_boost (voltage and
+     * frequency both scaled by the boost): per-op energies grow with
+     * the square of the boost.
+     */
+    InstructionEnergyModel boosted(double voltage_boost) const;
+
+    /** Technology point this model was built for. */
+    const TechParams &tech() const { return params; }
+
+  private:
+    TechParams params;
+    std::array<Joules, kNumOpKinds> op_energy;
+    Joules l2_energy;
+    Joules dram_energy;
+    Joules idle_energy;
+    Joules nominal_cycle;
+};
+
+/**
+ * DVFS arithmetic of paper Section 8.4: with a thermal headroom of
+ * @p power_headroom times the sustainable power, the attainable
+ * frequency boost is the cube root of the headroom (power grows with
+ * the cube of frequency under coupled voltage-frequency scaling);
+ * 16x headroom yields ~2.5x performance.
+ */
+double dvfsBoostFromHeadroom(double power_headroom);
+
+/** Energy overhead of running work at @p boost: boost squared. */
+double dvfsEnergyFactor(double boost);
+
+} // namespace csprint
+
+#endif // CSPRINT_ENERGY_MODEL_HH

@@ -1,0 +1,31 @@
+#include "energy/ops.hh"
+
+#include "common/logging.hh"
+
+namespace csprint {
+
+std::string
+opKindName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::IntAlu:
+        return "int_alu";
+      case OpKind::FpAlu:
+        return "fp_alu";
+      case OpKind::Load:
+        return "load";
+      case OpKind::Store:
+        return "store";
+      case OpKind::Branch:
+        return "branch";
+      case OpKind::Pause:
+        return "pause";
+      case OpKind::LockAcquire:
+        return "lock_acquire";
+      case OpKind::LockRelease:
+        return "lock_release";
+    }
+    SPRINT_PANIC("unknown op kind");
+}
+
+} // namespace csprint

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The abstract instruction classes the architectural simulator executes
+ * and the energy model prices. The set follows the paper's simulation
+ * methodology (Section 8.1): simple in-order cores with a CPI of one
+ * plus cache-miss penalties, a PAUSE instruction that puts the core to
+ * sleep on synchronization stalls, and lock primitives for the runtime.
+ */
+
+#ifndef CSPRINT_ENERGY_OPS_HH
+#define CSPRINT_ENERGY_OPS_HH
+
+#include <cstddef>
+#include <string>
+
+namespace csprint {
+
+/** Abstract instruction classes. */
+enum class OpKind : unsigned char
+{
+    IntAlu,      ///< integer arithmetic/logic
+    FpAlu,       ///< floating-point arithmetic
+    Load,        ///< memory read
+    Store,       ///< memory write
+    Branch,      ///< control flow
+    Pause,       ///< yield hint: core sleeps ~1000 cycles at low power
+    LockAcquire, ///< runtime lock acquire (addr = lock id)
+    LockRelease, ///< runtime lock release (addr = lock id)
+};
+
+/** Number of distinct OpKind values. */
+constexpr std::size_t kNumOpKinds = 8;
+
+/** Human-readable op-kind name. */
+std::string opKindName(OpKind kind);
+
+} // namespace csprint
+
+#endif // CSPRINT_ENERGY_OPS_HH

@@ -1,0 +1,138 @@
+#include "energy/supply.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace csprint {
+
+Volts
+Battery::terminalVoltage(Amps current) const
+{
+    return ocv - current * internal_r;
+}
+
+std::optional<Amps>
+Battery::currentForPower(Watts power) const
+{
+    // Solve P = I * (ocv - I*R) for the smaller root.
+    const double disc = ocv * ocv - 4.0 * internal_r * power;
+    if (disc < 0.0)
+        return std::nullopt;
+    return (ocv - std::sqrt(disc)) / (2.0 * internal_r);
+}
+
+Watts
+Battery::maxBurstPower() const
+{
+    return max_burst * terminalVoltage(max_burst);
+}
+
+bool
+Battery::canSupply(Watts power) const
+{
+    const auto current = currentForPower(power);
+    return current.has_value() && *current <= max_burst;
+}
+
+Battery
+Battery::phoneLiIon()
+{
+    // Representative phone cell (paper: ~10 W burst, 2.7 A at 3.7 V;
+    // ~5.5 Wh capacity).
+    return Battery{"phone Li-ion", 3.7, 0.15, 2.7, 5.5 * 3600.0, 22.0};
+}
+
+Battery
+Battery::highDischargeLiPo()
+{
+    // Dualsky GT 850 2s class: 43 A at 7 V, 51 g, 850 mAh at 7.4 V.
+    return Battery{"high-discharge Li-Po", 7.4, 0.008, 43.0,
+                   0.85 * 7.4 * 3600.0, 51.0};
+}
+
+Joules
+Ultracapacitor::storedEnergy(Volts voltage) const
+{
+    return 0.5 * capacitance * voltage * voltage;
+}
+
+Joules
+Ultracapacitor::usableEnergy(Volts v_min) const
+{
+    SPRINT_ASSERT(v_min >= 0.0 && v_min <= rated_voltage,
+                  "bad minimum voltage");
+    return storedEnergy(rated_voltage) - storedEnergy(v_min);
+}
+
+std::optional<Volts>
+Ultracapacitor::voltageAfter(Watts power, Seconds duration) const
+{
+    const Joules drawn = power * duration;
+    const Joules have = storedEnergy(rated_voltage);
+    if (drawn >= have)
+        return std::nullopt;
+    return std::sqrt(2.0 * (have - drawn) / capacitance);
+}
+
+Ultracapacitor
+Ultracapacitor::nesscap25F()
+{
+    // NESSCAP 25 F: 6.5 g, 20 A peak, 2.7 V rated, <0.1 mA leakage.
+    return Ultracapacitor{"NESSCAP 25F", 25.0, 2.7, 0.020, 20.0,
+                          0.1e-3, 6.5};
+}
+
+bool
+HybridSupply::canSprint(Watts power, Seconds duration) const
+{
+    if (battery.canSupply(power))
+        return true;
+    const Watts battery_share =
+        std::min(power, battery.maxBurstPower());
+    const Watts cap_share = power - battery_share;
+    // The capacitor's current rating bounds its instantaneous share.
+    const Watts cap_power_limit =
+        cap.max_current * cap.rated_voltage * converter_efficiency;
+    if (cap_share > cap_power_limit)
+        return false;
+    const Joules needed =
+        cap_share * duration / converter_efficiency;
+    return needed <= cap.usableEnergy(cap_min_voltage);
+}
+
+Joules
+HybridSupply::capEnergyNeeded(Watts power, Seconds duration) const
+{
+    const Watts battery_share =
+        std::min(power, battery.maxBurstPower());
+    const Watts cap_share = std::max(0.0, power - battery_share);
+    return cap_share * duration / converter_efficiency;
+}
+
+Seconds
+HybridSupply::rechargeTime(Watts power, Seconds duration,
+                           Watts recharge_power) const
+{
+    SPRINT_ASSERT(recharge_power > 0.0, "recharge power must be positive");
+    return capEnergyNeeded(power, duration) /
+           (recharge_power * converter_efficiency);
+}
+
+int
+PackagePins::pinsRequired(Amps current) const
+{
+    // A power/ground *pair* carries per_pin_current, so each rail
+    // needs current / per_pin_current pins.
+    const double pairs = current / per_pin_current;
+    return static_cast<int>(std::ceil(pairs)) * 2;
+}
+
+Amps
+PackagePins::maxCurrent(int pins) const
+{
+    SPRINT_ASSERT(pins >= 0, "negative pin count");
+    return (pins / 2) * per_pin_current;
+}
+
+} // namespace csprint

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Power-source models for sprinting (paper Section 6): batteries with
+ * burst-current limits, ultracapacitors, hybrid battery+ultracapacitor
+ * supplies, and the package-pin current-delivery arithmetic.
+ */
+
+#ifndef CSPRINT_ENERGY_SUPPLY_HH
+#define CSPRINT_ENERGY_SUPPLY_HH
+
+#include <optional>
+#include <string>
+
+#include "common/units.hh"
+
+namespace csprint {
+
+/**
+ * A battery with open-circuit voltage, internal resistance, and a
+ * manufacturer burst-current ceiling (thermal limits inside the cell).
+ */
+struct Battery
+{
+    std::string name;
+    Volts ocv;            ///< open-circuit voltage
+    Ohms internal_r;      ///< internal resistance
+    Amps max_burst;       ///< burst-current ceiling
+    Joules capacity;      ///< stored energy when full
+    Grams mass;           ///< cell mass
+
+    /** Terminal voltage when sourcing @p current. */
+    Volts terminalVoltage(Amps current) const;
+
+    /**
+     * Current required to deliver @p power at the sagging terminal
+     * voltage; empty when the operating point does not exist.
+     */
+    std::optional<Amps> currentForPower(Watts power) const;
+
+    /** Largest power deliverable within the burst-current limit. */
+    Watts maxBurstPower() const;
+
+    /** True when @p power can be sourced within limits. */
+    bool canSupply(Watts power) const;
+
+    /**
+     * Representative smart-phone Li-ion cell: bursts of ~10 W
+     * (2.7 A at 3.7 V); higher currents are precluded by internal
+     * thermal constraints (paper Section 6).
+     */
+    static Battery phoneLiIon();
+
+    /**
+     * Representative high-discharge Li-polymer pack (Dualsky GT 850
+     * 2s class): 43 A at 7 V, 51 g.
+     */
+    static Battery highDischargeLiPo();
+};
+
+/** An ultracapacitor bank (possibly several identical cells). */
+struct Ultracapacitor
+{
+    std::string name;
+    Farads capacitance;   ///< total capacitance of the bank
+    Volts rated_voltage;  ///< maximum cell/bank voltage
+    Ohms esr;             ///< equivalent series resistance
+    Amps max_current;     ///< peak current rating
+    Amps leakage;         ///< self-discharge current
+    Grams mass;           ///< bank mass
+
+    /** Energy stored at @p voltage (defaults to the rated voltage). */
+    Joules storedEnergy(Volts voltage) const;
+    Joules storedEnergy() const { return storedEnergy(rated_voltage); }
+
+    /**
+     * Usable energy discharging from the rated voltage down to
+     * @p v_min (converter drop-out).
+     */
+    Joules usableEnergy(Volts v_min) const;
+
+    /**
+     * Voltage remaining after delivering @p power for @p duration from
+     * a full charge (constant-power discharge); empty if the bank is
+     * exhausted first.
+     */
+    std::optional<Volts> voltageAfter(Watts power, Seconds duration) const;
+
+    /** NESSCAP 25 F cell: 6.5 g, 20 A peak at 2.7 V rated. */
+    static Ultracapacitor nesscap25F();
+};
+
+/**
+ * Hybrid supply: the ultracapacitor sources the sprint surge beyond
+ * what the battery may deliver; between sprints the battery recharges
+ * the capacitor (paper Section 6).
+ */
+struct HybridSupply
+{
+    Battery battery;
+    Ultracapacitor cap;
+    double converter_efficiency = 0.90;
+    Volts cap_min_voltage = 1.0;
+
+    /** True when @p power for @p duration is within combined limits. */
+    bool canSprint(Watts power, Seconds duration) const;
+
+    /** Energy the capacitor must contribute for such a sprint. */
+    Joules capEnergyNeeded(Watts power, Seconds duration) const;
+
+    /**
+     * Time for the battery's spare power (@p recharge_power, e.g. the
+     * headroom above nominal load) to refill what the sprint drew.
+     */
+    Seconds rechargeTime(Watts power, Seconds duration,
+                         Watts recharge_power) const;
+};
+
+/** Package-pin current-delivery arithmetic (paper Section 6). */
+struct PackagePins
+{
+    Amps per_pin_current = 0.1;  ///< peak current per pin
+
+    /**
+     * Pins (power + ground) required to deliver @p current.
+     * The paper's example: 16 A at 1 V with 100 mA pins -> 320 pins.
+     */
+    int pinsRequired(Amps current) const;
+
+    /** Largest current deliverable through @p pins power+ground pins. */
+    Amps maxCurrent(int pins) const;
+};
+
+} // namespace csprint
+
+#endif // CSPRINT_ENERGY_SUPPLY_HH

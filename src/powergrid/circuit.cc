@@ -1,0 +1,320 @@
+#include "powergrid/circuit.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace csprint {
+
+Circuit::Circuit()
+{
+    node_names.push_back("gnd");
+}
+
+CircuitNodeId
+Circuit::addNode(const std::string &name)
+{
+    node_names.push_back(name);
+    return node_names.size() - 1;
+}
+
+void
+Circuit::addResistor(CircuitNodeId a, CircuitNodeId b, Ohms r)
+{
+    SPRINT_ASSERT(a < nodeCount() && b < nodeCount(), "bad node");
+    SPRINT_ASSERT(r > 0.0, "resistance must be positive");
+    resistors.push_back({a, b, r});
+    transient_ready = false;
+}
+
+void
+Circuit::addCapacitor(CircuitNodeId a, CircuitNodeId b, Farads c)
+{
+    SPRINT_ASSERT(a < nodeCount() && b < nodeCount(), "bad node");
+    SPRINT_ASSERT(c > 0.0, "capacitance must be positive");
+    capacitors.push_back({a, b, c, 0.0, 0.0});
+    transient_ready = false;
+}
+
+void
+Circuit::addInductor(CircuitNodeId a, CircuitNodeId b, Henries l)
+{
+    SPRINT_ASSERT(a < nodeCount() && b < nodeCount(), "bad node");
+    SPRINT_ASSERT(l > 0.0, "inductance must be positive");
+    inductors.push_back({a, b, l, 0.0, 0.0});
+    transient_ready = false;
+}
+
+void
+Circuit::addDecap(CircuitNodeId a, CircuitNodeId b, Farads c, Ohms esr,
+                  Henries esl)
+{
+    CircuitNodeId top = a;
+    if (esr > 0.0) {
+        const CircuitNodeId mid = addNode("decap_r");
+        addResistor(top, mid, esr);
+        top = mid;
+    }
+    if (esl > 0.0) {
+        const CircuitNodeId mid = addNode("decap_l");
+        addInductor(top, mid, esl);
+        top = mid;
+    }
+    addCapacitor(top, b, c);
+}
+
+void
+Circuit::addVoltageSource(CircuitNodeId plus, CircuitNodeId minus,
+                          Volts volts)
+{
+    SPRINT_ASSERT(plus < nodeCount() && minus < nodeCount(), "bad node");
+    vsources.push_back({plus, minus, volts});
+    transient_ready = false;
+}
+
+void
+Circuit::addCurrentSource(CircuitNodeId from, CircuitNodeId to,
+                          CurrentWaveform waveform)
+{
+    SPRINT_ASSERT(from < nodeCount() && to < nodeCount(), "bad node");
+    SPRINT_ASSERT(waveform != nullptr, "waveform required");
+    isources.push_back({from, to, std::move(waveform)});
+    transient_ready = false;
+}
+
+std::size_t
+Circuit::unknownOf(CircuitNodeId node) const
+{
+    return node == 0 ? kGround : node - 1;
+}
+
+void
+Circuit::solveDcOperatingPoint()
+{
+    // DC: capacitors open, inductors are 0 V sources (extra unknowns).
+    const std::size_t nv = nodeCount() - 1;
+    const std::size_t n = nv + vsources.size() + inductors.size();
+    Matrix g(n);
+    std::vector<double> rhs(n, 0.0);
+
+    auto stamp_g = [&](CircuitNodeId a, CircuitNodeId b, double cond) {
+        const std::size_t ua = unknownOf(a);
+        const std::size_t ub = unknownOf(b);
+        if (ua != kGround)
+            g.at(ua, ua) += cond;
+        if (ub != kGround)
+            g.at(ub, ub) += cond;
+        if (ua != kGround && ub != kGround) {
+            g.at(ua, ub) -= cond;
+            g.at(ub, ua) -= cond;
+        }
+    };
+
+    for (const auto &r : resistors)
+        stamp_g(r.a, r.b, 1.0 / r.r);
+
+    std::size_t extra = nv;
+    auto stamp_vsource = [&](CircuitNodeId plus, CircuitNodeId minus,
+                             double volts) {
+        const std::size_t up = unknownOf(plus);
+        const std::size_t um = unknownOf(minus);
+        if (up != kGround) {
+            g.at(up, extra) += 1.0;
+            g.at(extra, up) += 1.0;
+        }
+        if (um != kGround) {
+            g.at(um, extra) -= 1.0;
+            g.at(extra, um) -= 1.0;
+        }
+        rhs[extra] = volts;
+        ++extra;
+    };
+
+    for (const auto &v : vsources)
+        stamp_vsource(v.plus, v.minus, v.v);
+    for (const auto &l : inductors)
+        stamp_vsource(l.a, l.b, 0.0);
+
+    for (const auto &i : isources) {
+        const double amps = i.waveform(0.0);
+        const std::size_t uf = unknownOf(i.from);
+        const std::size_t ut = unknownOf(i.to);
+        if (uf != kGround)
+            rhs[uf] -= amps;
+        if (ut != kGround)
+            rhs[ut] += amps;
+    }
+
+    DenseLu dc_lu;
+    if (!dc_lu.factor(g))
+        SPRINT_FATAL("singular DC system: circuit is under-constrained "
+                     "(floating nodes or source loops)");
+    dc_lu.solve(rhs);
+
+    auto node_voltage = [&](CircuitNodeId node) {
+        const std::size_t u = unknownOf(node);
+        return u == kGround ? 0.0 : rhs[u];
+    };
+
+    for (auto &c : capacitors) {
+        c.v = node_voltage(c.a) - node_voltage(c.b);
+        c.i = 0.0;
+    }
+    std::size_t l_idx = nv + vsources.size();
+    for (auto &l : inductors) {
+        // The extra-unknown current is defined flowing a -> b through
+        // the 0 V source, matching the inductor current convention.
+        l.i = rhs[l_idx++];
+        l.v = 0.0;
+    }
+
+    solution.assign(nv + vsources.size(), 0.0);
+    for (std::size_t i = 0; i < nv + vsources.size(); ++i)
+        solution[i] = rhs[i < nv ? i : i];
+    // Node voltages occupy the first nv slots; vsource currents follow.
+    for (std::size_t i = 0; i < vsources.size(); ++i)
+        solution[nv + i] = rhs[nv + i];
+}
+
+void
+Circuit::assembleTransientMatrix()
+{
+    const std::size_t nv = nodeCount() - 1;
+    const std::size_t n = nv + vsources.size();
+    Matrix g(n);
+
+    auto stamp_g = [&](CircuitNodeId a, CircuitNodeId b, double cond) {
+        const std::size_t ua = unknownOf(a);
+        const std::size_t ub = unknownOf(b);
+        if (ua != kGround)
+            g.at(ua, ua) += cond;
+        if (ub != kGround)
+            g.at(ub, ub) += cond;
+        if (ua != kGround && ub != kGround) {
+            g.at(ua, ub) -= cond;
+            g.at(ub, ua) -= cond;
+        }
+    };
+
+    for (const auto &r : resistors)
+        stamp_g(r.a, r.b, 1.0 / r.r);
+    for (const auto &c : capacitors)
+        stamp_g(c.a, c.b, 2.0 * c.c / dt);
+    for (const auto &l : inductors)
+        stamp_g(l.a, l.b, dt / (2.0 * l.l));
+
+    std::size_t extra = nv;
+    for (const auto &v : vsources) {
+        const std::size_t up = unknownOf(v.plus);
+        const std::size_t um = unknownOf(v.minus);
+        if (up != kGround) {
+            g.at(up, extra) += 1.0;
+            g.at(extra, up) += 1.0;
+        }
+        if (um != kGround) {
+            g.at(um, extra) -= 1.0;
+            g.at(extra, um) -= 1.0;
+        }
+        ++extra;
+    }
+
+    if (!lu.factor(g))
+        SPRINT_FATAL("singular transient system: circuit is "
+                     "under-constrained");
+}
+
+void
+Circuit::beginTransient(Seconds step_dt)
+{
+    SPRINT_ASSERT(step_dt > 0.0, "dt must be positive");
+    dt = step_dt;
+    now = 0.0;
+    solveDcOperatingPoint();
+    assembleTransientMatrix();
+    transient_ready = true;
+}
+
+void
+Circuit::step()
+{
+    SPRINT_ASSERT(transient_ready, "beginTransient() not called");
+    const std::size_t nv = nodeCount() - 1;
+    const std::size_t n = nv + vsources.size();
+    std::vector<double> rhs(n, 0.0);
+
+    auto inject = [&](CircuitNodeId node, double amps) {
+        const std::size_t u = unknownOf(node);
+        if (u != kGround)
+            rhs[u] += amps;
+    };
+
+    // Capacitor companion: conductance 2C/dt in parallel with a history
+    // source J = (2C/dt) v(t) + i(t) injecting into the 'a' terminal.
+    for (const auto &c : capacitors) {
+        const double geq = 2.0 * c.c / dt;
+        const double hist = geq * c.v + c.i;
+        inject(c.a, hist);
+        inject(c.b, -hist);
+    }
+    // Inductor companion: conductance dt/2L in parallel with a history
+    // source J = i(t) + (dt/2L) v(t) drawing from the 'a' terminal.
+    for (const auto &l : inductors) {
+        const double geq = dt / (2.0 * l.l);
+        const double hist = l.i + geq * l.v;
+        inject(l.a, -hist);
+        inject(l.b, hist);
+    }
+    // Current sources are evaluated at the end of the step.
+    const Seconds t_next = now + dt;
+    for (const auto &i : isources) {
+        const double amps = i.waveform(t_next);
+        inject(i.from, -amps);
+        inject(i.to, amps);
+    }
+    std::size_t extra = nv;
+    for (const auto &v : vsources)
+        rhs[extra++] = v.v;
+
+    lu.solve(rhs);
+    solution = rhs;
+    now = t_next;
+
+    auto node_voltage = [&](CircuitNodeId node) {
+        const std::size_t u = unknownOf(node);
+        return u == kGround ? 0.0 : solution[u];
+    };
+
+    // Update element state from the new solution.
+    for (auto &c : capacitors) {
+        const double geq = 2.0 * c.c / dt;
+        const double hist = geq * c.v + c.i;
+        const double v_new = node_voltage(c.a) - node_voltage(c.b);
+        c.i = geq * v_new - hist;
+        c.v = v_new;
+    }
+    for (auto &l : inductors) {
+        const double geq = dt / (2.0 * l.l);
+        const double hist = l.i + geq * l.v;
+        const double v_new = node_voltage(l.a) - node_voltage(l.b);
+        l.i = geq * v_new + hist;
+        l.v = v_new;
+    }
+}
+
+Volts
+Circuit::voltage(CircuitNodeId node) const
+{
+    SPRINT_ASSERT(node < nodeCount(), "bad node");
+    if (node == 0)
+        return 0.0;
+    SPRINT_ASSERT(!solution.empty(), "no solution yet");
+    return solution[node - 1];
+}
+
+Volts
+Circuit::voltageBetween(CircuitNodeId a, CircuitNodeId b) const
+{
+    return voltage(a) - voltage(b);
+}
+
+} // namespace csprint

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * A small SPICE-like transient circuit simulator.
+ *
+ * Supports resistors, capacitors, inductors, ideal DC voltage sources,
+ * and time-varying current sources. Analysis is modified nodal analysis
+ * (MNA); transient integration uses trapezoidal companion models with a
+ * fixed time step, so the system matrix is factored once and each step
+ * costs a single O(n^2) solve. A DC operating-point solve (capacitors
+ * open, inductors shorted) initializes element state so simulations
+ * start from steady state rather than from a power-on transient.
+ *
+ * This is the electrical substrate for the power-delivery study of
+ * paper Section 5 (Figures 5 and 6).
+ */
+
+#ifndef CSPRINT_POWERGRID_CIRCUIT_HH
+#define CSPRINT_POWERGRID_CIRCUIT_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "powergrid/linalg.hh"
+
+namespace csprint {
+
+/** Circuit node handle; node 0 is ground. */
+using CircuitNodeId = std::size_t;
+
+/** Time-varying current waveform [A] as a function of time [s]. */
+using CurrentWaveform = std::function<Amps(Seconds)>;
+
+/**
+ * Netlist container plus fixed-step transient simulation state.
+ */
+class Circuit
+{
+  public:
+    Circuit();
+
+    /** The ground reference node. */
+    CircuitNodeId ground() const { return 0; }
+
+    /** Add a named node and return its handle. */
+    CircuitNodeId addNode(const std::string &name);
+
+    /** Two-terminal resistor between @p a and @p b. */
+    void addResistor(CircuitNodeId a, CircuitNodeId b, Ohms r);
+
+    /** Two-terminal capacitor between @p a and @p b. */
+    void addCapacitor(CircuitNodeId a, CircuitNodeId b, Farads c);
+
+    /** Two-terminal inductor between @p a and @p b. */
+    void addInductor(CircuitNodeId a, CircuitNodeId b, Henries l);
+
+    /**
+     * Series R-L-C branch (a real decoupling capacitor with ESR and
+     * ESL) between @p a and @p b; creates internal nodes as needed.
+     * Zero ESR/ESL terms are omitted.
+     */
+    void addDecap(CircuitNodeId a, CircuitNodeId b, Farads c, Ohms esr,
+                  Henries esl);
+
+    /** Ideal DC voltage source: @p plus held at @p volts above @p minus. */
+    void addVoltageSource(CircuitNodeId plus, CircuitNodeId minus,
+                          Volts volts);
+
+    /**
+     * Time-varying current source driving current out of @p from,
+     * through the source, into @p to (a load draws current from the
+     * supply node into the ground node).
+     */
+    void addCurrentSource(CircuitNodeId from, CircuitNodeId to,
+                          CurrentWaveform waveform);
+
+    /** Number of nodes including ground. */
+    std::size_t nodeCount() const { return node_names.size(); }
+
+    /**
+     * Prepare for transient simulation with step @p dt: solve the DC
+     * operating point at t = 0 and factor the transient MNA matrix.
+     */
+    void beginTransient(Seconds dt);
+
+    /** Advance one time step; beginTransient() must have been called. */
+    void step();
+
+    /** Current simulation time. */
+    Seconds time() const { return now; }
+
+    /** Node voltage relative to ground. */
+    Volts voltage(CircuitNodeId node) const;
+
+    /** Differential voltage v(a) - v(b). */
+    Volts voltageBetween(CircuitNodeId a, CircuitNodeId b) const;
+
+  private:
+    struct Resistor { CircuitNodeId a, b; Ohms r; };
+    struct Capacitor
+    {
+        CircuitNodeId a, b;
+        Farads c;
+        double v = 0.0;  ///< branch voltage state
+        double i = 0.0;  ///< branch current state
+    };
+    struct Inductor
+    {
+        CircuitNodeId a, b;
+        Henries l;
+        double i = 0.0;  ///< branch current state
+        double v = 0.0;  ///< branch voltage state
+    };
+    struct VSource { CircuitNodeId plus, minus; Volts v; };
+    struct ISource { CircuitNodeId from, to; CurrentWaveform waveform; };
+
+    /** Matrix row/column of a node (ground maps to "none"). */
+    static constexpr std::size_t kGround = static_cast<std::size_t>(-1);
+    std::size_t unknownOf(CircuitNodeId node) const;
+
+    void solveDcOperatingPoint();
+    void assembleTransientMatrix();
+
+    std::vector<std::string> node_names;
+    std::vector<Resistor> resistors;
+    std::vector<Capacitor> capacitors;
+    std::vector<Inductor> inductors;
+    std::vector<VSource> vsources;
+    std::vector<ISource> isources;
+
+    Seconds dt = 0.0;
+    Seconds now = 0.0;
+    bool transient_ready = false;
+    DenseLu lu;
+    std::vector<double> solution;  ///< node voltages + vsource currents
+};
+
+} // namespace csprint
+
+#endif // CSPRINT_POWERGRID_CIRCUIT_HH

@@ -1,0 +1,77 @@
+#include "powergrid/linalg.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace csprint {
+
+bool
+DenseLu::factor(const Matrix &m)
+{
+    const std::size_t n = m.size();
+    lu = m;
+    perm.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        perm[i] = i;
+
+    for (std::size_t k = 0; k < n; ++k) {
+        // Partial pivot: largest magnitude in column k at or below k.
+        std::size_t pivot = k;
+        double best = std::abs(lu.at(k, k));
+        for (std::size_t r = k + 1; r < n; ++r) {
+            const double mag = std::abs(lu.at(r, k));
+            if (mag > best) {
+                best = mag;
+                pivot = r;
+            }
+        }
+        if (best == 0.0)
+            return false;
+        if (pivot != k) {
+            for (std::size_t c = 0; c < n; ++c)
+                std::swap(lu.at(k, c), lu.at(pivot, c));
+            std::swap(perm[k], perm[pivot]);
+        }
+        const double diag = lu.at(k, k);
+        for (std::size_t r = k + 1; r < n; ++r) {
+            const double factor = lu.at(r, k) / diag;
+            lu.at(r, k) = factor;
+            if (factor == 0.0)
+                continue;
+            for (std::size_t c = k + 1; c < n; ++c)
+                lu.at(r, c) -= factor * lu.at(k, c);
+        }
+    }
+    return true;
+}
+
+void
+DenseLu::solve(std::vector<double> &b) const
+{
+    const std::size_t n = lu.size();
+    SPRINT_ASSERT(b.size() == n, "rhs size mismatch");
+
+    // Apply the row permutation.
+    std::vector<double> x(n);
+    for (std::size_t i = 0; i < n; ++i)
+        x[i] = b[perm[i]];
+
+    // Forward substitution (unit lower-triangular).
+    for (std::size_t i = 0; i < n; ++i) {
+        double sum = x[i];
+        for (std::size_t j = 0; j < i; ++j)
+            sum -= lu.at(i, j) * x[j];
+        x[i] = sum;
+    }
+    // Back substitution.
+    for (std::size_t i = n; i-- > 0;) {
+        double sum = x[i];
+        for (std::size_t j = i + 1; j < n; ++j)
+            sum -= lu.at(i, j) * x[j];
+        x[i] = sum / lu.at(i, i);
+    }
+    b = std::move(x);
+}
+
+} // namespace csprint

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Small dense linear-algebra support for the circuit solver: an LU
+ * factorization with partial pivoting that is computed once per
+ * (circuit, time-step) and re-used for every transient step.
+ */
+
+#ifndef CSPRINT_POWERGRID_LINALG_HH
+#define CSPRINT_POWERGRID_LINALG_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace csprint {
+
+/** Dense row-major matrix. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** Create an n-by-n zero matrix. */
+    explicit Matrix(std::size_t n) : dim(n), data(n * n, 0.0) {}
+
+    /** Element accessor. */
+    double &at(std::size_t r, std::size_t c) { return data[r * dim + c]; }
+
+    /** Element accessor (const). */
+    double at(std::size_t r, std::size_t c) const
+    {
+        return data[r * dim + c];
+    }
+
+    /** Matrix dimension. */
+    std::size_t size() const { return dim; }
+
+  private:
+    std::size_t dim = 0;
+    std::vector<double> data;
+};
+
+/**
+ * LU factorization with partial pivoting (Doolittle).
+ *
+ * factor() is O(n^3) and performed once; solve() is O(n^2) per
+ * right-hand side, which is what every transient step costs.
+ */
+class DenseLu
+{
+  public:
+    /** Factor @p m; returns false if the matrix is singular. */
+    bool factor(const Matrix &m);
+
+    /** Solve LU x = b in place; factor() must have succeeded. */
+    void solve(std::vector<double> &b) const;
+
+    /** Dimension of the factored system. */
+    std::size_t size() const { return lu.size(); }
+
+  private:
+    Matrix lu;
+    std::vector<std::size_t> perm;
+};
+
+} // namespace csprint
+
+#endif // CSPRINT_POWERGRID_LINALG_HH

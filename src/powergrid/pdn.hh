@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The sprint-enabled processor's power-delivery network of paper
+ * Figure 5, and the core-activation experiments of Figure 6.
+ *
+ * The network models separate power and ground rails through board,
+ * package, and on-chip levels: an ideal 1.2 V regulator, board R/L with
+ * a bulk decoupling capacitor, package R/L with a ceramic decoupling
+ * capacitor, per-core bump/ball impedances into a chip-level grid whose
+ * adjacent cores are linked by in-series R/L segments, a small per-core
+ * on-die decap, and each power-gated core as a current source (0 A when
+ * gated, configurable average draw when active).
+ *
+ * Activating all cores at once produces the di/dt supply bounce of
+ * Figure 6(a); staggering core activation linearly over a ramp
+ * reproduces Figures 6(b) and 6(c).
+ */
+
+#ifndef CSPRINT_POWERGRID_PDN_HH
+#define CSPRINT_POWERGRID_PDN_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/timeseries.hh"
+#include "common/units.hh"
+#include "powergrid/circuit.hh"
+
+namespace csprint {
+
+/** Electrical parameters of the Figure 5 network (paper values). */
+struct PdnParams
+{
+    int num_cores = 16;
+    Volts vdd = 1.2;
+
+    // Board level (per rail).
+    Ohms board_r = 0.5e-3;
+    Henries board_l = 5e-9;
+    Farads bulk_c = 1e-3;          ///< bulk decap
+    Ohms bulk_esr = 1e-3;
+    Henries bulk_esl = 0.3e-9;
+
+    // Package level (per rail).
+    Ohms pkg_r = 150e-6;
+    Henries pkg_l = 0.1e-9;
+    Farads pkg_c = 30e-6;          ///< package decap
+    Ohms pkg_esr = 1.3e-3;
+    Henries pkg_esl = 1e-12;
+
+    // Chip level: per-core bump/ball branch and inter-core grid link
+    // (per rail).
+    Ohms bump_r = 3.2e-3;
+    Henries bump_l = 32e-12;
+    Ohms grid_r = 1.6e-3;
+    Henries grid_l = 128e-15;
+    Farads core_decap_c = 16e-12;  ///< per-core on-die decap
+    Ohms core_decap_esr = 90e-3;
+    Henries core_decap_esl = 64e-15;
+
+    // Core load model: paper Figure 5 quotes 1 A peak / 0.5 A average.
+    Amps core_avg_current = 0.5;
+    Amps core_peak_current = 1.0;
+    bool clock_ripple = false;     ///< superimpose a square-wave ripple
+    Hertz clock_ripple_freq = 50e6;
+
+    /** The 16-core configuration of Figure 5. */
+    static PdnParams paper16();
+};
+
+/** How cores are turned on at sprint initiation (paper Section 5). */
+struct ActivationSchedule
+{
+    Seconds start = 0.0;       ///< when the first core activates
+    Seconds ramp = 0.0;        ///< total stagger across all cores
+    Seconds core_rise = 1e-9;  ///< each core's own current rise time
+
+    /** All cores within one nanosecond (Figure 6a). */
+    static ActivationSchedule abrupt(Seconds start = 10e-6);
+
+    /** Uniform linear stagger over @p ramp (Figures 6b, 6c). */
+    static ActivationSchedule linearRamp(Seconds ramp,
+                                         Seconds start = 10e-6);
+
+    /** Activation time of core @p index out of @p total. */
+    Seconds coreOnTime(int index, int total) const;
+
+    /**
+     * Current drawn by core @p index at time @p t: zero before its
+     * activation, rising linearly over core_rise, then @p avg.
+     */
+    Amps coreCurrent(int index, int total, Amps avg, Seconds t) const;
+};
+
+/** Result of simulating one activation transient. */
+struct SupplyTrace
+{
+    TimeSeries worst_supply;  ///< min differential rail voltage [V]
+    Seconds dt;               ///< simulation step used
+};
+
+/** Summary statistics of a supply trace against a tolerance band. */
+struct SupplyMetrics
+{
+    Volts nominal;        ///< regulator setpoint
+    Volts min_voltage;    ///< worst undershoot
+    Volts max_voltage;    ///< worst overshoot
+    Volts settled;        ///< final settled differential voltage
+    Seconds settling_time;///< time to stay within the band of settled
+    bool within_tolerance;///< never left nominal +/- tolerance
+};
+
+/**
+ * The Figure 5 network as a live circuit with handles for per-core
+ * supply measurements.
+ */
+class PowerDeliveryNetwork
+{
+  public:
+    PowerDeliveryNetwork(const PdnParams &params,
+                         const ActivationSchedule &schedule);
+
+    /** Parameters used to build the network. */
+    const PdnParams &params() const { return p; }
+
+    /**
+     * Simulate for @p duration with step @p dt, recording the minimum
+     * per-core differential supply voltage every @p sample_every.
+     */
+    SupplyTrace simulate(Seconds duration, Seconds dt,
+                         Seconds sample_every);
+
+    /** Underlying circuit (exposed for tests). */
+    Circuit &circuit() { return ckt; }
+
+  private:
+    Amps coreLoad(int index, Seconds t) const;
+
+    PdnParams p;
+    ActivationSchedule sched;
+    Circuit ckt;
+    std::vector<CircuitNodeId> core_vdd;
+    std::vector<CircuitNodeId> core_gnd;
+};
+
+/**
+ * Evaluate a supply trace against a +/- @p tolerance_frac band around
+ * the nominal voltage (the paper uses 2%). Settling time is measured
+ * from @p event_time (the start of activation).
+ */
+SupplyMetrics
+computeSupplyMetrics(const SupplyTrace &trace, Volts nominal,
+                     double tolerance_frac, Seconds event_time);
+
+} // namespace csprint
+
+#endif // CSPRINT_POWERGRID_PDN_HH

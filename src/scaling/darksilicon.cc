@@ -1,0 +1,85 @@
+#include "scaling/darksilicon.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace csprint {
+
+std::string
+scalingScenarioName(ScalingScenario scenario)
+{
+    switch (scenario) {
+      case ScalingScenario::Itrs:
+        return "ITRS";
+      case ScalingScenario::Borkar:
+        return "Borkar";
+      case ScalingScenario::ItrsBorkarVdd:
+        return "ITRS + Borkar Vdd scaling";
+    }
+    SPRINT_PANIC("unknown scaling scenario");
+}
+
+ScalingAssumptions
+scalingAssumptions(ScalingScenario scenario)
+{
+    // Borkar (CACM'11): ~75% density increase vs. 25% capacitance
+    // reduction per generation, with nearly flat voltage scaling.
+    // ITRS (2010 update): ideal 2x density, slightly better capacitance
+    // scaling, and modest but nonzero Vdd scaling per node.
+    switch (scenario) {
+      case ScalingScenario::Itrs:
+        return {2.00, 0.75, 0.950, 1.00};
+      case ScalingScenario::Borkar:
+        return {1.75, 0.75, 0.985, 1.00};
+      case ScalingScenario::ItrsBorkarVdd:
+        return {2.00, 0.75, 0.985, 1.00};
+    }
+    SPRINT_PANIC("unknown scaling scenario");
+}
+
+const std::vector<int> &
+figure1Nodes()
+{
+    static const std::vector<int> nodes = {45, 32, 22, 16, 11, 8, 6};
+    return nodes;
+}
+
+std::vector<NodeProjection>
+projectDarkSilicon(ScalingScenario scenario, const std::vector<int> &nodes)
+{
+    SPRINT_ASSERT(!nodes.empty(), "need at least one node");
+    const ScalingAssumptions a = scalingAssumptions(scenario);
+
+    std::vector<NodeProjection> out;
+    out.reserve(nodes.size());
+
+    double density = 1.0;
+    double capacitance = 1.0;
+    double vdd = 1.0;
+    double frequency = 1.0;
+    for (std::size_t gen = 0; gen < nodes.size(); ++gen) {
+        if (gen > 0) {
+            density *= a.density_per_gen;
+            capacitance *= a.capacitance_per_gen;
+            vdd *= a.vdd_per_gen;
+            frequency *= a.frequency_per_gen;
+        }
+        NodeProjection p;
+        p.node_nm = nodes[gen];
+        p.density = density;
+        p.capacitance = capacitance;
+        p.vdd = vdd;
+        // Switching power for the full chip if every transistor were
+        // active: all devices * C * f * V^2, relative to the 45 nm chip.
+        p.power_density = density * capacitance * frequency * vdd * vdd;
+        // Fraction of devices that must be off to hold the 45 nm power
+        // envelope on the same die area.
+        p.dark_fraction =
+            p.power_density <= 1.0 ? 0.0 : 1.0 - 1.0 / p.power_density;
+        out.push_back(p);
+    }
+    return out;
+}
+
+} // namespace csprint

@@ -1,0 +1,102 @@
+#include "sprint/pacing.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace csprint {
+
+double
+sustainableDutyCycle(const MobilePackageModel &package,
+                     Watts sprint_power)
+{
+    SPRINT_ASSERT(sprint_power > 0.0, "bad sprint power");
+    return std::min(1.0, package.sustainableTdp() / sprint_power);
+}
+
+Joules
+budgetAfterRest(MobilePackageModel &package, Seconds rest, Seconds step)
+{
+    SPRINT_ASSERT(step > 0.0, "bad step");
+    package.setDiePower(0.0);
+    Seconds t = 0.0;
+    while (t < rest) {
+        const Seconds h = std::min(step, rest - t);
+        package.step(h);
+        t += h;
+    }
+    return package.sprintEnergyBudget();
+}
+
+Seconds
+timeToBudgetFraction(MobilePackageModel &package, double fraction,
+                     Seconds limit, Seconds step)
+{
+    SPRINT_ASSERT(fraction > 0.0 && fraction <= 1.0, "bad fraction");
+    // Cold-start budget for reference.
+    MobilePackageModel cold(package.params());
+    const Joules target = fraction * cold.sprintEnergyBudget();
+
+    package.setDiePower(0.0);
+    Seconds t = 0.0;
+    while (t < limit) {
+        if (package.sprintEnergyBudget() >= target)
+            return t;
+        package.step(step);
+        t += step;
+    }
+    return limit;
+}
+
+std::vector<SprintWindow>
+runSprintTrain(MobilePackageModel &package, int count,
+               Watts sprint_power, Seconds want, Seconds interval,
+               Seconds step)
+{
+    SPRINT_ASSERT(count >= 1 && want > 0.0 && interval >= want,
+                  "bad sprint train shape");
+    MobilePackageModel cold(package.params());
+    const Joules full_budget = cold.sprintEnergyBudget();
+    const Watts tdp = package.sustainableTdp();
+
+    std::vector<SprintWindow> out;
+    Seconds now = 0.0;
+    for (int i = 0; i < count; ++i) {
+        SprintWindow win;
+        win.start = now;
+        win.budget_fraction =
+            full_budget > 0.0
+                ? package.sprintEnergyBudget() / full_budget
+                : 0.0;
+
+        // Sprint until the live budget (tracked against the package
+        // thermal state) runs out or the request is satisfied.
+        Joules budget = package.sprintEnergyBudget();
+        Seconds sprinted = 0.0;
+        package.setDiePower(sprint_power);
+        while (sprinted < want && budget > 0.0 &&
+               !package.overTempLimit()) {
+            const Seconds h = std::min(step, want - sprinted);
+            package.step(h);
+            sprinted += h;
+            budget -= (sprint_power - tdp) * h;
+        }
+        win.duration = sprinted;
+        win.energy = sprint_power * sprinted;
+        out.push_back(win);
+
+        // Rest until the next request.
+        package.setDiePower(0.0);
+        const Seconds rest = interval - sprinted;
+        Seconds t = 0.0;
+        while (t < rest) {
+            const Seconds h = std::min(10.0 * step, rest - t);
+            package.step(h);
+            t += h;
+        }
+        now += interval;
+    }
+    return out;
+}
+
+} // namespace csprint

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Sprint pacing: the sprint-and-rest behaviour of paper Section 3.
+ * Sprinting does not raise sustained performance — it shifts the TDP
+ * budget from future idle moments into the present burst, and the
+ * chip must cool before it can sprint again. This module answers the
+ * runtime's pacing questions: how much budget is back after a given
+ * rest, how long until a full re-sprint is possible, what duty cycle
+ * a workload of periodic bursts can sustain, and what happens to a
+ * train of sprints arriving faster than the package can cool.
+ */
+
+#ifndef CSPRINT_SPRINT_PACING_HH
+#define CSPRINT_SPRINT_PACING_HH
+
+#include <vector>
+
+#include "common/units.hh"
+#include "thermal/package.hh"
+
+namespace csprint {
+
+/**
+ * Long-run duty-cycle bound: the fraction of time the chip can spend
+ * sprinting at @p sprint_power, averaged over many sprint/rest
+ * periods, is TDP / sprint power (energy conservation through the
+ * package).
+ */
+double sustainableDutyCycle(const MobilePackageModel &package,
+                            Watts sprint_power);
+
+/**
+ * Let @p package cool (zero die power) for @p rest and report the
+ * sprint budget available afterwards. The model is stepped, not
+ * approximated, so PCM refreeze plateaus are captured.
+ */
+Joules budgetAfterRest(MobilePackageModel &package, Seconds rest,
+                       Seconds step = 10e-3);
+
+/**
+ * Cooling time until the sprint budget recovers to @p fraction of
+ * the cold-start budget (bisection-free forward simulation; returns
+ * at most @p limit).
+ */
+Seconds timeToBudgetFraction(MobilePackageModel &package,
+                             double fraction, Seconds limit,
+                             Seconds step = 10e-3);
+
+/** Outcome of one sprint in a train. */
+struct SprintWindow
+{
+    Seconds start = 0.0;        ///< when the sprint began
+    Seconds duration = 0.0;     ///< time sprinted before exhaustion
+    Joules energy = 0.0;        ///< energy spent above sustainable
+    double budget_fraction = 0.0; ///< budget available at start
+};
+
+/**
+ * Run a train of @p count sprint requests at @p sprint_power, each
+ * wanting @p want seconds of sprinting, separated by @p interval
+ * (start-to-start). Each sprint runs until its budget (from the
+ * package's live thermal state) is spent or @p want elapses; between
+ * sprints the package cools. Captures the degradation the paper
+ * warns about when users re-trigger sprints faster than the cooldown.
+ */
+std::vector<SprintWindow>
+runSprintTrain(MobilePackageModel &package, int count,
+               Watts sprint_power, Seconds want, Seconds interval,
+               Seconds step = 1e-3);
+
+} // namespace csprint
+
+#endif // CSPRINT_SPRINT_PACING_HH

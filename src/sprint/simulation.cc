@@ -1,0 +1,175 @@
+#include "sprint/simulation.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace csprint {
+
+MobilePackageParams
+SprintConfig::scaledPackage(Grams pcm_mass, double time_scale)
+{
+    SPRINT_ASSERT(time_scale > 0.0, "bad time scale");
+    MobilePackageParams p = MobilePackageParams::phonePcm(pcm_mass);
+    p.c_junction *= time_scale;
+    p.c_case *= time_scale;
+    p.pcm_mass *= time_scale;
+    return p;
+}
+
+SprintConfig
+SprintConfig::parallelSprint(int cores, Grams pcm_mass,
+                             double time_scale)
+{
+    SprintConfig cfg;
+    cfg.sprint_cores = cores;
+    cfg.num_threads = cores;
+    cfg.dvfs_boost = 1.0;
+    cfg.package = scaledPackage(pcm_mass, time_scale);
+    // The physical ramp is 128 us; in the time-scaled universe the
+    // equivalent delay shrinks with the same factor as the thermal
+    // transients and the workload (paper Section 5.3: the ramp is
+    // negligible against the sprint duration).
+    cfg.activation_ramp = 128e-6 * time_scale;
+    cfg.machine = MachineConfig();
+    cfg.machine.num_cores = cores;
+    cfg.machine.num_threads = cores;
+    return cfg;
+}
+
+SprintConfig
+SprintConfig::dvfsSprint(double power_headroom, Grams pcm_mass,
+                         double time_scale)
+{
+    SprintConfig cfg;
+    cfg.sprint_cores = 1;
+    cfg.num_threads = 1;
+    cfg.dvfs_boost = dvfsBoostFromHeadroom(power_headroom);
+    cfg.package = scaledPackage(pcm_mass, time_scale);
+    // A voltage ramp rather than a core-activation ramp; same scaled
+    // order of magnitude.
+    cfg.activation_ramp = 128e-6 * time_scale;
+    cfg.machine = MachineConfig();
+    cfg.machine.num_cores = 1;
+    cfg.machine.num_threads = 1;
+    cfg.machine.freq_mult = cfg.dvfs_boost;
+    cfg.machine.energy =
+        InstructionEnergyModel().boosted(cfg.dvfs_boost);
+    return cfg;
+}
+
+SprintConfig
+SprintConfig::baseline()
+{
+    SprintConfig cfg;
+    cfg.sprint_cores = 1;
+    cfg.num_threads = 1;
+    cfg.activation_ramp = 0.0;
+    // The baseline never exceeds TDP, so the package barely matters;
+    // use the unscaled no-PCM package.
+    cfg.package = MobilePackageParams::phoneNoPcm();
+    cfg.machine = MachineConfig();
+    cfg.machine.num_cores = 1;
+    cfg.machine.num_threads = 1;
+    return cfg;
+}
+
+RunResult
+runSprint(const ParallelProgram &program, const SprintConfig &cfg)
+{
+    SPRINT_ASSERT(cfg.sprint_cores >= 1, "need at least one core");
+
+    MachineConfig mcfg = cfg.machine;
+    mcfg.num_cores = cfg.sprint_cores;
+    mcfg.num_threads = cfg.num_threads;
+    if (cfg.dvfs_boost != 1.0) {
+        mcfg.freq_mult = cfg.dvfs_boost;
+        mcfg.energy = InstructionEnergyModel().boosted(cfg.dvfs_boost);
+    }
+
+    Machine machine(mcfg, program);
+    MobilePackageModel package(cfg.package);
+    package.reset();
+
+    // The activation ramp heats nothing appreciable (cores are still
+    // power-gated) but delays the start of useful computation.
+    package.step(cfg.activation_ramp);
+
+    SprintGovernor governor(cfg.governor, package);
+
+    RunResult result;
+    result.program_name = program.name();
+    result.sprint_cores = cfg.sprint_cores;
+    result.num_threads = cfg.num_threads;
+    result.dvfs_boost = cfg.dvfs_boost;
+
+    const Watts sustainable = governor.sustainablePower();
+    Seconds elapsed = cfg.activation_ramp;
+    Seconds above_tdp_time = 0.0;
+    Joules above_tdp_energy = 0.0;
+    const bool is_sprinting_config =
+        cfg.sprint_cores > 1 || cfg.dvfs_boost > 1.0;
+
+    machine.setSampleHook(
+        [&](Machine &m, Seconds dt, Joules energy) {
+            elapsed += dt;
+            const Watts power = energy / dt;
+            result.junction_trace.add(elapsed, package.junctionTemp());
+            result.power_trace.add(elapsed, power);
+            if (power > sustainable) {
+                above_tdp_time += dt;
+                above_tdp_energy += energy;
+            }
+
+            const GovernorAction action = governor.onSample(dt, energy);
+            if (!is_sprinting_config)
+                return;  // the baseline never reconfigures
+            switch (action) {
+              case GovernorAction::Continue:
+                break;
+              case GovernorAction::TerminateSprint:
+                result.sprint_exhausted = true;
+                if (cfg.software_migration_fails)
+                    break;  // OS hung: leave it to the throttle
+                if (cfg.dvfs_boost > 1.0) {
+                    m.setFrequencyMult(1.0);
+                    m.setEnergyModel(InstructionEnergyModel());
+                } else {
+                    m.consolidateToSingleCore();
+                }
+                break;
+              case GovernorAction::Throttle:
+                result.hardware_throttled = true;
+                // Throttle frequency by at least the number of active
+                // cores so dynamic power falls below TDP (Section 7).
+                m.setFrequencyMult(
+                    std::min(1.0, 1.0 / m.activeCores()) /
+                    std::max(1.0, cfg.dvfs_boost));
+                m.setEnergyModel(InstructionEnergyModel());
+                break;
+            }
+        },
+        1000);  // the paper samples energy every 1000 cycles
+
+    machine.run();
+
+    result.task_time = cfg.activation_ramp + machine.simTime();
+    result.machine = machine.stats();
+    result.dynamic_energy = machine.stats().dynamic_energy;
+    result.peak_junction = governor.peakJunction();
+    result.final_melt_fraction = package.meltFraction();
+    result.sprint_duration = above_tdp_time;
+    result.avg_power =
+        result.task_time > 0.0 ? result.dynamic_energy / result.task_time
+                               : 0.0;
+    if (above_tdp_time > 0.0) {
+        result.cooldown_estimate = package.approxCooldown(
+            above_tdp_time, above_tdp_energy / above_tdp_time);
+    }
+    result.hardware_throttled =
+        result.hardware_throttled || governor.throttled();
+    return result;
+}
+
+} // namespace csprint

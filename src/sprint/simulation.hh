@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The coupled sprint simulation (paper Section 8): the architectural
+ * simulator's per-1000-cycle dynamic-energy samples drive the package
+ * thermal model and the sprint governor; governor decisions feed back
+ * into the machine (thread migration to a single core, or the
+ * hardware frequency throttle).
+ */
+
+#ifndef CSPRINT_SPRINT_SIMULATION_HH
+#define CSPRINT_SPRINT_SIMULATION_HH
+
+#include <string>
+
+#include "archsim/machine.hh"
+#include "archsim/program.hh"
+#include "common/timeseries.hh"
+#include "common/units.hh"
+#include "sprint/governor.hh"
+#include "thermal/package.hh"
+
+namespace csprint {
+
+/** A complete sprint-platform configuration. */
+struct SprintConfig
+{
+    int sprint_cores = 16;          ///< cores activated for the sprint
+    int num_threads = 16;           ///< software threads
+    double dvfs_boost = 1.0;        ///< >1: single-core DVFS sprint
+    Seconds activation_ramp = 128e-6; ///< gradual activation (Section 5)
+    MobilePackageParams package;    ///< thermal package (time-scaled)
+    GovernorConfig governor;
+    MachineConfig machine;          ///< cores/caches/memory template
+    bool software_migration_fails = false; ///< fault injection: force
+                                           ///< the hardware throttle
+    /**
+     * Scale all thermal capacitances by @p time_scale to match the
+     * scaled-down workload inputs (see DESIGN.md, Substitutions; the
+     * paper itself scales its PCM 100x for the same reason). Thermal
+     * resistances are untouched, so TDP and steady state are
+     * preserved while transients shrink by the same factor as the
+     * simulated work.
+     */
+    static MobilePackageParams scaledPackage(Grams pcm_mass,
+                                             double time_scale);
+
+    /** Parallel sprint with @p cores cores (paper default 16). */
+    static SprintConfig parallelSprint(int cores, Grams pcm_mass,
+                                       double time_scale = 7e-4);
+
+    /** Idealized single-core DVFS sprint with 16x power headroom. */
+    static SprintConfig dvfsSprint(double power_headroom, Grams pcm_mass,
+                                   double time_scale = 7e-4);
+
+    /** Non-sprint single-core baseline (same TDP, LLC, memory). */
+    static SprintConfig baseline();
+};
+
+/** Outcome of one coupled run. */
+struct RunResult
+{
+    std::string program_name;
+    int sprint_cores = 1;
+    int num_threads = 1;
+    double dvfs_boost = 1.0;
+
+    Seconds task_time = 0.0;       ///< response time incl. activation
+    Joules dynamic_energy = 0.0;   ///< total dynamic energy
+    Celsius peak_junction = 0.0;   ///< max junction temperature
+    double final_melt_fraction = 0.0;
+    bool sprint_exhausted = false; ///< governor ended the sprint early
+    bool hardware_throttled = false;
+    Seconds sprint_duration = 0.0; ///< time spent above nominal TDP
+    Seconds cooldown_estimate = 0.0; ///< Section 4.5 approximation
+    Watts avg_power = 0.0;
+
+    TimeSeries junction_trace;     ///< sampled junction temperature
+    TimeSeries power_trace;        ///< sampled die power
+    MachineStats machine;
+};
+
+/**
+ * Run @p program on the platform described by @p cfg.
+ *
+ * The machine starts with cold L1s and with cores enabled only after
+ * the activation ramp (its duration is added to the task time, per
+ * paper Section 5.3). When the governor signals exhaustion, all
+ * threads migrate to core 0 (or, for a DVFS sprint, the boost is
+ * dropped); if configured to model a hung OS, the hardware throttle
+ * path is exercised instead.
+ */
+RunResult runSprint(const ParallelProgram &program,
+                    const SprintConfig &cfg);
+
+} // namespace csprint
+
+#endif // CSPRINT_SPRINT_SIMULATION_HH

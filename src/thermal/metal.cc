@@ -1,0 +1,77 @@
+#include "thermal/metal.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace csprint {
+
+MetalProperties
+MetalProperties::copper()
+{
+    return {"copper", 3.45, 400.0};
+}
+
+MetalProperties
+MetalProperties::aluminum()
+{
+    return {"aluminum", 2.42, 237.0};
+}
+
+JoulesPerKelvin
+metalSlugCapacity(const MetalSlugSpec &spec)
+{
+    SPRINT_ASSERT(spec.thickness > 0.0 && spec.die_area_mm2 > 0.0,
+                  "bad slug geometry");
+    // Volume in cm^3: area [mm^2] * thickness [mm] / 1000.
+    const double volume_cm3 =
+        spec.die_area_mm2 * (spec.thickness * 1e3) / 1e3;
+    return spec.metal.volumetric_heat_capacity * volume_cm3;
+}
+
+Kelvin
+metalSlugTemperatureRise(const MetalSlugSpec &spec, Joules joules)
+{
+    return joules / metalSlugCapacity(spec);
+}
+
+Meters
+metalThicknessFor(const MetalProperties &metal, double die_area_mm2,
+                  Joules joules, Kelvin max_rise)
+{
+    SPRINT_ASSERT(max_rise > 0.0, "bad temperature rise bound");
+    const double volume_cm3 =
+        joules / (metal.volumetric_heat_capacity * max_rise);
+    const double thickness_mm = volume_cm3 * 1e3 / die_area_mm2;
+    return thickness_mm * 1e-3;
+}
+
+KelvinPerWatt
+metalSlugInternalResistance(const MetalSlugSpec &spec)
+{
+    // Through-thickness conduction: R = L / (k * A). Use half the
+    // thickness as the effective conduction length to the slab's
+    // thermal centre of mass.
+    const double area_m2 = spec.die_area_mm2 * 1e-6;
+    return (0.5 * spec.thickness) /
+           (spec.metal.thermal_conductivity * area_m2);
+}
+
+MobilePackageParams
+metalSlugPackage(const MetalSlugSpec &spec)
+{
+    MobilePackageParams p = MobilePackageParams::phoneNoPcm();
+    // Reuse the PCM node slot as a sensible-only storage node: a
+    // material with zero latent heat is exactly a metal slug. The
+    // melt temperature is set above t_junction_max so the latent
+    // plateau can never engage.
+    const JoulesPerKelvin cap = metalSlugCapacity(spec);
+    p.pcm_mass = 1.0;  // bookkeeping mass of 1 g
+    p.pcm_sensible_per_gram = cap;           // J/K via 1 g
+    p.pcm_latent_per_gram = 1e-9;            // effectively none
+    p.pcm_melt_temp = p.t_junction_max + 1000.0;
+    p.r_junction_to_pcm += metalSlugInternalResistance(spec);
+    return p;
+}
+
+} // namespace csprint

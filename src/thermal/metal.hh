@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Solid-metal heat-storage alternative of paper Section 4.1: a block
+ * of copper or aluminum close to the die stores sprint heat as
+ * sensible (not latent) heat. The paper's example: absorbing 16 J in
+ * a 7.2 mm slab of copper (or 10.3 mm of aluminum) over a 64 mm^2 die
+ * raises its temperature by 10 C. The two drawbacks the paper calls
+ * out — pre-heated metal after sustained operation erodes headroom,
+ * and the slab's internal resistance limits absorption rate — fall
+ * out of the model and are exercised by tests and the ablation bench.
+ */
+
+#ifndef CSPRINT_THERMAL_METAL_HH
+#define CSPRINT_THERMAL_METAL_HH
+
+#include <string>
+
+#include "common/units.hh"
+#include "thermal/package.hh"
+
+namespace csprint {
+
+/** A candidate heat-storage metal. */
+struct MetalProperties
+{
+    std::string name;
+    double volumetric_heat_capacity;  ///< [J/(cm^3 K)]
+    double thermal_conductivity;      ///< [W/(m K)]
+
+    /** Copper: 3.45 J/cm^3 K (paper Section 4.1). */
+    static MetalProperties copper();
+
+    /** Aluminum: 2.42 J/cm^3 K (paper Section 4.1). */
+    static MetalProperties aluminum();
+};
+
+/** Geometry of a metal slug sitting on the die. */
+struct MetalSlugSpec
+{
+    MetalProperties metal = MetalProperties::copper();
+    Meters thickness = 7.2e-3;   ///< slab thickness
+    double die_area_mm2 = 64.0;  ///< footprint (the die area)
+};
+
+/** Heat capacity of the slug [J/K]. */
+JoulesPerKelvin metalSlugCapacity(const MetalSlugSpec &spec);
+
+/**
+ * Temperature rise of the slug after absorbing @p joules.
+ * The paper's example: 16 J into 7.2 mm of copper on 64 mm^2 -> 10 C.
+ */
+Kelvin metalSlugTemperatureRise(const MetalSlugSpec &spec, Joules joules);
+
+/**
+ * Thickness needed to absorb @p joules within @p max_rise.
+ */
+Meters metalThicknessFor(const MetalProperties &metal,
+                         double die_area_mm2, Joules joules,
+                         Kelvin max_rise);
+
+/**
+ * Internal conduction resistance of the slab (through-thickness),
+ * the rate limit of paper Section 4.1's second drawback.
+ */
+KelvinPerWatt metalSlugInternalResistance(const MetalSlugSpec &spec);
+
+/**
+ * A phone package using a metal slug in place of the PCM block:
+ * same topology as Figure 3(d) but the storage node has sensible
+ * capacity only, and the junction-to-storage resistance includes the
+ * slab's internal conduction resistance.
+ */
+MobilePackageParams metalSlugPackage(const MetalSlugSpec &spec);
+
+} // namespace csprint
+
+#endif // CSPRINT_THERMAL_METAL_HH

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Lumped RC thermal network with phase-change-material (PCM) nodes.
+ *
+ * This is the thermal substrate of the sprinting study (paper Section 4,
+ * Figure 3): nodes carry heat capacity and temperature, resistive edges
+ * conduct heat, and an ambient reference holds a fixed temperature. A
+ * node may additionally carry a PCM: once it reaches the melt
+ * temperature, injected heat is absorbed by the latent heat of fusion at
+ * constant temperature until the material is fully molten (and
+ * symmetrically on freezing). Transient integration is explicit Euler
+ * with automatic sub-stepping for stability, and the melt/freeze
+ * transition is handled in an energy-conserving way.
+ */
+
+#ifndef CSPRINT_THERMAL_NETWORK_HH
+#define CSPRINT_THERMAL_NETWORK_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace csprint {
+
+/** Identifies a node within a ThermalNetwork. */
+using ThermalNodeId = std::size_t;
+
+/** Phase-change behaviour attached to a thermal node. */
+struct PcmProperties
+{
+    Joules latent_heat;   ///< total heat of fusion for the block [J]
+    Celsius melt_temp;    ///< melting point [degrees C]
+};
+
+/**
+ * An RC thermal network with optional PCM nodes.
+ *
+ * Usage: add nodes and resistive edges, set per-node injected power,
+ * then advance with step(). Temperatures, melt fractions, and stored
+ * energy are queryable at any time.
+ */
+class ThermalNetwork
+{
+  public:
+    /** Create a network whose ambient reference sits at @p ambient. */
+    explicit ThermalNetwork(Celsius ambient = 25.0);
+
+    /** Add a plain node with heat capacity @p cap starting at @p t0. */
+    ThermalNodeId addNode(const std::string &name, JoulesPerKelvin cap,
+                          Celsius t0);
+
+    /** Add a node that also carries a phase-change material. */
+    ThermalNodeId addPcmNode(const std::string &name, JoulesPerKelvin cap,
+                             Celsius t0, const PcmProperties &pcm);
+
+    /** Connect two nodes with thermal resistance @p r. */
+    void addResistor(ThermalNodeId a, ThermalNodeId b, KelvinPerWatt r);
+
+    /** Connect a node to the ambient reference with resistance @p r. */
+    void addResistorToAmbient(ThermalNodeId node, KelvinPerWatt r);
+
+    /** Set the heat injected into @p node [W] until changed again. */
+    void setPower(ThermalNodeId node, Watts power);
+
+    /** Current power injected into @p node. */
+    Watts power(ThermalNodeId node) const;
+
+    /** Ambient temperature. */
+    Celsius ambient() const { return ambient_temp; }
+
+    /** Change the ambient temperature. */
+    void setAmbient(Celsius t) { ambient_temp = t; }
+
+    /** Advance the network by @p dt, sub-stepping as needed. */
+    void step(Seconds dt);
+
+    /** Temperature of @p node. */
+    Celsius temperature(ThermalNodeId node) const;
+
+    /** Melt fraction in [0,1] of a PCM node (0 for plain nodes). */
+    double meltFraction(ThermalNodeId node) const;
+
+    /** True when @p node carries a PCM. */
+    bool isPcmNode(ThermalNodeId node) const;
+
+    /** Name given to @p node at creation. */
+    const std::string &name(ThermalNodeId node) const;
+
+    /** Number of nodes (excluding the ambient reference). */
+    std::size_t nodeCount() const { return nodes.size(); }
+
+    /**
+     * Heat stored in the network relative to every node sitting at
+     * ambient with all PCM frozen: sensible heat plus absorbed latent
+     * heat. Used by conservation tests and budget estimates.
+     */
+    Joules storedEnergy() const;
+
+    /** Reset all nodes to ambient with PCM fully frozen. */
+    void reset();
+
+    /**
+     * Largest explicit-Euler step that is stable for this network.
+     * step() sub-steps to stay below half of this bound.
+     */
+    Seconds maxStableStep() const;
+
+  private:
+    struct Node
+    {
+        std::string name;
+        JoulesPerKelvin capacity;
+        Celsius temp;
+        Watts injected;
+        bool has_pcm;
+        PcmProperties pcm;
+        double melt_fraction;
+    };
+
+    struct Edge
+    {
+        // kAmbient as either endpoint refers to the ambient reference.
+        std::size_t a;
+        std::size_t b;
+        KelvinPerWatt resistance;
+    };
+
+    static constexpr std::size_t kAmbient =
+        static_cast<std::size_t>(-1);
+
+    /** Apply @p joules of net heat to @p node along its enthalpy curve. */
+    void applyHeat(Node &node, Joules joules);
+
+    /** Temperature of an edge endpoint (handles the ambient id). */
+    Celsius endpointTemp(std::size_t id) const;
+
+    void substep(Seconds dt);
+
+    Celsius ambient_temp;
+    std::vector<Node> nodes;
+    std::vector<Edge> edges;
+};
+
+} // namespace csprint
+
+#endif // CSPRINT_THERMAL_NETWORK_HH

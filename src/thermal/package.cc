@@ -1,0 +1,125 @@
+#include "thermal/package.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace csprint {
+
+MobilePackageParams
+MobilePackageParams::phonePcm(Grams pcm_mass)
+{
+    MobilePackageParams p;
+    p.pcm_mass = pcm_mass;
+    return p;
+}
+
+MobilePackageParams
+MobilePackageParams::phoneNoPcm()
+{
+    MobilePackageParams p;
+    p.pcm_mass = 0.0;
+    return p;
+}
+
+MobilePackageModel::MobilePackageModel(const MobilePackageParams &params)
+    : p(params), net(params.ambient)
+{
+    junction_id = net.addNode("junction", p.c_junction, p.ambient);
+    case_id = net.addNode("case", p.c_case, p.ambient);
+    has_pcm = p.pcm_mass > 0.0;
+    if (has_pcm) {
+        PcmProperties pcm;
+        pcm.latent_heat = p.pcm_mass * p.pcm_latent_per_gram;
+        pcm.melt_temp = p.pcm_melt_temp;
+        const JoulesPerKelvin sensible =
+            std::max(1e-6, p.pcm_mass * p.pcm_sensible_per_gram);
+        pcm_id = net.addPcmNode("pcm", sensible, p.ambient, pcm);
+        net.addResistor(junction_id, pcm_id, p.r_junction_to_pcm);
+        net.addResistor(pcm_id, case_id, p.r_pcm_to_case);
+    } else {
+        net.addResistor(junction_id, case_id,
+                        p.r_junction_to_pcm + p.r_pcm_to_case);
+    }
+    net.addResistorToAmbient(case_id, p.r_case_to_ambient);
+}
+
+ThermalNodeId
+MobilePackageModel::pcm() const
+{
+    SPRINT_ASSERT(has_pcm, "package has no PCM node");
+    return pcm_id;
+}
+
+double
+MobilePackageModel::meltFraction() const
+{
+    return has_pcm ? net.meltFraction(pcm_id) : 0.0;
+}
+
+Watts
+MobilePackageModel::sustainableTdp() const
+{
+    const KelvinPerWatt r_total =
+        p.r_junction_to_pcm + p.r_pcm_to_case + p.r_case_to_ambient;
+    // With a PCM, the sustained budget must keep the junction just
+    // below the melt point so the PCM stays frozen between sprints
+    // (Section 4.4); without one — or with a sensible-only metal
+    // storage node whose "melt point" sits above the junction limit —
+    // the junction limit governs.
+    const Celsius limit =
+        has_pcm ? std::min(p.pcm_melt_temp, p.t_junction_max)
+                : p.t_junction_max;
+    return (limit - p.ambient) / r_total * 0.97;
+}
+
+Watts
+MobilePackageModel::maxSprintPower() const
+{
+    if (!has_pcm)
+        return sustainableTdp();
+    if (p.pcm_melt_temp < p.t_junction_max) {
+        // Latent storage pins the PCM at the melt point; the
+        // resistance into it bounds the sprint (Figure 3, mark 2).
+        return (p.t_junction_max - p.pcm_melt_temp) /
+               p.r_junction_to_pcm;
+    }
+    // Sensible-only storage (a metal slug): the bound is transient;
+    // quote the initial headroom with the storage at ambient.
+    return (p.t_junction_max - p.ambient) / p.r_junction_to_pcm;
+}
+
+Joules
+MobilePackageModel::sprintEnergyBudget() const
+{
+    const Celsius t_j = net.temperature(junction_id);
+    Joules budget = 0.0;
+    if (has_pcm) {
+        const Celsius t_p = net.temperature(pcm_id);
+        const double frozen = 1.0 - net.meltFraction(pcm_id);
+        // A melt point above the junction limit never engages: only
+        // sensible heat up to the junction limit counts (the metal
+        // slug of Section 4.1).
+        const Celsius ceiling =
+            std::min(p.pcm_melt_temp, p.t_junction_max);
+        budget += std::max(0.0, (ceiling - t_p)) * p.pcm_mass *
+                  p.pcm_sensible_per_gram;
+        if (p.pcm_melt_temp <= p.t_junction_max)
+            budget += frozen * p.pcm_mass * p.pcm_latent_per_gram;
+        budget += std::max(0.0, (ceiling - t_j)) * p.c_junction;
+    } else {
+        budget += std::max(0.0, (p.t_junction_max - t_j)) * p.c_junction;
+    }
+    return budget;
+}
+
+Seconds
+MobilePackageModel::approxCooldown(Seconds sprint_duration,
+                                   Watts sprint_power) const
+{
+    const Watts tdp = sustainableTdp();
+    SPRINT_ASSERT(tdp > 0.0, "non-positive sustainable TDP");
+    return sprint_duration * sprint_power / tdp;
+}
+
+} // namespace csprint

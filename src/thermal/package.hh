@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The smart-phone-like package thermal model of paper Figure 3, with
+ * and without a phase-change material, plus the derived quantities the
+ * sprint governor needs (sustainable TDP, sprint energy budget, maximum
+ * sprint power, cooldown estimates).
+ *
+ * Topology (Figure 3d): the die junction connects through the package
+ * resistance (marked 2 in the paper figure) to the PCM block, which in
+ * turn reaches the ambient through the rest of the package and the
+ * case's passive convection (marked 3). The amount of computation
+ * possible during a sprint is primarily the PCM's thermal capacity
+ * (marked 1); the maximum sprint power is set by the resistance into
+ * the PCM; the sustainable power is set by the total resistance.
+ */
+
+#ifndef CSPRINT_THERMAL_PACKAGE_HH
+#define CSPRINT_THERMAL_PACKAGE_HH
+
+#include "common/units.hh"
+#include "thermal/network.hh"
+
+namespace csprint {
+
+/** Parameters of the mobile package model (paper-calibrated defaults). */
+struct MobilePackageParams
+{
+    Celsius ambient = 25.0;         ///< ambient air temperature
+    Celsius t_junction_max = 70.0;  ///< max safe junction temperature
+    JoulesPerKelvin c_junction = 0.08; ///< die + spreader capacity
+
+    // PCM block (0 mass disables the PCM node entirely).
+    Grams pcm_mass = 0.150;         ///< PCM mass [g]; paper uses 150 mg
+    double pcm_latent_per_gram = 100.0;  ///< latent heat [J/g]
+    double pcm_sensible_per_gram = 0.4;  ///< effective sensible cap [J/gK]
+    Celsius pcm_melt_temp = 60.0;   ///< melting point [degrees C]
+
+    KelvinPerWatt r_junction_to_pcm = 0.5;  ///< TIM + spreader (mark 2)
+    KelvinPerWatt r_pcm_to_case = 30.0;     ///< package internals (mark 3a)
+    KelvinPerWatt r_case_to_ambient = 3.5;  ///< passive convection (3b)
+    JoulesPerKelvin c_case = 15.0;  ///< case + board capacity
+
+    /** Full-provisioned phone package (150 mg PCM), paper Section 4. */
+    static MobilePackageParams phonePcm(Grams pcm_mass = 0.150);
+
+    /** Conventional package with no PCM (Figure 3b). */
+    static MobilePackageParams phoneNoPcm();
+};
+
+/**
+ * A ThermalNetwork instantiated from MobilePackageParams with named
+ * handles for the junction/PCM/case nodes and the derived quantities
+ * of Section 4.
+ */
+class MobilePackageModel
+{
+  public:
+    explicit MobilePackageModel(const MobilePackageParams &params);
+
+    /** The underlying network (step it, inject power, ...). */
+    ThermalNetwork &network() { return net; }
+    const ThermalNetwork &network() const { return net; }
+
+    /** Parameters this model was built from. */
+    const MobilePackageParams &params() const { return p; }
+
+    /** Node carrying the injected die power. */
+    ThermalNodeId junction() const { return junction_id; }
+
+    /** PCM node handle; only valid when hasPcm(). */
+    ThermalNodeId pcm() const;
+
+    /** Case node handle. */
+    ThermalNodeId caseNode() const { return case_id; }
+
+    /** True when the package includes a PCM block. */
+    bool hasPcm() const { return has_pcm; }
+
+    /** Inject @p power at the junction. */
+    void setDiePower(Watts power) { net.setPower(junction_id, power); }
+
+    /** Advance time. */
+    void step(Seconds dt) { net.step(dt); }
+
+    /** Junction temperature. */
+    Celsius junctionTemp() const { return net.temperature(junction_id); }
+
+    /** PCM melt fraction (0 when no PCM). */
+    double meltFraction() const;
+
+    /** True when the junction is at or above its safe limit. */
+    bool overTempLimit() const
+    {
+        return junctionTemp() >= p.t_junction_max;
+    }
+
+    /**
+     * Steady-state power that keeps the junction at @p t_limit
+     * (default: just below the PCM melt point, per Section 4.4, or the
+     * junction limit when there is no PCM).
+     */
+    Watts sustainableTdp() const;
+
+    /**
+     * Maximum sprint power such that, with the PCM pinned at its melt
+     * temperature, the junction stays below t_junction_max; the
+     * resistance into the PCM sets this bound (Figure 3, mark 2).
+     * Without a PCM the bound degenerates to sustainableTdp().
+     */
+    Watts maxSprintPower() const;
+
+    /**
+     * First-order sprint energy budget from the current state: the
+     * sensible heat to bring junction+PCM to the melt point plus the
+     * remaining latent heat plus the post-melt sensible margin up to
+     * t_junction_max. This is the "thermal budget" the activity-based
+     * governor of Section 7 tracks.
+     */
+    Joules sprintEnergyBudget() const;
+
+    /**
+     * Paper Section 4.5 estimate of the cooldown duration: sprint
+     * duration times the ratio of sprint power to nominal TDP.
+     */
+    Seconds approxCooldown(Seconds sprint_duration,
+                           Watts sprint_power) const;
+
+    /** Reset every node to ambient with the PCM frozen. */
+    void reset() { net.reset(); }
+
+  private:
+    MobilePackageParams p;
+    ThermalNetwork net;
+    ThermalNodeId junction_id = 0;
+    ThermalNodeId pcm_id = 0;
+    ThermalNodeId case_id = 0;
+    bool has_pcm = false;
+};
+
+} // namespace csprint
+
+#endif // CSPRINT_THERMAL_PACKAGE_HH

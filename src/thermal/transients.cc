@@ -1,0 +1,99 @@
+#include "thermal/transients.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace csprint {
+
+SprintTransient
+runSprintTransient(MobilePackageModel &model, Watts sprint_power,
+                   Seconds max_duration, Seconds sample_dt)
+{
+    SPRINT_ASSERT(sample_dt > 0.0, "sample interval must be positive");
+    model.reset();
+    model.setDiePower(sprint_power);
+
+    SprintTransient out;
+    out.plateau_duration = 0.0;
+    out.time_to_limit = max_duration;
+    out.hit_limit = false;
+
+    Seconds t = 0.0;
+    out.junction_temp.add(t, model.junctionTemp());
+    out.melt_fraction.add(t, model.meltFraction());
+    while (t < max_duration) {
+        model.step(sample_dt);
+        t += sample_dt;
+        out.junction_temp.add(t, model.junctionTemp());
+        out.melt_fraction.add(t, model.meltFraction());
+        const double frac = model.meltFraction();
+        if (frac > 0.0 && frac < 1.0)
+            out.plateau_duration += sample_dt;
+        if (model.overTempLimit()) {
+            out.time_to_limit = t;
+            out.hit_limit = true;
+            break;
+        }
+    }
+    model.setDiePower(0.0);
+    return out;
+}
+
+TimeSeries
+runCooldownTransient(MobilePackageModel &model, Seconds duration,
+                     Seconds sample_dt)
+{
+    SPRINT_ASSERT(sample_dt > 0.0, "sample interval must be positive");
+    model.setDiePower(0.0);
+    TimeSeries trace;
+    Seconds t = 0.0;
+    trace.add(t, model.junctionTemp());
+    while (t < duration) {
+        model.step(sample_dt);
+        t += sample_dt;
+        trace.add(t, model.junctionTemp());
+    }
+    return trace;
+}
+
+ModeTrace
+runModeTrace(const MobilePackageParams &params, double work,
+             int sprint_cores, Watts core_power, Seconds sample_dt)
+{
+    SPRINT_ASSERT(sprint_cores >= 1, "need at least one core");
+    MobilePackageModel model(params);
+
+    ModeTrace out;
+    double done = 0.0;
+    int active = sprint_cores;
+    Seconds t = 0.0;
+
+    out.cores_active.add(t, active);
+    out.cumulative_work.add(t, done);
+    out.junction_temp.add(t, model.junctionTemp());
+
+    // Terminate the sprint (drop to one core) when the junction nears
+    // its limit; finish the remaining work on a single core, as in
+    // Figure 2(b)/(c).
+    const Celsius guard = 0.5;
+    while (done < work) {
+        model.setDiePower(active * core_power);
+        model.step(sample_dt);
+        t += sample_dt;
+        done = std::min(work, done + active * sample_dt);
+        if (active > 1 &&
+            model.junctionTemp() >=
+                model.params().t_junction_max - guard) {
+            active = 1;
+        }
+        out.cores_active.add(t, active);
+        out.cumulative_work.add(t, done);
+        out.junction_temp.add(t, model.junctionTemp());
+        SPRINT_ASSERT(t < 1e4, "mode trace failed to converge");
+    }
+    out.completion_time = t;
+    return out;
+}
+
+} // namespace csprint

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Transient thermal scenario drivers behind paper Figures 2 and 4:
+ * sprint-initiation traces (temperature rise, PCM plateau, termination
+ * at the junction limit) and post-sprint cooldown traces, plus the
+ * conceptual sustained/sprint/augmented-sprint comparison of Figure 2.
+ */
+
+#ifndef CSPRINT_THERMAL_TRANSIENTS_HH
+#define CSPRINT_THERMAL_TRANSIENTS_HH
+
+#include "common/timeseries.hh"
+#include "common/units.hh"
+#include "thermal/package.hh"
+
+namespace csprint {
+
+/** Result of running a sprint against a package model. */
+struct SprintTransient
+{
+    TimeSeries junction_temp;   ///< junction temperature over time
+    TimeSeries melt_fraction;   ///< PCM melt fraction over time
+    Seconds plateau_duration;   ///< time spent on the latent-heat plateau
+    Seconds time_to_limit;      ///< time until Tj first hits the limit
+                                ///< (or the full duration if never)
+    bool hit_limit;             ///< whether Tj reached t_junction_max
+};
+
+/**
+ * Drive @p model with @p sprint_power until the junction reaches its
+ * limit or @p max_duration elapses, sampling every @p sample_dt.
+ * The model is reset to ambient first. Reproduces Figure 4(a).
+ */
+SprintTransient
+runSprintTransient(MobilePackageModel &model, Watts sprint_power,
+                   Seconds max_duration, Seconds sample_dt = 1e-3);
+
+/**
+ * After a sprint, let the model cool with zero die power for
+ * @p duration, sampling every @p sample_dt. Reproduces Figure 4(b).
+ */
+TimeSeries
+runCooldownTransient(MobilePackageModel &model, Seconds duration,
+                     Seconds sample_dt = 0.05);
+
+/** One sampled trace of the Figure 2 conceptual comparison. */
+struct ModeTrace
+{
+    TimeSeries cores_active;     ///< active core count over time
+    TimeSeries cumulative_work;  ///< work completed (core-seconds)
+    TimeSeries junction_temp;    ///< junction temperature
+    Seconds completion_time;     ///< when the fixed work finished
+};
+
+/**
+ * Figure 2: execute a fixed amount of work (@p work core-seconds) in
+ * one of three modes against a fresh copy of @p params:
+ *  - sustained: one core until done;
+ *  - sprint: @p sprint_cores cores until the junction limit forces a
+ *    fallback to one core (no PCM in the package);
+ *  - augmented sprint: same but with the PCM block present.
+ * Core power is @p core_power each.
+ */
+ModeTrace
+runModeTrace(const MobilePackageParams &params, double work,
+             int sprint_cores, Watts core_power, Seconds sample_dt = 5e-3);
+
+} // namespace csprint
+
+#endif // CSPRINT_THERMAL_TRANSIENTS_HH

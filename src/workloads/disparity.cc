@@ -1,0 +1,185 @@
+#include "workloads/disparity.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace csprint {
+
+DisparityConfig
+DisparityConfig::forSize(InputSize size, std::uint64_t seed)
+{
+    DisparityConfig cfg;
+    const double s = inputSizeScale(size);
+    cfg.width = static_cast<std::size_t>(128 * s);
+    cfg.height = static_cast<std::size_t>(128 * s);
+    cfg.seed = seed;
+    return cfg;
+}
+
+DisparityResult
+disparityReference(const DisparityConfig &cfg)
+{
+    const Image left =
+        makeSyntheticImage(cfg.width, cfg.height, cfg.seed);
+    std::vector<int> truth;
+    const Image right =
+        makeShiftedImage(left, cfg.max_disparity, cfg.seed + 1, &truth);
+
+    const std::size_t w = cfg.width;
+    const std::size_t h = cfg.height;
+    const int r = cfg.window_radius;
+
+    std::vector<float> best_sad(w * h,
+                                std::numeric_limits<float>::infinity());
+    DisparityResult result;
+    result.disparity.assign(w * h, 0);
+
+    // SD-VBS structure: per candidate disparity, full-image passes.
+    std::vector<float> diff(w * h, 0.0f);
+    for (int d = 0; d < cfg.max_disparity; ++d) {
+        // Pass 1: absolute difference at shift d.
+        for (std::size_t y = 0; y < h; ++y)
+            for (std::size_t x = 0; x < w; ++x)
+                diff[y * w + x] = std::abs(
+                    left.atClamped(static_cast<long>(x) + d,
+                                   static_cast<long>(y)) -
+                    right.at(x, y));
+        // Pass 2+3: windowed SAD and winner update.
+        for (std::size_t y = 0; y < h; ++y) {
+            for (std::size_t x = 0; x < w; ++x) {
+                float sad = 0.0f;
+                for (int dy = -r; dy <= r; ++dy) {
+                    for (int dx = -r; dx <= r; ++dx) {
+                        const long xx = std::clamp<long>(
+                            static_cast<long>(x) + dx, 0,
+                            static_cast<long>(w) - 1);
+                        const long yy = std::clamp<long>(
+                            static_cast<long>(y) + dy, 0,
+                            static_cast<long>(h) - 1);
+                        sad += diff[static_cast<std::size_t>(yy) * w +
+                                    static_cast<std::size_t>(xx)];
+                    }
+                }
+                if (sad < best_sad[y * w + x]) {
+                    best_sad[y * w + x] = sad;
+                    result.disparity[y * w + x] = d;
+                }
+            }
+        }
+    }
+
+    // Accuracy against ground truth, excluding the shifted border.
+    std::size_t correct = 0;
+    std::size_t total = 0;
+    for (std::size_t y = 0; y < h; ++y) {
+        for (std::size_t x = 0; x + cfg.max_disparity < w; ++x) {
+            ++total;
+            if (result.disparity[y * w + x] == truth[y * w + x])
+                ++correct;
+        }
+    }
+    result.accuracy =
+        total ? static_cast<double>(correct) / total : 0.0;
+    return result;
+}
+
+ParallelProgram
+disparityProgram(const DisparityConfig &cfg)
+{
+    const std::size_t w = cfg.width;
+    const std::size_t h = cfg.height;
+    const int r = cfg.window_radius;
+    const std::size_t rpt = std::max<std::size_t>(1, cfg.rows_per_task);
+    const std::size_t num_tasks = (h + rpt - 1) / rpt;
+
+    AddressAllocator alloc;
+    const std::uint64_t left_base = alloc.alloc(w * h * 4);
+    const std::uint64_t right_base = alloc.alloc(w * h * 4);
+    const std::uint64_t diff_base = alloc.alloc(w * h * 4);
+    const std::uint64_t best_base = alloc.alloc(w * h * 4);
+    const std::uint64_t out_base = alloc.alloc(w * h * 4);
+
+    ParallelProgram program("disparity");
+    for (int d = 0; d < cfg.max_disparity; ++d) {
+        // Pass 1: difference image at shift d (streaming).
+        Phase diff_phase;
+        diff_phase.name = "diff";
+        diff_phase.kind = PhaseKind::ParallelStatic;
+        diff_phase.num_tasks = num_tasks;
+        diff_phase.make_task =
+            [=](std::size_t task) -> std::unique_ptr<OpStream> {
+            const std::size_t row0 = task * rpt;
+            const std::size_t row1 = std::min(h, row0 + rpt);
+            return std::make_unique<ChunkedOpStream>(
+                row1 - row0,
+                [=](std::size_t chunk, std::vector<MicroOp> &out) {
+                    const std::size_t y = row0 + chunk;
+                    for (std::size_t x = 0; x < w; ++x) {
+                        const std::size_t xs = std::min<std::size_t>(
+                            x + static_cast<std::size_t>(d), w - 1);
+                        out.push_back(MicroOp::load(
+                            left_base + 4 * (y * w + xs)));
+                        out.push_back(MicroOp::load(
+                            right_base + 4 * (y * w + x)));
+                        out.push_back(MicroOp::fpAlu());  // abs diff
+                        out.push_back(MicroOp::branch());
+                        out.push_back(MicroOp::store(
+                            diff_base + 4 * (y * w + x)));
+                    }
+                });
+        };
+        program.addPhase(std::move(diff_phase));
+
+        // Pass 2: windowed SAD aggregation + winner update.
+        Phase sad_phase;
+        sad_phase.name = "sad";
+        sad_phase.kind = PhaseKind::ParallelStatic;
+        sad_phase.num_tasks = num_tasks;
+        sad_phase.make_task =
+            [=](std::size_t task) -> std::unique_ptr<OpStream> {
+            const std::size_t row0 = task * rpt;
+            const std::size_t row1 = std::min(h, row0 + rpt);
+            return std::make_unique<ChunkedOpStream>(
+                row1 - row0,
+                [=](std::size_t chunk, std::vector<MicroOp> &out) {
+                    const std::size_t y = row0 + chunk;
+                    for (std::size_t x = 0; x < w; ++x) {
+                        for (int dy = -r; dy <= r; ++dy) {
+                            const long yy = std::clamp<long>(
+                                static_cast<long>(y) + dy, 0,
+                                static_cast<long>(h) - 1);
+                            for (int dx = -r; dx <= r; ++dx) {
+                                const long xx = std::clamp<long>(
+                                    static_cast<long>(x) + dx, 0,
+                                    static_cast<long>(w) - 1);
+                                out.push_back(MicroOp::load(
+                                    diff_base +
+                                    4 * (static_cast<std::uint64_t>(yy) *
+                                             w +
+                                         static_cast<std::uint64_t>(
+                                             xx))));
+                                out.push_back(MicroOp::fpAlu());
+                            }
+                        }
+                        // Winner update: load best, compare, maybe
+                        // store new best and disparity.
+                        out.push_back(MicroOp::load(
+                            best_base + 4 * (y * w + x)));
+                        out.push_back(MicroOp::intAlu());
+                        out.push_back(MicroOp::branch());
+                        out.push_back(MicroOp::store(
+                            best_base + 4 * (y * w + x)));
+                        out.push_back(MicroOp::store(
+                            out_base + 4 * (y * w + x)));
+                    }
+                });
+        };
+        program.addPhase(std::move(sad_phase));
+    }
+    return program;
+}
+
+} // namespace csprint

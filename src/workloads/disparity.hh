@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Stereo disparity kernel (paper Table 1: "Stereo image disparity
+ * detection; adapted from SD-VBS"). Following the SD-VBS structure,
+ * each candidate disparity performs full-image passes (difference,
+ * windowed aggregation, winner update), which makes the kernel
+ * memory-bandwidth-hungry at large inputs — the behaviour behind its
+ * bandwidth-limited scaling in paper Figure 10.
+ */
+
+#ifndef CSPRINT_WORKLOADS_DISPARITY_HH
+#define CSPRINT_WORKLOADS_DISPARITY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "archsim/program.hh"
+#include "workloads/image.hh"
+#include "workloads/workload.hh"
+
+namespace csprint {
+
+/** Disparity configuration. */
+struct DisparityConfig
+{
+    std::size_t width = 128;
+    std::size_t height = 128;
+    int max_disparity = 8;
+    int window_radius = 1;  ///< SAD window half-size
+    std::size_t rows_per_task = 4;
+    std::uint64_t seed = 42;
+
+    static DisparityConfig forSize(InputSize size,
+                                   std::uint64_t seed = 42);
+};
+
+/** Reference outcome. */
+struct DisparityResult
+{
+    std::vector<int> disparity;  ///< winning disparity per pixel
+    double accuracy = 0.0;       ///< match rate against ground truth
+};
+
+/** Reference block-matching disparity on a synthetic stereo pair. */
+DisparityResult disparityReference(const DisparityConfig &cfg);
+
+/** Simulated program mirroring the reference's pass structure. */
+ParallelProgram disparityProgram(const DisparityConfig &cfg);
+
+} // namespace csprint
+
+#endif // CSPRINT_WORKLOADS_DISPARITY_HH

@@ -1,0 +1,289 @@
+#include "workloads/feature.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace csprint {
+
+FeatureConfig
+FeatureConfig::forSize(InputSize size, std::uint64_t seed)
+{
+    FeatureConfig cfg;
+    const double s = inputSizeScale(size);
+    cfg.width = static_cast<std::size_t>(256 * s);
+    cfg.height = static_cast<std::size_t>(256 * s);
+    cfg.seed = seed;
+    return cfg;
+}
+
+namespace {
+
+/** Box-filter half-size for scale index s. */
+long
+filterRadius(int s)
+{
+    return 3 + 2 * static_cast<long>(s);
+}
+
+/** Hessian determinant response at (x, y) for scale s. */
+double
+hessianResponse(const Image &integral, long x, long y, int s)
+{
+    const long r = filterRadius(s);
+    const double norm = 1.0 / static_cast<double>((2 * r + 1) *
+                                                  (2 * r + 1));
+    // Dxx: [left | -2*middle | right] vertical thirds.
+    const double dxx =
+        boxSum(integral, x - r, y - r / 2, x - r / 3, y + r / 2) -
+        2.0 * boxSum(integral, x - r / 3, y - r / 2, x + r / 3,
+                     y + r / 2) +
+        boxSum(integral, x + r / 3, y - r / 2, x + r, y + r / 2);
+    // Dyy: transposed thirds.
+    const double dyy =
+        boxSum(integral, x - r / 2, y - r, x + r / 2, y - r / 3) -
+        2.0 * boxSum(integral, x - r / 2, y - r / 3, x + r / 2,
+                     y + r / 3) +
+        boxSum(integral, x - r / 2, y + r / 3, x + r / 2, y + r);
+    // Dxy: four quadrants.
+    const double dxy =
+        boxSum(integral, x - r, y - r, x - 1, y - 1) -
+        boxSum(integral, x + 1, y - r, x + r, y - 1) -
+        boxSum(integral, x - r, y + 1, x - 1, y + r) +
+        boxSum(integral, x + 1, y + 1, x + r, y + r);
+    const double nxx = dxx * norm;
+    const double nyy = dyy * norm;
+    const double nxy = dxy * norm;
+    return nxx * nyy - 0.81 * nxy * nxy;
+}
+
+} // namespace
+
+FeatureResult
+featureReference(const FeatureConfig &cfg)
+{
+    const Image img = makeSyntheticImage(cfg.width, cfg.height, cfg.seed);
+    const Image integral = integralImage(img);
+    const long w = static_cast<long>(cfg.width);
+    const long h = static_cast<long>(cfg.height);
+
+    FeatureResult result;
+    // Stride-4 detection grid keeps keypoint counts manageable while
+    // preserving coverage, as embedded SURF implementations do.
+    for (int s = 0; s < cfg.scales; ++s) {
+        const long r = filterRadius(s);
+        for (long y = r; y + r < h; y += 4) {
+            for (long x = r; x + r < w; x += 4) {
+                const double resp = hessianResponse(integral, x, y, s);
+                if (resp > cfg.threshold) {
+                    Keypoint kp;
+                    kp.x = static_cast<std::size_t>(x);
+                    kp.y = static_cast<std::size_t>(y);
+                    kp.scale = s;
+                    kp.response = resp;
+                    // 16-dim descriptor: 4x4 grid of mean intensities.
+                    kp.descriptor.resize(16);
+                    const long cell = std::max<long>(1, r / 2);
+                    for (int gy = 0; gy < 4; ++gy) {
+                        for (int gx = 0; gx < 4; ++gx) {
+                            const long cx0 = x + (gx - 2) * cell;
+                            const long cy0 = y + (gy - 2) * cell;
+                            const double sum =
+                                boxSum(integral, cx0, cy0,
+                                       cx0 + cell - 1, cy0 + cell - 1);
+                            kp.descriptor[gy * 4 + gx] =
+                                static_cast<float>(
+                                    sum / (cell * cell));
+                        }
+                    }
+                    result.keypoints.push_back(std::move(kp));
+                }
+            }
+        }
+    }
+    return result;
+}
+
+ParallelProgram
+featureProgram(const FeatureConfig &cfg)
+{
+    // Keypoint population comes from the reference run.
+    const FeatureResult ref = featureReference(cfg);
+
+    const std::size_t w = cfg.width;
+    const std::size_t h = cfg.height;
+    const std::size_t rpt = std::max<std::size_t>(1, cfg.rows_per_task);
+    const std::size_t row_tasks = (h + rpt - 1) / rpt;
+    const std::size_t col_tasks = (w + rpt - 1) / rpt;
+
+    AddressAllocator alloc;
+    const std::uint64_t img_base = alloc.alloc(w * h * 4);
+    const std::uint64_t int_base = alloc.alloc(w * h * 4);
+    std::vector<std::uint64_t> resp_bases;
+    for (int s = 0; s < cfg.scales; ++s)
+        resp_bases.push_back(alloc.alloc(w * h * 4));
+    const std::uint64_t desc_base =
+        alloc.alloc(ref.keypoints.size() * 16 * 4 + 64);
+
+    ParallelProgram program("feature");
+
+    // Phase 1: integral image, row-prefix pass (streaming rows).
+    Phase rows;
+    rows.name = "integral_rows";
+    rows.kind = PhaseKind::ParallelStatic;
+    rows.num_tasks = row_tasks;
+    rows.make_task = [=](std::size_t task) -> std::unique_ptr<OpStream> {
+        const std::size_t row0 = task * rpt;
+        const std::size_t row1 = std::min(h, row0 + rpt);
+        return std::make_unique<ChunkedOpStream>(
+            row1 - row0,
+            [=](std::size_t chunk, std::vector<MicroOp> &out) {
+                const std::size_t y = row0 + chunk;
+                for (std::size_t x = 0; x < w; ++x) {
+                    out.push_back(
+                        MicroOp::load(img_base + 4 * (y * w + x)));
+                    out.push_back(MicroOp::fpAlu());  // running sum
+                    out.push_back(MicroOp::branch());
+                    out.push_back(
+                        MicroOp::store(int_base + 4 * (y * w + x)));
+                }
+            });
+    };
+    program.addPhase(std::move(rows));
+
+    // Phase 2: integral image, column-prefix pass (stride-w walks:
+    // the cache-hostile stage).
+    Phase cols;
+    cols.name = "integral_cols";
+    cols.kind = PhaseKind::ParallelStatic;
+    cols.num_tasks = col_tasks;
+    cols.make_task = [=](std::size_t task) -> std::unique_ptr<OpStream> {
+        const std::size_t col0 = task * rpt;
+        const std::size_t col1 = std::min(w, col0 + rpt);
+        return std::make_unique<ChunkedOpStream>(
+            col1 - col0,
+            [=](std::size_t chunk, std::vector<MicroOp> &out) {
+                const std::size_t x = col0 + chunk;
+                for (std::size_t y = 1; y < h; ++y) {
+                    out.push_back(
+                        MicroOp::load(int_base + 4 * (y * w + x)));
+                    out.push_back(MicroOp::load(
+                        int_base + 4 * ((y - 1) * w + x)));
+                    out.push_back(MicroOp::fpAlu());
+                    out.push_back(MicroOp::branch());
+                    out.push_back(
+                        MicroOp::store(int_base + 4 * (y * w + x)));
+                }
+            });
+    };
+    program.addPhase(std::move(cols));
+
+    // Phase 3: Hessian responses per scale (box filters over the
+    // integral image, streaming a response map per scale).
+    Phase hessian;
+    hessian.name = "hessian";
+    hessian.kind = PhaseKind::ParallelStatic;
+    hessian.num_tasks = row_tasks;
+    hessian.make_task =
+        [=](std::size_t task) -> std::unique_ptr<OpStream> {
+        const std::size_t row0 = task * rpt;
+        const std::size_t row1 = std::min(h, row0 + rpt);
+        return std::make_unique<ChunkedOpStream>(
+            row1 - row0,
+            [=](std::size_t chunk, std::vector<MicroOp> &out) {
+                const std::size_t y = row0 + chunk;
+                auto iaddr = [=](long xx, long yy) {
+                    xx = std::clamp<long>(xx, 0,
+                                          static_cast<long>(w) - 1);
+                    yy = std::clamp<long>(yy, 0,
+                                          static_cast<long>(h) - 1);
+                    return int_base +
+                           4 * (static_cast<std::uint64_t>(yy) * w +
+                                static_cast<std::uint64_t>(xx));
+                };
+                for (std::size_t x = 0; x < w; x += 4) {
+                    for (int s = 0; s < cfg.scales; ++s) {
+                        const long r = filterRadius(s);
+                        const long xl = static_cast<long>(x);
+                        const long yl = static_cast<long>(y);
+                        // Twelve integral-image corner loads (three
+                        // box filters x four corners).
+                        const long offs[12][2] = {
+                            {-r, -r}, {r, -r},  {-r, r},  {r, r},
+                            {-r / 3, -r / 2}, {r / 3, r / 2},
+                            {-r / 2, -r / 3}, {r / 2, r / 3},
+                            {-r, 0},  {r, 0},  {0, -r},  {0, r}};
+                        for (const auto &o : offs) {
+                            out.push_back(MicroOp::load(
+                                iaddr(xl + o[0], yl + o[1])));
+                        }
+                        for (int i = 0; i < 14; ++i)
+                            out.push_back(MicroOp::fpAlu());
+                        out.push_back(MicroOp::branch());
+                        out.push_back(MicroOp::store(
+                            resp_bases[s] + 4 * (y * w + x)));
+                    }
+                }
+            });
+    };
+    program.addPhase(std::move(hessian));
+
+    // Phase 4: descriptor extraction over detected keypoints (dynamic
+    // dequeue: counts and positions are data-dependent).
+    Phase desc;
+    desc.name = "descriptors";
+    desc.kind = PhaseKind::ParallelDynamic;
+    desc.num_tasks = ref.keypoints.size();
+    // Copy the lightweight keypoint geometry into the closure.
+    std::vector<std::uint32_t> kp_x, kp_y;
+    std::vector<int> kp_s;
+    kp_x.reserve(ref.keypoints.size());
+    for (const auto &kp : ref.keypoints) {
+        kp_x.push_back(static_cast<std::uint32_t>(kp.x));
+        kp_y.push_back(static_cast<std::uint32_t>(kp.y));
+        kp_s.push_back(kp.scale);
+    }
+    desc.make_task = [=](std::size_t task) -> std::unique_ptr<OpStream> {
+        const long x = kp_x[task];
+        const long y = kp_y[task];
+        const long r = filterRadius(kp_s[task]);
+        const long cell = std::max<long>(1, r / 2);
+        return std::make_unique<ChunkedOpStream>(
+            4,  // one chunk per descriptor grid row
+            [=](std::size_t gy, std::vector<MicroOp> &out) {
+                auto iaddr = [=](long xx, long yy) {
+                    xx = std::clamp<long>(xx, 0,
+                                          static_cast<long>(w) - 1);
+                    yy = std::clamp<long>(yy, 0,
+                                          static_cast<long>(h) - 1);
+                    return int_base +
+                           4 * (static_cast<std::uint64_t>(yy) * w +
+                                static_cast<std::uint64_t>(xx));
+                };
+                for (int gx = 0; gx < 4; ++gx) {
+                    const long cx0 = x + (gx - 2) * cell;
+                    const long cy0 = y + (static_cast<long>(gy) - 2) *
+                                             cell;
+                    out.push_back(MicroOp::load(iaddr(cx0, cy0)));
+                    out.push_back(
+                        MicroOp::load(iaddr(cx0 + cell, cy0)));
+                    out.push_back(
+                        MicroOp::load(iaddr(cx0, cy0 + cell)));
+                    out.push_back(MicroOp::load(
+                        iaddr(cx0 + cell, cy0 + cell)));
+                    for (int i = 0; i < 6; ++i)
+                        out.push_back(MicroOp::fpAlu());
+                    out.push_back(MicroOp::branch());
+                    out.push_back(MicroOp::store(
+                        desc_base +
+                        4 * (task * 16 + gy * 4 +
+                             static_cast<std::size_t>(gx))));
+                }
+            });
+    };
+    program.addPhase(std::move(desc));
+    return program;
+}
+
+} // namespace csprint

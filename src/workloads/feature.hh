@@ -1,0 +1,63 @@
+/**
+ * @file
+ * SURF-style feature-extraction kernel (paper Table 1: "Feature
+ * extraction (SURF)", the camera-based-search application of the
+ * paper's introduction). The pipeline: integral image (row pass, then
+ * a strided column pass), Hessian blob responses over several scales
+ * (box filters on the integral image), thresholding into interest
+ * points, and descriptor extraction around each point. The response
+ * pyramid streams several image-sized buffers, which is what makes
+ * the kernel memory-bandwidth-limited at high core counts
+ * (paper Figure 10).
+ */
+
+#ifndef CSPRINT_WORKLOADS_FEATURE_HH
+#define CSPRINT_WORKLOADS_FEATURE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "archsim/program.hh"
+#include "workloads/image.hh"
+#include "workloads/workload.hh"
+
+namespace csprint {
+
+/** Feature-extraction configuration. */
+struct FeatureConfig
+{
+    std::size_t width = 256;
+    std::size_t height = 256;
+    int scales = 3;
+    double threshold = 0.02;   ///< Hessian response threshold
+    std::size_t rows_per_task = 4;
+    std::uint64_t seed = 42;
+
+    static FeatureConfig forSize(InputSize size, std::uint64_t seed = 42);
+};
+
+/** One detected interest point. */
+struct Keypoint
+{
+    std::size_t x = 0;
+    std::size_t y = 0;
+    int scale = 0;
+    double response = 0.0;
+    std::vector<float> descriptor;  ///< 16-dim region descriptor
+};
+
+/** Outcome of the reference run. */
+struct FeatureResult
+{
+    std::vector<Keypoint> keypoints;
+};
+
+/** Reference SURF-style extraction on a synthetic image. */
+FeatureResult featureReference(const FeatureConfig &cfg);
+
+/** Simulated program mirroring the reference's pipeline. */
+ParallelProgram featureProgram(const FeatureConfig &cfg);
+
+} // namespace csprint
+
+#endif // CSPRINT_WORKLOADS_FEATURE_HH

@@ -1,0 +1,124 @@
+#include "workloads/image.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace csprint {
+
+float
+Image::atClamped(long x, long y) const
+{
+    const long cx = std::clamp<long>(x, 0, static_cast<long>(w) - 1);
+    const long cy = std::clamp<long>(y, 0, static_cast<long>(h) - 1);
+    return pixels[static_cast<std::size_t>(cy) * w +
+                  static_cast<std::size_t>(cx)];
+}
+
+Image
+makeSyntheticImage(std::size_t width, std::size_t height,
+                   std::uint64_t seed)
+{
+    SPRINT_ASSERT(width > 0 && height > 0, "empty image");
+    Image img(width, height);
+    Rng rng(seed);
+
+    // Random blob field: position, radius, amplitude.
+    struct Blob { double x, y, r, a; };
+    std::vector<Blob> blobs;
+    const int num_blobs = 12;
+    for (int i = 0; i < num_blobs; ++i) {
+        blobs.push_back({rng.uniform() * width, rng.uniform() * height,
+                         (0.04 + 0.12 * rng.uniform()) * width,
+                         rng.uniform(-0.8, 0.8)});
+    }
+    const double gx = rng.uniform(-0.5, 0.5);
+    const double gy = rng.uniform(-0.5, 0.5);
+
+    for (std::size_t y = 0; y < height; ++y) {
+        for (std::size_t x = 0; x < width; ++x) {
+            double v = 0.5 + gx * (static_cast<double>(x) / width - 0.5) +
+                       gy * (static_cast<double>(y) / height - 0.5);
+            for (const auto &b : blobs) {
+                const double dx = (x - b.x) / b.r;
+                const double dy = (y - b.y) / b.r;
+                v += b.a * std::exp(-(dx * dx + dy * dy));
+            }
+            v += rng.uniform(-0.02, 0.02);
+            img.set(x, y, static_cast<float>(std::clamp(v, 0.0, 1.0)));
+        }
+    }
+    return img;
+}
+
+Image
+makeShiftedImage(const Image &left, int max_disparity,
+                 std::uint64_t seed, std::vector<int> *truth)
+{
+    SPRINT_ASSERT(max_disparity >= 1, "need a positive disparity range");
+    const std::size_t w = left.width();
+    const std::size_t h = left.height();
+    Image right(w, h);
+    Rng rng(seed);
+
+    // Smooth disparity field: a few horizontal bands at different
+    // depths, as a slanted scene would produce.
+    const int bands = 4;
+    std::vector<int> band_disp(bands);
+    for (int b = 0; b < bands; ++b) {
+        band_disp[b] = static_cast<int>(
+            rng.uniformInt(static_cast<std::uint64_t>(max_disparity)));
+    }
+    if (truth)
+        truth->assign(w * h, 0);
+
+    for (std::size_t y = 0; y < h; ++y) {
+        const int d = band_disp[(y * bands) / h];
+        for (std::size_t x = 0; x < w; ++x) {
+            right.set(x, y,
+                      left.atClamped(static_cast<long>(x) + d,
+                                     static_cast<long>(y)));
+            if (truth)
+                (*truth)[y * w + x] = d;
+        }
+    }
+    return right;
+}
+
+Image
+integralImage(const Image &img)
+{
+    const std::size_t w = img.width();
+    const std::size_t h = img.height();
+    Image out(w, h);
+    for (std::size_t y = 0; y < h; ++y) {
+        double row = 0.0;
+        for (std::size_t x = 0; x < w; ++x) {
+            row += img.at(x, y);
+            const double above = y > 0 ? out.at(x, y - 1) : 0.0;
+            out.set(x, y, static_cast<float>(row + above));
+        }
+    }
+    return out;
+}
+
+double
+boxSum(const Image &integral, long x0, long y0, long x1, long y1)
+{
+    const long w = static_cast<long>(integral.width());
+    const long h = static_cast<long>(integral.height());
+    x0 = std::clamp<long>(x0, 0, w - 1);
+    x1 = std::clamp<long>(x1, 0, w - 1);
+    y0 = std::clamp<long>(y0, 0, h - 1);
+    y1 = std::clamp<long>(y1, 0, h - 1);
+    const double d = integral.at(x1, y1);
+    const double b = y0 > 0 ? integral.at(x1, y0 - 1) : 0.0;
+    const double c = x0 > 0 ? integral.at(x0 - 1, y1) : 0.0;
+    const double a =
+        (x0 > 0 && y0 > 0) ? integral.at(x0 - 1, y0 - 1) : 0.0;
+    return d - b - c + a;
+}
+
+} // namespace csprint

@@ -1,0 +1,245 @@
+#include "workloads/kmeans.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace csprint {
+
+KmeansConfig
+KmeansConfig::forSize(InputSize size, std::uint64_t seed)
+{
+    KmeansConfig cfg;
+    const double s = inputSizeScale(size);
+    cfg.num_points = static_cast<std::size_t>(6000 * s * s);
+    cfg.seed = seed;
+    return cfg;
+}
+
+namespace {
+
+/** Deterministic clustered point cloud: points around K anchors. */
+std::vector<double>
+makePoints(const KmeansConfig &cfg)
+{
+    Rng rng(cfg.seed);
+    std::vector<double> anchors(cfg.clusters * cfg.dims);
+    for (auto &a : anchors)
+        a = rng.uniform(-10.0, 10.0);
+
+    std::vector<double> points(cfg.num_points * cfg.dims);
+    for (std::size_t p = 0; p < cfg.num_points; ++p) {
+        const std::size_t c = rng.uniformInt(cfg.clusters);
+        for (std::size_t d = 0; d < cfg.dims; ++d) {
+            points[p * cfg.dims + d] =
+                anchors[c * cfg.dims + d] + rng.uniform(-1.5, 1.5);
+        }
+    }
+    return points;
+}
+
+} // namespace
+
+KmeansResult
+kmeansReference(const KmeansConfig &cfg)
+{
+    SPRINT_ASSERT(cfg.clusters >= 1 && cfg.num_points >= cfg.clusters,
+                  "bad kmeans configuration");
+    const std::vector<double> points = makePoints(cfg);
+    const std::size_t n = cfg.num_points;
+    const std::size_t d = cfg.dims;
+    const std::size_t k = cfg.clusters;
+
+    KmeansResult result;
+    result.centroids.resize(k * d);
+    // Initialize centroids from the first k points.
+    for (std::size_t c = 0; c < k; ++c)
+        for (std::size_t j = 0; j < d; ++j)
+            result.centroids[c * d + j] = points[c * d + j];
+    result.assignment.assign(n, -1);
+
+    for (std::size_t iter = 0; iter < cfg.max_iters; ++iter) {
+        bool changed = false;
+        for (std::size_t p = 0; p < n; ++p) {
+            double best = std::numeric_limits<double>::infinity();
+            int best_c = 0;
+            for (std::size_t c = 0; c < k; ++c) {
+                double dist = 0.0;
+                for (std::size_t j = 0; j < d; ++j) {
+                    const double diff = points[p * d + j] -
+                                        result.centroids[c * d + j];
+                    dist += diff * diff;
+                }
+                if (dist < best) {
+                    best = dist;
+                    best_c = static_cast<int>(c);
+                }
+            }
+            if (result.assignment[p] != best_c) {
+                result.assignment[p] = best_c;
+                changed = true;
+            }
+        }
+        ++result.iterations;
+        // Recompute centroids.
+        std::vector<double> sums(k * d, 0.0);
+        std::vector<std::size_t> counts(k, 0);
+        for (std::size_t p = 0; p < n; ++p) {
+            const std::size_t c =
+                static_cast<std::size_t>(result.assignment[p]);
+            ++counts[c];
+            for (std::size_t j = 0; j < d; ++j)
+                sums[c * d + j] += points[p * d + j];
+        }
+        for (std::size_t c = 0; c < k; ++c) {
+            if (counts[c] == 0)
+                continue;
+            for (std::size_t j = 0; j < d; ++j) {
+                result.centroids[c * d + j] =
+                    sums[c * d + j] / static_cast<double>(counts[c]);
+            }
+        }
+        if (!changed)
+            break;
+    }
+    return result;
+}
+
+ParallelProgram
+kmeansProgram(const KmeansConfig &cfg)
+{
+    // The simulated structure follows the reference's realized
+    // iteration count for this input.
+    const KmeansResult ref = kmeansReference(cfg);
+
+    const std::size_t n = cfg.num_points;
+    const std::size_t d = cfg.dims;
+    const std::size_t k = cfg.clusters;
+    const std::size_t ppt = std::max<std::size_t>(16, cfg.points_per_task);
+    const std::size_t num_tasks = (n + ppt - 1) / ppt;
+
+    AddressAllocator alloc;
+    const std::uint64_t pts_base = alloc.alloc(n * d * 8);
+    const std::uint64_t cent_base = alloc.alloc(k * d * 8);
+    const std::uint64_t assign_base = alloc.alloc(n * 4);
+    const std::uint64_t sums_base = alloc.alloc(k * (d + 1) * 8);
+    constexpr std::uint64_t kReduceLock = 0;
+
+    ParallelProgram program("kmeans");
+    for (std::size_t iter = 0; iter < ref.iterations; ++iter) {
+        // Phase 1: assignment, statically partitioned point blocks.
+        Phase assign;
+        assign.name = "assign";
+        assign.kind = PhaseKind::ParallelStatic;
+        assign.num_tasks = num_tasks;
+        assign.make_task =
+            [=](std::size_t task) -> std::unique_ptr<OpStream> {
+            const std::size_t p0 = task * ppt;
+            const std::size_t p1 = std::min(n, p0 + ppt);
+            return std::make_unique<ChunkedOpStream>(
+                p1 - p0,
+                [=](std::size_t chunk, std::vector<MicroOp> &out) {
+                    const std::size_t p = p0 + chunk;
+                    // Load the point once.
+                    for (std::size_t j = 0; j < d; ++j) {
+                        out.push_back(MicroOp::load(pts_base +
+                                                    8 * (p * d + j)));
+                    }
+                    // Distance to every centroid.
+                    for (std::size_t c = 0; c < k; ++c) {
+                        for (std::size_t j = 0; j < d; ++j) {
+                            out.push_back(MicroOp::load(
+                                cent_base + 8 * (c * d + j)));
+                            out.push_back(MicroOp::fpAlu());  // diff
+                            out.push_back(MicroOp::fpAlu());  // fma
+                        }
+                        out.push_back(MicroOp::intAlu());  // compare
+                        out.push_back(MicroOp::branch());
+                    }
+                    out.push_back(
+                        MicroOp::store(assign_base + 4 * p));
+                });
+        };
+        program.addPhase(std::move(assign));
+
+        // Phase 2: reduction - each task accumulates privately, then
+        // merges into the shared sums under a lock.
+        Phase reduce;
+        reduce.name = "reduce";
+        reduce.kind = PhaseKind::ParallelStatic;
+        reduce.num_tasks = num_tasks;
+        reduce.make_task =
+            [=](std::size_t task) -> std::unique_ptr<OpStream> {
+            const std::size_t p0 = task * ppt;
+            const std::size_t p1 = std::min(n, p0 + ppt);
+            // Chunks: one per point, then a final merge chunk.
+            const std::size_t chunks = (p1 - p0) + 1;
+            // Thread-private partial sums live in a per-task scratch
+            // area; reuse the task index to give each a distinct range.
+            const std::uint64_t scratch =
+                sums_base + 4096 + task * k * (d + 1) * 8;
+            return std::make_unique<ChunkedOpStream>(
+                chunks,
+                [=](std::size_t chunk, std::vector<MicroOp> &out) {
+                    if (chunk < p1 - p0) {
+                        const std::size_t p = p0 + chunk;
+                        out.push_back(
+                            MicroOp::load(assign_base + 4 * p));
+                        for (std::size_t j = 0; j < d; ++j) {
+                            out.push_back(MicroOp::load(
+                                pts_base + 8 * (p * d + j)));
+                            out.push_back(MicroOp::fpAlu());
+                            out.push_back(MicroOp::store(
+                                scratch + 8 * j));
+                        }
+                        out.push_back(MicroOp::intAlu());  // count++
+                        out.push_back(MicroOp::branch());
+                    } else {
+                        // Merge into the global sums under the lock.
+                        out.push_back(MicroOp::lockAcquire(kReduceLock));
+                        for (std::size_t c = 0; c < k; ++c) {
+                            for (std::size_t j = 0; j <= d; ++j) {
+                                const std::uint64_t addr =
+                                    sums_base + 8 * (c * (d + 1) + j);
+                                out.push_back(MicroOp::load(addr));
+                                out.push_back(MicroOp::fpAlu());
+                                out.push_back(MicroOp::store(addr));
+                            }
+                        }
+                        out.push_back(
+                            MicroOp::lockRelease(kReduceLock));
+                    }
+                });
+        };
+        program.addPhase(std::move(reduce));
+
+        // Phase 3: serial re-centering.
+        Phase recenter;
+        recenter.name = "recenter";
+        recenter.kind = PhaseKind::Serial;
+        recenter.num_tasks = 1;
+        recenter.make_task =
+            [=](std::size_t) -> std::unique_ptr<OpStream> {
+            std::vector<MicroOp> ops;
+            for (std::size_t c = 0; c < k; ++c) {
+                for (std::size_t j = 0; j < d; ++j) {
+                    ops.push_back(MicroOp::load(
+                        sums_base + 8 * (c * (d + 1) + j)));
+                    ops.push_back(MicroOp::load(
+                        sums_base + 8 * (c * (d + 1) + d)));
+                    ops.push_back(MicroOp::fpAlu());  // divide
+                    ops.push_back(MicroOp::store(
+                        cent_base + 8 * (c * d + j)));
+                }
+            }
+            return std::make_unique<VectorOpStream>(std::move(ops));
+        };
+        program.addPhase(std::move(recenter));
+    }
+    return program;
+}
+
+} // namespace csprint

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * K-means clustering kernel (paper Table 1: "Partition based
+ * clustering; parallelized with OpenMP"). The reference runs Lloyd's
+ * algorithm on clustered synthetic points until assignments stabilize;
+ * the simulated program repeats, per iteration, a statically
+ * partitioned assignment phase, a lock-protected reduction phase, and
+ * a serial re-centering phase — the iteration count is taken from the
+ * reference run so the simulated structure matches the data.
+ */
+
+#ifndef CSPRINT_WORKLOADS_KMEANS_HH
+#define CSPRINT_WORKLOADS_KMEANS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "archsim/program.hh"
+#include "workloads/workload.hh"
+
+namespace csprint {
+
+/** K-means configuration. */
+struct KmeansConfig
+{
+    std::size_t num_points = 6000;
+    std::size_t dims = 4;
+    std::size_t clusters = 8;
+    std::size_t max_iters = 12;
+    std::size_t points_per_task = 256;
+    std::uint64_t seed = 42;
+
+    static KmeansConfig forSize(InputSize size, std::uint64_t seed = 42);
+};
+
+/** Outcome of the reference run. */
+struct KmeansResult
+{
+    std::size_t iterations = 0;             ///< iterations executed
+    std::vector<double> centroids;          ///< clusters x dims
+    std::vector<int> assignment;            ///< per point
+};
+
+/** Reference Lloyd's algorithm on synthetic clustered points. */
+KmeansResult kmeansReference(const KmeansConfig &cfg);
+
+/** Simulated program matching the reference's iteration structure. */
+ParallelProgram kmeansProgram(const KmeansConfig &cfg);
+
+} // namespace csprint
+
+#endif // CSPRINT_WORKLOADS_KMEANS_HH

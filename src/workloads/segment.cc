@@ -1,0 +1,247 @@
+#include "workloads/segment.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace csprint {
+
+SegmentConfig
+SegmentConfig::forSize(InputSize size, std::uint64_t seed)
+{
+    SegmentConfig cfg;
+    const double s = inputSizeScale(size);
+    cfg.width = static_cast<std::size_t>(160 * s);
+    cfg.height = static_cast<std::size_t>(160 * s);
+    cfg.seed = seed;
+    return cfg;
+}
+
+namespace {
+
+/** Per-pixel feature vector: intensity, gradients, position. */
+void
+pixelFeature(const Image &img, std::size_t x, std::size_t y,
+             std::vector<double> &f)
+{
+    const long xl = static_cast<long>(x);
+    const long yl = static_cast<long>(y);
+    f[0] = img.at(x, y);
+    f[1] = img.atClamped(xl + 1, yl) - img.atClamped(xl - 1, yl);
+    f[2] = img.atClamped(xl, yl + 1) - img.atClamped(xl, yl - 1);
+    f[3] = static_cast<double>(x) / img.width();
+    f[4] = static_cast<double>(y) / img.height();
+    for (std::size_t j = 5; j < f.size(); ++j)
+        f[j] = f[j - 5] * f[0];
+}
+
+} // namespace
+
+SegmentResult
+segmentReference(const SegmentConfig &cfg)
+{
+    const Image img = makeSyntheticImage(cfg.width, cfg.height, cfg.seed);
+    const std::size_t w = cfg.width;
+    const std::size_t h = cfg.height;
+    const std::size_t k = cfg.classes;
+    const std::size_t dim = cfg.model_dim;
+
+    // Random but deterministic class prototypes.
+    Rng rng(cfg.seed + 7);
+    std::vector<double> prototypes(k * dim);
+    for (auto &p : prototypes)
+        p = rng.uniform(-1.0, 1.0);
+
+    SegmentResult result;
+    result.labels.assign(w * h, 0);
+
+    const std::size_t tiles_x = (w + cfg.tile - 1) / cfg.tile;
+    const std::size_t tiles_y = (h + cfg.tile - 1) / cfg.tile;
+    result.tile_iters.assign(tiles_x * tiles_y, 1);
+
+    std::vector<double> f(dim);
+    for (std::size_t ty = 0; ty < tiles_y; ++ty) {
+        for (std::size_t tx = 0; tx < tiles_x; ++tx) {
+            const std::size_t x0 = tx * cfg.tile;
+            const std::size_t y0 = ty * cfg.tile;
+            const std::size_t x1 = std::min(w, x0 + cfg.tile);
+            const std::size_t y1 = std::min(h, y0 + cfg.tile);
+
+            // Initial classification + tile detail estimate.
+            double detail = 0.0;
+            for (std::size_t y = y0; y < y1; ++y) {
+                for (std::size_t x = x0; x < x1; ++x) {
+                    pixelFeature(img, x, y, f);
+                    detail += std::abs(f[1]) + std::abs(f[2]);
+                    double best = -1e30;
+                    int best_c = 0;
+                    for (std::size_t c = 0; c < k; ++c) {
+                        double score = 0.0;
+                        for (std::size_t j = 0; j < dim; ++j)
+                            score += prototypes[c * dim + j] * f[j];
+                        if (score > best) {
+                            best = score;
+                            best_c = static_cast<int>(c);
+                        }
+                    }
+                    result.labels[y * w + x] = best_c;
+                }
+            }
+            detail /= static_cast<double>((x1 - x0) * (y1 - y0));
+
+            // Detail-rich tiles run extra majority-smoothing passes.
+            // Quadratic detail-to-work mapping: most tiles take a
+            // pass or two, detail-rich tiles take many - the heavy
+            // tail that bounds segment's parallel scaling.
+            const double hot = detail * 55.0;
+            const int iters =
+                1 + std::min(cfg.max_refine - 1,
+                             static_cast<int>(hot * hot));
+            result.tile_iters[ty * tiles_x + tx] = iters;
+            for (int it = 1; it < iters; ++it) {
+                for (std::size_t y = y0 + 1; y + 1 < y1; ++y) {
+                    for (std::size_t x = x0 + 1; x + 1 < x1; ++x) {
+                        // Re-score against the prototypes with the
+                        // neighbourhood majority as a prior.
+                        int votes[16] = {0};
+                        votes[result.labels[(y - 1) * w + x] % 16]++;
+                        votes[result.labels[(y + 1) * w + x] % 16]++;
+                        votes[result.labels[y * w + x - 1] % 16]++;
+                        votes[result.labels[y * w + x + 1] % 16]++;
+                        pixelFeature(img, x, y, f);
+                        double best = -1e30;
+                        int best_c = result.labels[y * w + x];
+                        for (std::size_t c = 0; c < k; ++c) {
+                            double score = 0.3 * votes[c % 16];
+                            for (std::size_t j = 0; j < dim; ++j)
+                                score += prototypes[c * dim + j] * f[j];
+                            if (score > best) {
+                                best = score;
+                                best_c = static_cast<int>(c);
+                            }
+                        }
+                        result.labels[y * w + x] = best_c;
+                    }
+                }
+            }
+        }
+    }
+    return result;
+}
+
+ParallelProgram
+segmentProgram(const SegmentConfig &cfg)
+{
+    // Tile weights come from the reference run on the same input.
+    const SegmentResult ref = segmentReference(cfg);
+
+    const std::size_t w = cfg.width;
+    const std::size_t h = cfg.height;
+    const std::size_t k = cfg.classes;
+    const std::size_t dim = cfg.model_dim;
+    const std::size_t tiles_x = (w + cfg.tile - 1) / cfg.tile;
+    const std::size_t tiles_y = (h + cfg.tile - 1) / cfg.tile;
+
+    AddressAllocator alloc;
+    const std::uint64_t img_base = alloc.alloc(w * h * 4);
+    const std::uint64_t proto_base = alloc.alloc(k * dim * 8);
+    const std::uint64_t label_base = alloc.alloc(w * h * 4);
+
+    ParallelProgram program("segment");
+    Phase phase;
+    phase.name = "classify";
+    phase.kind = PhaseKind::ParallelDynamic;
+    phase.num_tasks = tiles_x * tiles_y;
+    phase.make_task = [=](std::size_t task) -> std::unique_ptr<OpStream> {
+        const std::size_t tx = task % tiles_x;
+        const std::size_t ty = task / tiles_x;
+        const std::size_t x0 = tx * cfg.tile;
+        const std::size_t y0 = ty * cfg.tile;
+        const std::size_t x1 = std::min(w, x0 + cfg.tile);
+        const std::size_t y1 = std::min(h, y0 + cfg.tile);
+        const int iters = ref.tile_iters[task];
+
+        // Chunk layout: classification rows, then iters-1 smoothing
+        // passes of the tile.
+        const std::size_t classify_chunks = y1 - y0;
+        const std::size_t smooth_chunks =
+            static_cast<std::size_t>(std::max(0, iters - 1)) * (y1 - y0);
+        return std::make_unique<ChunkedOpStream>(
+            classify_chunks + smooth_chunks,
+            [=](std::size_t chunk, std::vector<MicroOp> &out) {
+                auto addr = [=](std::uint64_t base, std::size_t x,
+                                std::size_t y) {
+                    return base + 4 * (y * w + x);
+                };
+                if (chunk < classify_chunks) {
+                    const std::size_t y = y0 + chunk;
+                    for (std::size_t x = x0; x < x1; ++x) {
+                        // Feature build: centre + 4 neighbours.
+                        out.push_back(
+                            MicroOp::load(addr(img_base, x, y)));
+                        out.push_back(MicroOp::load(addr(
+                            img_base, std::min(w - 1, x + 1), y)));
+                        out.push_back(MicroOp::load(
+                            addr(img_base, x > 0 ? x - 1 : 0, y)));
+                        out.push_back(MicroOp::load(addr(
+                            img_base, x, std::min(h - 1, y + 1))));
+                        out.push_back(MicroOp::load(
+                            addr(img_base, x, y > 0 ? y - 1 : 0)));
+                        for (int i = 0; i < 6; ++i)
+                            out.push_back(MicroOp::fpAlu());
+                        // Score against each prototype.
+                        for (std::size_t c = 0; c < k; ++c) {
+                            for (std::size_t j = 0; j < dim; ++j) {
+                                out.push_back(MicroOp::load(
+                                    proto_base + 8 * (c * dim + j)));
+                                out.push_back(MicroOp::fpAlu());
+                            }
+                            out.push_back(MicroOp::intAlu());
+                            out.push_back(MicroOp::branch());
+                        }
+                        out.push_back(
+                            MicroOp::store(addr(label_base, x, y)));
+                    }
+                } else {
+                    const std::size_t rel = chunk - classify_chunks;
+                    const std::size_t y = y0 + rel % (y1 - y0);
+                    if (y + 1 >= y1 || y <= y0)
+                        return;  // border rows skip smoothing
+                    for (std::size_t x = x0 + 1; x + 1 < x1; ++x) {
+                        // Neighbour-label loads for the prior...
+                        out.push_back(MicroOp::load(
+                            addr(label_base, x, y - 1)));
+                        out.push_back(MicroOp::load(
+                            addr(label_base, x, y + 1)));
+                        out.push_back(MicroOp::load(
+                            addr(label_base, x - 1, y)));
+                        out.push_back(MicroOp::load(
+                            addr(label_base, x + 1, y)));
+                        // ...the pixel feature rebuild...
+                        out.push_back(
+                            MicroOp::load(addr(img_base, x, y)));
+                        for (int i = 0; i < 4; ++i)
+                            out.push_back(MicroOp::fpAlu());
+                        // ...and the prototype re-score.
+                        for (std::size_t c = 0; c < k; ++c) {
+                            for (std::size_t j = 0; j < dim; ++j) {
+                                out.push_back(MicroOp::load(
+                                    proto_base + 8 * (c * dim + j)));
+                                out.push_back(MicroOp::fpAlu());
+                            }
+                            out.push_back(MicroOp::intAlu());
+                        }
+                        out.push_back(MicroOp::branch());
+                        out.push_back(
+                            MicroOp::store(addr(label_base, x, y)));
+                    }
+                }
+            });
+    };
+    program.addPhase(std::move(phase));
+    return program;
+}
+
+} // namespace csprint

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Image-segmentation kernel (paper Table 1: "Image feature
+ * classification; adapted from SD-VBS"). Pixels are classified against
+ * a small prototype model; detail-rich tiles run extra refinement
+ * iterations, so task weights are data-dependent and imbalanced — the
+ * load-imbalance behind the kernel's parallelism-limited scaling
+ * (6.6x on 16 cores in the paper).
+ */
+
+#ifndef CSPRINT_WORKLOADS_SEGMENT_HH
+#define CSPRINT_WORKLOADS_SEGMENT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "archsim/program.hh"
+#include "workloads/image.hh"
+#include "workloads/workload.hh"
+
+namespace csprint {
+
+/** Segmentation configuration. */
+struct SegmentConfig
+{
+    std::size_t width = 160;
+    std::size_t height = 160;
+    std::size_t tile = 40;       ///< square tile edge (one task each);
+                                 ///< coarse tiles bound the available
+                                 ///< parallelism, as in SD-VBS segment
+    std::size_t classes = 4;
+    std::size_t model_dim = 6;   ///< prototype feature dimensionality
+    int max_refine = 12;         ///< refinement cap for busy tiles
+    std::uint64_t seed = 42;
+
+    static SegmentConfig forSize(InputSize size, std::uint64_t seed = 42);
+};
+
+/** Reference outcome. */
+struct SegmentResult
+{
+    std::vector<int> labels;        ///< per-pixel class
+    std::vector<int> tile_iters;    ///< refinement iterations per tile
+};
+
+/** Reference prototype classification with tile refinement. */
+SegmentResult segmentReference(const SegmentConfig &cfg);
+
+/** Simulated program: dynamic tasks weighted like the reference. */
+ParallelProgram segmentProgram(const SegmentConfig &cfg);
+
+} // namespace csprint
+
+#endif // CSPRINT_WORKLOADS_SEGMENT_HH

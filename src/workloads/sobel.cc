@@ -1,0 +1,112 @@
+#include "workloads/sobel.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace csprint {
+
+SobelConfig
+SobelConfig::forSize(InputSize size, std::uint64_t seed)
+{
+    SobelConfig cfg;
+    const double s = inputSizeScale(size);
+    cfg.width = static_cast<std::size_t>(384 * s);
+    cfg.height = static_cast<std::size_t>(384 * s);
+    cfg.seed = seed;
+    return cfg;
+}
+
+Image
+sobelReference(const Image &input)
+{
+    const std::size_t w = input.width();
+    const std::size_t h = input.height();
+    Image out(w, h);
+    for (std::size_t y = 0; y < h; ++y) {
+        for (std::size_t x = 0; x < w; ++x) {
+            const long xl = static_cast<long>(x);
+            const long yl = static_cast<long>(y);
+            const double p00 = input.atClamped(xl - 1, yl - 1);
+            const double p10 = input.atClamped(xl, yl - 1);
+            const double p20 = input.atClamped(xl + 1, yl - 1);
+            const double p01 = input.atClamped(xl - 1, yl);
+            const double p21 = input.atClamped(xl + 1, yl);
+            const double p02 = input.atClamped(xl - 1, yl + 1);
+            const double p12 = input.atClamped(xl, yl + 1);
+            const double p22 = input.atClamped(xl + 1, yl + 1);
+            const double gx =
+                (p20 + 2.0 * p21 + p22) - (p00 + 2.0 * p01 + p02);
+            const double gy =
+                (p02 + 2.0 * p12 + p22) - (p00 + 2.0 * p10 + p20);
+            out.set(x, y,
+                    static_cast<float>(std::sqrt(gx * gx + gy * gy)));
+        }
+    }
+    return out;
+}
+
+ParallelProgram
+sobelProgram(const SobelConfig &cfg)
+{
+    SPRINT_ASSERT(cfg.width >= 8 && cfg.height >= 8, "image too small");
+    const std::size_t w = cfg.width;
+    const std::size_t h = cfg.height;
+    const std::size_t rpt = std::max<std::size_t>(1, cfg.rows_per_task);
+
+    AddressAllocator alloc;
+    const std::uint64_t in_base = alloc.alloc(w * h * 4);
+    const std::uint64_t out_base = alloc.alloc(w * h * 4);
+
+    ParallelProgram program("sobel");
+    Phase phase;
+    phase.name = "stencil";
+    phase.kind = PhaseKind::ParallelStatic;
+    phase.num_tasks = (h + rpt - 1) / rpt;
+    phase.make_task = [=](std::size_t task) -> std::unique_ptr<OpStream> {
+        const std::size_t row0 = task * rpt;
+        const std::size_t row1 = std::min(h, row0 + rpt);
+        return std::make_unique<ChunkedOpStream>(
+            row1 - row0,
+            [=](std::size_t chunk, std::vector<MicroOp> &out) {
+                const std::size_t y = row0 + chunk;
+                auto px = [&](long xx, long yy) {
+                    xx = std::clamp<long>(xx, 0,
+                                          static_cast<long>(w) - 1);
+                    yy = std::clamp<long>(yy, 0,
+                                          static_cast<long>(h) - 1);
+                    return in_base +
+                           4 * (static_cast<std::uint64_t>(yy) * w +
+                                static_cast<std::uint64_t>(xx));
+                };
+                out.reserve((row1 - row0) * w * 22);
+                for (std::size_t x = 0; x < w; ++x) {
+                    const long xl = static_cast<long>(x);
+                    const long yl = static_cast<long>(y);
+                    // Eight neighbour loads (centre unused by Sobel).
+                    for (long dy = -1; dy <= 1; ++dy) {
+                        for (long dx = -1; dx <= 1; ++dx) {
+                            if (dx == 0 && dy == 0)
+                                continue;
+                            out.push_back(
+                                MicroOp::load(px(xl + dx, yl + dy)));
+                        }
+                    }
+                    // Gradient arithmetic: 10 adds/muls and the
+                    // magnitude, then the loop branch.
+                    for (int i = 0; i < 8; ++i)
+                        out.push_back(MicroOp::intAlu());
+                    for (int i = 0; i < 3; ++i)
+                        out.push_back(MicroOp::fpAlu());
+                    out.push_back(MicroOp::branch());
+                    out.push_back(MicroOp::store(
+                        out_base + 4 * (y * w + x)));
+                }
+            });
+    };
+    program.addPhase(std::move(phase));
+    return program;
+}
+
+} // namespace csprint

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Sobel edge-detection kernel (paper Table 1: "Edge detection filter;
+ * parallelized with OpenMP"). The reference computes the gradient
+ * magnitude of a 3x3 Sobel stencil; the simulated program partitions
+ * image rows statically across threads, OpenMP-style.
+ */
+
+#ifndef CSPRINT_WORKLOADS_SOBEL_HH
+#define CSPRINT_WORKLOADS_SOBEL_HH
+
+#include <cstdint>
+
+#include "archsim/program.hh"
+#include "workloads/image.hh"
+#include "workloads/workload.hh"
+
+namespace csprint {
+
+/** Sobel kernel configuration. */
+struct SobelConfig
+{
+    std::size_t width = 384;
+    std::size_t height = 384;
+    std::size_t rows_per_task = 4;
+    std::uint64_t seed = 42;
+
+    /** Scaled configuration for an input-size class. */
+    static SobelConfig forSize(InputSize size, std::uint64_t seed = 42);
+};
+
+/** Reference Sobel gradient magnitude of @p input. */
+Image sobelReference(const Image &input);
+
+/** Simulated program mirroring sobelReference's structure. */
+ParallelProgram sobelProgram(const SobelConfig &cfg);
+
+} // namespace csprint
+
+#endif // CSPRINT_WORKLOADS_SOBEL_HH

@@ -1,0 +1,140 @@
+#include "workloads/texture.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace csprint {
+
+TextureConfig
+TextureConfig::forSize(InputSize size, std::uint64_t seed)
+{
+    TextureConfig cfg;
+    const double s = inputSizeScale(size);
+    cfg.width = static_cast<std::size_t>(288 * s);
+    cfg.height = static_cast<std::size_t>(288 * s);
+    cfg.seed = seed;
+    return cfg;
+}
+
+Image
+textureReference(const TextureConfig &cfg)
+{
+    const std::size_t w = cfg.width;
+    const std::size_t h = cfg.height;
+    Image out = makeSyntheticImage(w, h, cfg.seed);
+
+    for (int l = 0; l < cfg.layers; ++l) {
+        const Image layer = makeSyntheticImage(w, h, cfg.seed + 100 + l);
+        // Parallelizable blend: alpha follows the layer's luminance.
+        for (std::size_t y = 0; y < h; ++y) {
+            for (std::size_t x = 0; x < w; ++x) {
+                const float a = 0.25f + 0.5f * layer.at(x, y);
+                out.set(x, y,
+                        out.at(x, y) * (1.0f - a) + layer.at(x, y) * a);
+            }
+        }
+        // Serial tone normalization: a running row-mean equalizer in
+        // which each row's correction depends on the previous row's
+        // corrected statistics (a loop-carried dependence).
+        double running = 0.5;
+        for (std::size_t y = 0; y < h; y += 4) {
+            double mean = 0.0;
+            for (std::size_t x = 0; x < w; x += 8)
+                mean += out.at(x, y);
+            mean /= static_cast<double>((w + 7) / 8);
+            const double corr = 0.9 * running + 0.1 * mean;
+            const float scale =
+                static_cast<float>(std::clamp(0.5 / std::max(0.05, corr),
+                                              0.5, 2.0));
+            for (std::size_t x = 0; x < w; x += 4)
+                out.set(x, y, std::clamp(out.at(x, y) * scale, 0.0f,
+                                         1.0f));
+            running = corr;
+        }
+    }
+    return out;
+}
+
+ParallelProgram
+textureProgram(const TextureConfig &cfg)
+{
+    const std::size_t w = cfg.width;
+    const std::size_t h = cfg.height;
+    const std::size_t rpt = std::max<std::size_t>(1, cfg.rows_per_task);
+    const std::size_t num_tasks = (h + rpt - 1) / rpt;
+
+    AddressAllocator alloc;
+    const std::uint64_t out_base = alloc.alloc(w * h * 4);
+    std::vector<std::uint64_t> layer_bases;
+    for (int l = 0; l < cfg.layers; ++l)
+        layer_bases.push_back(alloc.alloc(w * h * 4));
+
+    ParallelProgram program("texture");
+    for (int l = 0; l < cfg.layers; ++l) {
+        const std::uint64_t layer_base = layer_bases[l];
+
+        // Parallel blend phase.
+        Phase blend;
+        blend.name = "blend";
+        blend.kind = PhaseKind::ParallelStatic;
+        blend.num_tasks = num_tasks;
+        blend.make_task =
+            [=](std::size_t task) -> std::unique_ptr<OpStream> {
+            const std::size_t row0 = task * rpt;
+            const std::size_t row1 = std::min(h, row0 + rpt);
+            return std::make_unique<ChunkedOpStream>(
+                row1 - row0,
+                [=](std::size_t chunk, std::vector<MicroOp> &out) {
+                    const std::size_t y = row0 + chunk;
+                    for (std::size_t x = 0; x < w; ++x) {
+                        const std::uint64_t off = 4 * (y * w + x);
+                        out.push_back(MicroOp::load(layer_base + off));
+                        out.push_back(MicroOp::load(out_base + off));
+                        out.push_back(MicroOp::fpAlu());  // alpha
+                        out.push_back(MicroOp::fpAlu());  // blend mul
+                        out.push_back(MicroOp::fpAlu());  // blend add
+                        out.push_back(MicroOp::branch());
+                        out.push_back(MicroOp::store(out_base + off));
+                    }
+                });
+        };
+        program.addPhase(std::move(blend));
+
+        // Serial tone-normalization phase (loop-carried row
+        // dependence; runs on thread 0).
+        Phase tone;
+        tone.name = "tone";
+        tone.kind = PhaseKind::Serial;
+        tone.num_tasks = 1;
+        tone.make_task =
+            [=](std::size_t) -> std::unique_ptr<OpStream> {
+            return std::make_unique<ChunkedOpStream>(
+                (h + 3) / 4,
+                [=](std::size_t chunk, std::vector<MicroOp> &out) {
+                    const std::size_t y = 4 * chunk;
+                    // Row mean over a 1-in-8 sample.
+                    for (std::size_t x = 0; x < w; x += 8) {
+                        out.push_back(
+                            MicroOp::load(out_base + 4 * (y * w + x)));
+                        out.push_back(MicroOp::fpAlu());
+                    }
+                    out.push_back(MicroOp::fpAlu());  // correction
+                    out.push_back(MicroOp::fpAlu());  // scale
+                    // Apply to a 1-in-4 sample of the row.
+                    for (std::size_t x = 0; x < w; x += 4) {
+                        const std::uint64_t off = 4 * (y * w + x);
+                        out.push_back(MicroOp::load(out_base + off));
+                        out.push_back(MicroOp::fpAlu());
+                        out.push_back(MicroOp::store(out_base + off));
+                        out.push_back(MicroOp::branch());
+                    }
+                });
+        };
+        program.addPhase(std::move(tone));
+    }
+    return program;
+}
+
+} // namespace csprint

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Texture/image-composition kernel (paper Table 1: "Image composition;
+ * adapted from SD-VBS"). Layers are alpha-blended in parallel, but
+ * each layer ends with an inherently serial tone-normalization pass
+ * over row statistics — the Amdahl fraction behind the kernel's
+ * parallelism-limited scaling in paper Figure 10.
+ */
+
+#ifndef CSPRINT_WORKLOADS_TEXTURE_HH
+#define CSPRINT_WORKLOADS_TEXTURE_HH
+
+#include <cstdint>
+
+#include "archsim/program.hh"
+#include "workloads/image.hh"
+#include "workloads/workload.hh"
+
+namespace csprint {
+
+/** Texture-composition configuration. */
+struct TextureConfig
+{
+    std::size_t width = 288;
+    std::size_t height = 288;
+    int layers = 5;
+    std::size_t rows_per_task = 4;
+    std::uint64_t seed = 42;
+
+    static TextureConfig forSize(InputSize size, std::uint64_t seed = 42);
+};
+
+/** Reference composition of `layers` synthetic layers. */
+Image textureReference(const TextureConfig &cfg);
+
+/** Simulated program mirroring the reference's per-layer structure. */
+ParallelProgram textureProgram(const TextureConfig &cfg);
+
+} // namespace csprint
+
+#endif // CSPRINT_WORKLOADS_TEXTURE_HH

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Unit tests for the common infrastructure: statistics, time series,
+ * tables, RNG, and argument parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/args.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/timeseries.hh"
+#include "common/units.hh"
+
+namespace csprint {
+namespace {
+
+TEST(RunningStat, EmptyDefaults)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MeanMinMaxSum)
+{
+    RunningStat s;
+    for (double x : {4.0, 8.0, 6.0, 2.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 8.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 20.0);
+}
+
+TEST(RunningStat, VarianceMatchesTwoPass)
+{
+    RunningStat s;
+    const double xs[] = {1.5, 2.5, 4.0, 7.25, -3.0, 0.5};
+    double mean = 0.0;
+    for (double x : xs) {
+        s.add(x);
+        mean += x;
+    }
+    mean /= 6.0;
+    double var = 0.0;
+    for (double x : xs)
+        var += (x - mean) * (x - mean);
+    var /= 5.0;
+    EXPECT_NEAR(s.variance(), var, 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(var), 1e-12);
+}
+
+TEST(TimeSeries, MinMaxBack)
+{
+    TimeSeries ts;
+    ts.add(0.0, 1.0);
+    ts.add(1.0, -2.0);
+    ts.add(2.0, 5.0);
+    EXPECT_DOUBLE_EQ(ts.minValue(), -2.0);
+    EXPECT_DOUBLE_EQ(ts.maxValue(), 5.0);
+    EXPECT_DOUBLE_EQ(ts.back(), 5.0);
+    EXPECT_EQ(ts.size(), 3u);
+}
+
+TEST(TimeSeries, FirstTimeAboveInterpolates)
+{
+    TimeSeries ts;
+    ts.add(0.0, 0.0);
+    ts.add(2.0, 10.0);
+    auto t = ts.firstTimeAbove(5.0);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_NEAR(*t, 1.0, 1e-12);
+    EXPECT_FALSE(ts.firstTimeAbove(11.0).has_value());
+}
+
+TEST(TimeSeries, FirstTimeBelowInterpolates)
+{
+    TimeSeries ts;
+    ts.add(0.0, 10.0);
+    ts.add(4.0, 2.0);
+    auto t = ts.firstTimeBelow(6.0);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_NEAR(*t, 2.0, 1e-12);
+}
+
+TEST(TimeSeries, SettlingTime)
+{
+    TimeSeries ts;
+    // Decaying oscillation around 1.0.
+    ts.add(0.0, 0.0);
+    ts.add(1.0, 1.8);
+    ts.add(2.0, 0.7);
+    ts.add(3.0, 1.05);
+    ts.add(4.0, 0.98);
+    ts.add(5.0, 1.0);
+    auto t = ts.settlingTime(0.1);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_DOUBLE_EQ(*t, 3.0);
+}
+
+TEST(TimeSeries, TimeAbove)
+{
+    TimeSeries ts;
+    ts.add(0.0, 0.0);
+    ts.add(1.0, 2.0);
+    ts.add(2.0, 0.0);
+    // Crosses 1.0 at t=0.5 and t=1.5.
+    EXPECT_NEAR(ts.timeAbove(1.0), 1.0, 1e-12);
+}
+
+TEST(TimeSeries, DecimateKeepsEndpoints)
+{
+    TimeSeries ts;
+    for (int i = 0; i <= 1000; ++i)
+        ts.add(i, i * i);
+    TimeSeries d = ts.decimate(50);
+    EXPECT_LE(d.size(), 52u);
+    EXPECT_DOUBLE_EQ(d.timeAt(0), 0.0);
+    EXPECT_DOUBLE_EQ(d.timeAt(d.size() - 1), 1000.0);
+}
+
+TEST(Table, AlignsAndCounts)
+{
+    Table t("demo");
+    t.setHeader({"name", "value"});
+    t.startRow();
+    t.cell("alpha");
+    t.cell(1.5, 2);
+    t.startRow();
+    t.cell("beta");
+    t.cell(static_cast<long long>(42));
+    EXPECT_EQ(t.rowCount(), 2u);
+    std::ostringstream oss;
+    t.print(oss);
+    const std::string text = oss.str();
+    EXPECT_NE(text.find("demo"), std::string::npos);
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("1.50"), std::string::npos);
+    EXPECT_NE(text.find("42"), std::string::npos);
+}
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123), b(123), c(124);
+    EXPECT_EQ(a.next(), b.next());
+    EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.uniform(2.0, 3.0);
+        EXPECT_GE(x, 2.0);
+        EXPECT_LT(x, 3.0);
+    }
+}
+
+TEST(Rng, UniformIntBounded)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t v = rng.uniformInt(10);
+        EXPECT_LT(v, 10u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 10u);  // all buckets hit
+}
+
+TEST(Units, Conversions)
+{
+    EXPECT_DOUBLE_EQ(celsiusToKelvin(25.0), 298.15);
+    EXPECT_DOUBLE_EQ(kelvinToCelsius(373.15), 100.0);
+    EXPECT_DOUBLE_EQ(cyclesToSeconds(1000, 1e9), 1e-6);
+    EXPECT_EQ(secondsToCycles(1e-6, 1e9), 1000u);
+}
+
+TEST(ArgParser, FlagsAndPositionals)
+{
+    const char *argv[] = {"prog", "--cores=16", "--pcm", "0.15",
+                          "input.png", "--verbose"};
+    ArgParser args(6, argv, {"cores", "pcm", "verbose"});
+    EXPECT_EQ(args.getInt("cores", 1), 16);
+    EXPECT_DOUBLE_EQ(args.getDouble("pcm", 0.0), 0.15);
+    EXPECT_TRUE(args.has("verbose"));
+    EXPECT_FALSE(args.has("missing"));
+    ASSERT_EQ(args.positional().size(), 1u);
+    EXPECT_EQ(args.positional()[0], "input.png");
+}
+
+} // namespace
+} // namespace csprint

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the energy module: instruction-energy calibration, DVFS
+ * scaling arithmetic, and the power-source models of Section 6.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "energy/model.hh"
+#include "energy/ops.hh"
+#include "energy/supply.hh"
+
+namespace csprint {
+namespace {
+
+TEST(EnergyModel, CalibratedNearOneNanojoulePerOp)
+{
+    InstructionEnergyModel model;
+    // A representative kernel mix must average ~1 nJ/op so a 1 GHz
+    // CPI-1 core dissipates ~1 W (paper Section 8.1).
+    const double mix =
+        0.35 * model.opEnergy(OpKind::IntAlu) +
+        0.20 * model.opEnergy(OpKind::FpAlu) +
+        0.25 * model.opEnergy(OpKind::Load) +
+        0.10 * model.opEnergy(OpKind::Store) +
+        0.10 * model.opEnergy(OpKind::Branch);
+    EXPECT_GT(mix, 0.8e-9);
+    EXPECT_LT(mix, 1.2e-9);
+}
+
+TEST(EnergyModel, SleepPowerIsTenPercent)
+{
+    InstructionEnergyModel model;
+    EXPECT_NEAR(model.idleCycleEnergy(),
+                0.1 * model.nominalCycleEnergy(), 1e-15);
+}
+
+TEST(EnergyModel, MemoryEventEnergiesOrdered)
+{
+    InstructionEnergyModel model;
+    EXPECT_GT(model.l2AccessEnergy(), model.opEnergy(OpKind::Load));
+    EXPECT_GT(model.dramAccessEnergy(), model.l2AccessEnergy());
+}
+
+TEST(EnergyModel, BoostScalesQuadratically)
+{
+    InstructionEnergyModel nominal;
+    InstructionEnergyModel boosted = nominal.boosted(2.0);
+    EXPECT_NEAR(boosted.opEnergy(OpKind::IntAlu),
+                4.0 * nominal.opEnergy(OpKind::IntAlu), 1e-15);
+    EXPECT_NEAR(boosted.tech().clock, 2.0 * nominal.tech().clock, 1.0);
+}
+
+TEST(EnergyModel, DvfsArithmeticMatchesPaper)
+{
+    // Paper Section 8.4: 16x headroom -> cbrt(16) ~ 2.5x boost, and
+    // ~6x the energy (boost squared ~ 6.35).
+    const double boost = dvfsBoostFromHeadroom(16.0);
+    EXPECT_NEAR(boost, std::cbrt(16.0), 1e-12);
+    EXPECT_NEAR(boost, 2.52, 0.01);
+    EXPECT_NEAR(dvfsEnergyFactor(boost), 6.35, 0.05);
+}
+
+TEST(Battery, PhoneLiIonLimitsToTenWatts)
+{
+    const Battery b = Battery::phoneLiIon();
+    // Paper: bursts of ~10 W (2.7 A at 3.7 V).
+    EXPECT_NEAR(b.maxBurstPower(), 10.0, 1.5);
+    EXPECT_TRUE(b.canSupply(8.0));
+    EXPECT_FALSE(b.canSupply(16.0));
+}
+
+TEST(Battery, PhoneLiIonSupportsFewerThanTenCores)
+{
+    const Battery b = Battery::phoneLiIon();
+    int cores = 0;
+    while (b.canSupply(static_cast<double>(cores + 1)))
+        ++cores;
+    // Paper: "fewer than ten 1 W cores".
+    EXPECT_GE(cores, 6);
+    EXPECT_LT(cores, 10);
+}
+
+TEST(Battery, HighDischargeLiPoCoversSprint)
+{
+    const Battery b = Battery::highDischargeLiPo();
+    EXPECT_TRUE(b.canSupply(16.0));
+    EXPECT_GT(b.maxBurstPower(), 100.0);  // 43 A at ~7 V
+}
+
+TEST(Battery, TerminalVoltageSags)
+{
+    const Battery b = Battery::phoneLiIon();
+    EXPECT_LT(b.terminalVoltage(2.0), b.ocv);
+    EXPECT_DOUBLE_EQ(b.terminalVoltage(0.0), b.ocv);
+}
+
+TEST(Ultracap, NesscapStoresNinetyJoules)
+{
+    const Ultracapacitor c = Ultracapacitor::nesscap25F();
+    // 0.5 * 25 * 2.7^2 = 91.1 J per cell.
+    EXPECT_NEAR(c.storedEnergy(), 91.1, 0.5);
+    EXPECT_GT(c.usableEnergy(1.0), 70.0);
+}
+
+TEST(Ultracap, DischargeTracksEnergy)
+{
+    const Ultracapacitor c = Ultracapacitor::nesscap25F();
+    const auto v = c.voltageAfter(16.0, 1.0);  // a 16 J sprint
+    ASSERT_TRUE(v.has_value());
+    EXPECT_LT(*v, c.rated_voltage);
+    EXPECT_GT(*v, 2.0);
+    // Draining more than the stored energy fails.
+    EXPECT_FALSE(c.voltageAfter(200.0, 1.0).has_value());
+}
+
+TEST(HybridSupply, CoversSprintBeyondBattery)
+{
+    HybridSupply hybrid{Battery::phoneLiIon(),
+                        Ultracapacitor::nesscap25F()};
+    // 16 W for 1 s: battery covers ~10 W, cap covers the rest.
+    EXPECT_TRUE(hybrid.canSprint(16.0, 1.0));
+    EXPECT_GT(hybrid.capEnergyNeeded(16.0, 1.0), 4.0);
+    // An hour-long 16 W draw is beyond the capacitor.
+    EXPECT_FALSE(hybrid.canSprint(16.0, 3600.0));
+}
+
+TEST(HybridSupply, RechargeTimeReasonable)
+{
+    HybridSupply hybrid{Battery::phoneLiIon(),
+                        Ultracapacitor::nesscap25F()};
+    // Recharging the ~7 J the cap contributed, with 1 W spare,
+    // takes several seconds - comparable to the thermal cooldown.
+    const Seconds t = hybrid.rechargeTime(16.0, 1.0, 1.0);
+    EXPECT_GT(t, 3.0);
+    EXPECT_LT(t, 30.0);
+}
+
+TEST(PackagePins, PaperExampleThreeHundredTwentyPins)
+{
+    PackagePins pins;
+    // Paper: 16 A at 100 mA per pin pair -> 320 pins.
+    EXPECT_EQ(pins.pinsRequired(16.0), 320);
+    EXPECT_NEAR(pins.maxCurrent(320), 16.0, 1e-9);
+}
+
+TEST(PackagePins, RoundsUp)
+{
+    PackagePins pins;
+    EXPECT_EQ(pins.pinsRequired(0.05), 2);
+    EXPECT_EQ(pins.pinsRequired(0.15), 4);
+}
+
+} // namespace
+} // namespace csprint

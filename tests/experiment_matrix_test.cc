@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Parameterized experiment matrix: every kernel is swept through the
+ * standard sprint configurations and a set of cross-cutting
+ * invariants is asserted on each cell — speedup bounds, energy
+ * bounds, thermal safety, and the small-vs-full PCM ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sprint/experiment.hh"
+#include "workloads/workload.hh"
+
+namespace csprint {
+namespace {
+
+class KernelMatrix
+    : public ::testing::TestWithParam<std::tuple<KernelId, InputSize>>
+{
+};
+
+TEST_P(KernelMatrix, SprintInvariantsHold)
+{
+    const auto [kernel, size] = GetParam();
+    ExperimentSpec spec;
+    spec.kernel = kernel;
+    spec.size = size;
+    spec.cores = 8;
+
+    const RunResult base = runBaselineExperiment(spec);
+    const RunResult par = runParallelSprintExperiment(spec);
+
+    // Baseline sanity.
+    EXPECT_GT(base.task_time, 0.0);
+    EXPECT_FALSE(base.sprint_exhausted);
+    EXPECT_EQ(base.machine.ops_retired, par.machine.ops_retired)
+        << "same program must retire the same ops";
+
+    // Speedup bounded by core count plus a superlinearity allowance
+    // (aggregate L1 capacity).
+    const double s = speedupOver(base, par);
+    EXPECT_GT(s, 0.9);
+    EXPECT_LE(s, 8.0 * 1.45);
+
+    // Energy within a sane band of the baseline.
+    const double e = energyRatio(base, par);
+    EXPECT_GT(e, 0.80);
+    EXPECT_LT(e, 2.0);
+
+    // Thermal safety: never meaningfully above the junction limit.
+    EXPECT_LT(par.peak_junction,
+              MobilePackageParams::phonePcm().t_junction_max + 2.0);
+}
+
+TEST_P(KernelMatrix, SmallPcmNeverBeatsFullPcm)
+{
+    const auto [kernel, size] = GetParam();
+    ExperimentSpec spec;
+    spec.kernel = kernel;
+    spec.size = size;
+    spec.cores = 8;
+    ExperimentSpec small = spec;
+    small.pcm_mass = kSmallPcm;
+
+    const RunResult full = runParallelSprintExperiment(spec);
+    const RunResult tiny = runParallelSprintExperiment(small);
+    EXPECT_LE(full.task_time, tiny.task_time * 1.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, KernelMatrix,
+    ::testing::Combine(::testing::Values(KernelId::Sobel,
+                                         KernelId::Feature,
+                                         KernelId::Kmeans,
+                                         KernelId::Disparity,
+                                         KernelId::Texture,
+                                         KernelId::Segment),
+                       ::testing::Values(InputSize::A, InputSize::B)),
+    [](const auto &info) {
+        return kernelName(std::get<0>(info.param)) + "_" +
+               inputSizeName(std::get<1>(info.param));
+    });
+
+} // namespace
+} // namespace csprint

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * End-to-end qualitative reproduction checks against the paper's
+ * headline results: average responsiveness gain on 16 cores, parallel
+ * sprinting dominating DVFS sprinting, thermal design points, and the
+ * scaling characters of the individual kernels.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sprint/experiment.hh"
+#include "workloads/workload.hh"
+
+namespace csprint {
+namespace {
+
+TEST(Integration, AverageSixteenCoreSpeedupNearPaper)
+{
+    // Paper Figure 7: average parallel speedup of 10.2x on 16 cores
+    // with the full PCM. Accept a generous band around it.
+    double total = 0.0;
+    int n = 0;
+    for (KernelId id : allKernels()) {
+        ExperimentSpec spec;
+        spec.kernel = id;
+        spec.size = InputSize::B;
+        const RunResult base = runBaselineExperiment(spec);
+        const RunResult par = runParallelSprintExperiment(spec);
+        const double s = speedupOver(base, par);
+        EXPECT_GT(s, 3.0) << kernelName(id);
+        // Aggregate L1 capacity can make memory-heavy kernels
+        // mildly superlinear at our scaled inputs.
+        EXPECT_LE(s, 20.0) << kernelName(id);
+        total += s;
+        ++n;
+    }
+    const double avg = total / n;
+    EXPECT_GT(avg, 7.0);
+    EXPECT_LT(avg, 14.0);
+}
+
+TEST(Integration, ParallelSprintDominatesDvfsEverywhere)
+{
+    for (KernelId id : allKernels()) {
+        ExperimentSpec spec;
+        spec.kernel = id;
+        spec.size = InputSize::A;
+        const RunResult base = runBaselineExperiment(spec);
+        const RunResult par = runParallelSprintExperiment(spec);
+        const RunResult dvfs = runDvfsSprintExperiment(spec);
+        EXPECT_GT(speedupOver(base, par), speedupOver(base, dvfs))
+            << kernelName(id);
+    }
+}
+
+TEST(Integration, SmallPcmHurtsEveryKernel)
+{
+    for (KernelId id : {KernelId::Sobel, KernelId::Kmeans}) {
+        ExperimentSpec spec;
+        spec.kernel = id;
+        spec.size = InputSize::B;
+        const RunResult base = runBaselineExperiment(spec);
+        ExperimentSpec small = spec;
+        small.pcm_mass = kSmallPcm;
+        const RunResult full = runParallelSprintExperiment(spec);
+        const RunResult tiny = runParallelSprintExperiment(small);
+        EXPECT_LT(speedupOver(base, tiny), speedupOver(base, full))
+            << kernelName(id);
+    }
+}
+
+TEST(Integration, SobelAndKmeansScaleBest)
+{
+    // Paper Figure 10: kmeans and sobel keep scaling to 64 cores,
+    // while segment and texture are parallelism-limited.
+    auto speedup_at = [](KernelId id, int cores) {
+        ExperimentSpec spec;
+        spec.kernel = id;
+        spec.size = InputSize::B;
+        spec.cores = cores;
+        spec.time_scale = 1e-2;  // fixed-V/f study: ample budget
+        const RunResult base = runBaselineExperiment(spec);
+        const RunResult par = runParallelSprintExperiment(spec);
+        return speedupOver(base, par);
+    };
+    const double sobel64 = speedup_at(KernelId::Sobel, 64);
+    const double texture64 = speedup_at(KernelId::Texture, 64);
+    const double segment64 = speedup_at(KernelId::Segment, 64);
+    EXPECT_GT(sobel64, 20.0);
+    EXPECT_LT(texture64, sobel64);
+    EXPECT_LT(segment64, sobel64);
+}
+
+TEST(Integration, EnergyParityInLinearRegime)
+{
+    // Paper Figure 11 / Section 8.6: on 16 cores the dynamic energy
+    // overhead of parallel sprinting is at most ~10-12% for most
+    // kernels.
+    int within = 0;
+    for (KernelId id : allKernels()) {
+        ExperimentSpec spec;
+        spec.kernel = id;
+        spec.size = InputSize::B;
+        const RunResult base = runBaselineExperiment(spec);
+        const RunResult par = runParallelSprintExperiment(spec);
+        const double ratio = energyRatio(base, par);
+        EXPECT_GT(ratio, 0.85) << kernelName(id);
+        EXPECT_LT(ratio, 1.6) << kernelName(id);
+        if (ratio < 1.15)
+            ++within;
+    }
+    // Paper: "less than 10% on five out of six workloads".
+    EXPECT_GE(within, 4);
+}
+
+TEST(Integration, LargerInputsNeedMoreThermalCapacitance)
+{
+    // Paper Figure 9: larger inputs exhaust the small design point
+    // harder, widening the gap between PCM sizes.
+    ExperimentSpec spec;
+    spec.kernel = KernelId::Sobel;
+    spec.pcm_mass = kSmallPcm;
+    spec.size = InputSize::A;
+    const double small_a =
+        speedupOver(runBaselineExperiment(spec),
+                    runParallelSprintExperiment(spec));
+    spec.size = InputSize::C;
+    const double small_c =
+        speedupOver(runBaselineExperiment(spec),
+                    runParallelSprintExperiment(spec));
+    EXPECT_LT(small_c, small_a + 0.5);
+}
+
+} // namespace
+} // namespace csprint

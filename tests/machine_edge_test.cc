@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Edge-case and stress tests for the machine: degenerate programs,
+ * mid-run control (abort, frequency, energy model), coherence
+ * ping-pong costs, dynamic-dequeue contention, quantum preemption,
+ * and lock fairness under oversubscription.
+ */
+
+#include <gtest/gtest.h>
+
+#include "archsim/machine.hh"
+#include "archsim/program.hh"
+
+namespace csprint {
+namespace {
+
+MachineConfig
+cfgOf(int cores, int threads)
+{
+    MachineConfig cfg;
+    cfg.num_cores = cores;
+    cfg.num_threads = threads;
+    return cfg;
+}
+
+Phase
+aluPhase(PhaseKind kind, std::size_t tasks, std::size_t n)
+{
+    Phase p;
+    p.kind = kind;
+    p.num_tasks = tasks;
+    p.make_task = [n](std::size_t) -> std::unique_ptr<OpStream> {
+        return std::make_unique<VectorOpStream>(
+            std::vector<MicroOp>(n, MicroOp::intAlu()));
+    };
+    return p;
+}
+
+TEST(MachineEdge, EmptyProgramFinishesImmediately)
+{
+    ParallelProgram prog("empty");
+    Machine m(cfgOf(4, 4), prog);
+    m.run();
+    EXPECT_TRUE(m.finished());
+    EXPECT_EQ(m.stats().ops_retired, 0u);
+}
+
+TEST(MachineEdge, ZeroTaskPhase)
+{
+    ParallelProgram prog("zero");
+    Phase p;
+    p.kind = PhaseKind::ParallelStatic;
+    p.num_tasks = 0;
+    p.make_task = nullptr;
+    prog.addPhase(std::move(p));
+    prog.addPhase(aluPhase(PhaseKind::Serial, 1, 100));
+    Machine m(cfgOf(2, 2), prog);
+    m.run();
+    EXPECT_TRUE(m.finished());
+    EXPECT_EQ(m.stats().ops_retired, 100u);
+}
+
+TEST(MachineEdge, EmptyTaskStreams)
+{
+    ParallelProgram prog("empty_tasks");
+    Phase p;
+    p.kind = PhaseKind::ParallelDynamic;
+    p.num_tasks = 10;
+    p.make_task = [](std::size_t) -> std::unique_ptr<OpStream> {
+        return std::make_unique<VectorOpStream>(
+            std::vector<MicroOp>{});
+    };
+    prog.addPhase(std::move(p));
+    Machine m(cfgOf(4, 4), prog);
+    m.run();
+    EXPECT_TRUE(m.finished());
+}
+
+TEST(MachineEdge, FewerTasksThanThreads)
+{
+    ParallelProgram prog("sparse");
+    prog.addPhase(aluPhase(PhaseKind::ParallelStatic, 3, 5000));
+    Machine m(cfgOf(16, 16), prog);
+    m.run();
+    EXPECT_TRUE(m.finished());
+    EXPECT_EQ(m.stats().ops_retired, 15000u);
+    // Only three threads had work: completion bounded by one task.
+    EXPECT_GE(m.stats().cycles, 5000u);
+    EXPECT_LT(m.stats().cycles, 7000u);
+}
+
+TEST(MachineEdge, MoreCoresThanThreads)
+{
+    ParallelProgram prog("wide");
+    prog.addPhase(aluPhase(PhaseKind::ParallelStatic, 4, 4000));
+    Machine m(cfgOf(16, 4), prog);
+    m.run();
+    EXPECT_TRUE(m.finished());
+    EXPECT_EQ(m.stats().ops_retired, 16000u);
+}
+
+TEST(MachineEdge, AbortStopsEarly)
+{
+    ParallelProgram prog("abort");
+    prog.addPhase(aluPhase(PhaseKind::Serial, 1, 10000000));
+    Machine m(cfgOf(1, 1), prog);
+    m.setSampleHook(
+        [](Machine &mm, Seconds, Joules) {
+            if (mm.simTime() > 50e-6)
+                mm.abort();
+        },
+        1000);
+    m.run();
+    EXPECT_FALSE(m.finished());
+    EXPECT_LT(m.stats().ops_retired, 10000000u);
+    EXPECT_GT(m.stats().ops_retired, 10000u);
+}
+
+TEST(MachineEdge, EnergyModelSwapMidRun)
+{
+    ParallelProgram prog("swap");
+    prog.addPhase(aluPhase(PhaseKind::Serial, 1, 200000));
+    Machine m(cfgOf(1, 1), prog);
+    bool swapped = false;
+    Joules at_swap = 0.0;
+    m.setSampleHook(
+        [&](Machine &mm, Seconds, Joules) {
+            if (!swapped && mm.stats().ops_retired > 100000) {
+                mm.setEnergyModel(
+                    InstructionEnergyModel().boosted(2.0));
+                at_swap = mm.stats().dynamic_energy;
+                swapped = true;
+            }
+        },
+        1000);
+    m.run();
+    ASSERT_TRUE(swapped);
+    const Joules second_half = m.stats().dynamic_energy - at_swap;
+    // The boosted half burns ~4x the energy of the first half.
+    EXPECT_GT(second_half, 3.0 * at_swap);
+    EXPECT_LT(second_half, 5.0 * at_swap);
+}
+
+TEST(MachineEdge, FrequencyThrottleMidRunSlowsWallClock)
+{
+    auto run = [](bool throttle) {
+        ParallelProgram prog("throttle");
+        prog.addPhase(aluPhase(PhaseKind::Serial, 1, 400000));
+        Machine m(cfgOf(1, 1), prog);
+        if (throttle) {
+            bool done = false;
+            m.setSampleHook(
+                [&](Machine &mm, Seconds, Joules) {
+                    if (!done && mm.stats().ops_retired > 200000) {
+                        mm.setFrequencyMult(0.25);
+                        done = true;
+                    }
+                },
+                1000);
+        }
+        m.run();
+        return m.stats().seconds;
+    };
+    const Seconds plain = run(false);
+    const Seconds throttled = run(true);
+    // Second half at 1/4 clock: total ~ 0.5 + 0.5*4 = 2.5x.
+    EXPECT_GT(throttled, 2.0 * plain);
+    EXPECT_LT(throttled, 3.0 * plain);
+}
+
+TEST(MachineEdge, CoherencePingPongCostsMoreThanPrivate)
+{
+    // Two threads alternately storing to the same line pay coherence
+    // penalties; storing to private lines does not.
+    auto run = [](bool shared) {
+        ParallelProgram prog("pingpong");
+        Phase p;
+        p.kind = PhaseKind::ParallelStatic;
+        p.num_tasks = 2;
+        p.make_task =
+            [shared](std::size_t task) -> std::unique_ptr<OpStream> {
+            std::vector<MicroOp> ops;
+            const std::uint64_t line =
+                shared ? 0x1000 : 0x1000 + task * 4096;
+            for (int i = 0; i < 3000; ++i) {
+                ops.push_back(MicroOp::store(line));
+                ops.push_back(MicroOp::intAlu());
+            }
+            return std::make_unique<VectorOpStream>(std::move(ops));
+        };
+        prog.addPhase(std::move(p));
+        Machine m(cfgOf(2, 2), prog);
+        m.run();
+        return m.stats().cycles;
+    };
+    EXPECT_GT(run(true), 2 * run(false));
+}
+
+TEST(MachineEdge, DynamicDequeueContentionSerializes)
+{
+    // Tiny dynamic tasks from many threads: the shared dequeue
+    // becomes the bottleneck, bounding speedup by the critical
+    // section, not the core count.
+    auto run = [](int cores) {
+        ParallelProgram prog("dequeue");
+        Phase p;
+        p.kind = PhaseKind::ParallelDynamic;
+        p.num_tasks = 2000;
+        p.make_task = [](std::size_t) -> std::unique_ptr<OpStream> {
+            return std::make_unique<VectorOpStream>(
+                std::vector<MicroOp>(10, MicroOp::intAlu()));
+        };
+        prog.addPhase(std::move(p));
+        Machine m(cfgOf(cores, cores), prog);
+        m.run();
+        return m.stats().cycles;
+    };
+    const double speedup =
+        static_cast<double>(run(1)) / static_cast<double>(run(16));
+    EXPECT_LT(speedup, 4.0);  // dequeue-bound, nowhere near 16
+    EXPECT_GT(speedup, 0.8);
+}
+
+TEST(MachineEdge, LockOversubscriptionCompletes)
+{
+    // 8 threads on 2 cores all hammering one lock: must complete
+    // without livelock, with the PAUSE backoff engaging.
+    ParallelProgram prog("hammer");
+    Phase p;
+    p.kind = PhaseKind::ParallelStatic;
+    p.num_tasks = 8;
+    p.make_task = [](std::size_t) -> std::unique_ptr<OpStream> {
+        std::vector<MicroOp> ops;
+        for (int i = 0; i < 50; ++i) {
+            ops.push_back(MicroOp::lockAcquire(0));
+            for (int j = 0; j < 100; ++j)
+                ops.push_back(MicroOp::intAlu());
+            ops.push_back(MicroOp::lockRelease(0));
+        }
+        return std::make_unique<VectorOpStream>(std::move(ops));
+    };
+    prog.addPhase(std::move(p));
+    Machine m(cfgOf(2, 8), prog);
+    m.run();
+    EXPECT_TRUE(m.finished());
+    EXPECT_GT(m.stats().sleep_cycles, 0u);  // backoff engaged
+}
+
+TEST(MachineEdge, QuantumPreemptionSharesTheCore)
+{
+    // Two threads on one core with quantum preemption: neither can
+    // finish long before the other (fair multiplexing).
+    ParallelProgram prog("fair");
+    prog.addPhase(aluPhase(PhaseKind::ParallelStatic, 2, 500000));
+    MachineConfig cfg = cfgOf(1, 2);
+    cfg.thread_quantum = 10000;
+    Machine m(cfg, prog);
+    m.run();
+    EXPECT_TRUE(m.finished());
+    // Both tasks ran: total ops exact.
+    EXPECT_EQ(m.stats().ops_retired, 1000000u);
+    // Wall clock ~ sum of both plus switching.
+    EXPECT_GT(m.stats().cycles, 1000000u);
+    EXPECT_LT(m.stats().cycles, 1300000u);
+}
+
+TEST(MachineEdge, StoreUpgradeChargesDirectoryLatency)
+{
+    // Load a line (clean), then store it: the store pays an upgrade.
+    ParallelProgram prog("upgrade");
+    Phase p;
+    p.kind = PhaseKind::Serial;
+    p.num_tasks = 1;
+    p.make_task = [](std::size_t) -> std::unique_ptr<OpStream> {
+        std::vector<MicroOp> ops;
+        ops.push_back(MicroOp::load(0x4000));
+        ops.push_back(MicroOp::store(0x4000));  // upgrade
+        ops.push_back(MicroOp::store(0x4000));  // now exclusive: fast
+        return std::make_unique<VectorOpStream>(std::move(ops));
+    };
+    prog.addPhase(std::move(p));
+    Machine m(cfgOf(1, 1), prog);
+    m.run();
+    // Miss (~96) + upgrade (~20) + fast store (1) + overheads.
+    EXPECT_GT(m.stats().cycles, 110u);
+    EXPECT_LT(m.stats().cycles, 200u);
+}
+
+} // namespace
+} // namespace csprint

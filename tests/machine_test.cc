@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Tests for the many-core machine: program execution semantics
+ * (serial/static/dynamic phases, barriers, locks, PAUSE), timing,
+ * energy accounting, thread multiplexing, consolidation, DVFS, and
+ * determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "archsim/machine.hh"
+#include "archsim/program.hh"
+
+namespace csprint {
+namespace {
+
+/** A phase of `tasks` tasks, each `n` IntAlu ops. */
+Phase
+aluPhase(PhaseKind kind, std::size_t tasks, std::size_t n)
+{
+    Phase p;
+    p.name = "alu";
+    p.kind = kind;
+    p.num_tasks = tasks;
+    p.make_task = [n](std::size_t) -> std::unique_ptr<OpStream> {
+        std::vector<MicroOp> ops(n, MicroOp::intAlu());
+        return std::make_unique<VectorOpStream>(std::move(ops));
+    };
+    return p;
+}
+
+MachineConfig
+smallConfig(int cores, int threads)
+{
+    MachineConfig cfg;
+    cfg.num_cores = cores;
+    cfg.num_threads = threads;
+    return cfg;
+}
+
+TEST(Machine, SingleCoreCpiOne)
+{
+    ParallelProgram prog("alu");
+    prog.addPhase(aluPhase(PhaseKind::Serial, 1, 10000));
+    Machine m(smallConfig(1, 1), prog);
+    m.run();
+    EXPECT_TRUE(m.finished());
+    EXPECT_EQ(m.stats().ops_retired, 10000u);
+    // CPI 1 plus small task-acquisition overhead.
+    EXPECT_GE(m.stats().cycles, 10000u);
+    EXPECT_LT(m.stats().cycles, 10300u);
+}
+
+TEST(Machine, StaticPhaseNearLinearSpeedup)
+{
+    auto run = [](int cores) {
+        ParallelProgram prog("alu");
+        prog.addPhase(aluPhase(PhaseKind::ParallelStatic, 64, 5000));
+        Machine m(smallConfig(cores, cores), prog);
+        m.run();
+        return m.stats().cycles;
+    };
+    const Cycles c1 = run(1);
+    const Cycles c16 = run(16);
+    const double speedup = static_cast<double>(c1) / c16;
+    EXPECT_GT(speedup, 14.0);
+    EXPECT_LE(speedup, 16.5);
+}
+
+TEST(Machine, DynamicPhaseBalancesUnevenTasks)
+{
+    // Task i has weight (i % 7 + 1) * 2000 ops: dynamic dequeue should
+    // still reach decent speedup.
+    auto make_prog = []() {
+        ParallelProgram prog("uneven");
+        Phase p;
+        p.kind = PhaseKind::ParallelDynamic;
+        p.num_tasks = 56;
+        p.make_task = [](std::size_t i) -> std::unique_ptr<OpStream> {
+            std::vector<MicroOp> ops((i % 7 + 1) * 2000,
+                                     MicroOp::intAlu());
+            return std::make_unique<VectorOpStream>(std::move(ops));
+        };
+        prog.addPhase(std::move(p));
+        return prog;
+    };
+    ParallelProgram p1 = make_prog();
+    Machine m1(smallConfig(1, 1), p1);
+    m1.run();
+    ParallelProgram p8 = make_prog();
+    Machine m8(smallConfig(8, 8), p8);
+    m8.run();
+    const double speedup =
+        static_cast<double>(m1.stats().cycles) / m8.stats().cycles;
+    EXPECT_GT(speedup, 5.0);
+}
+
+TEST(Machine, SerialPhaseRunsOnThreadZeroOnly)
+{
+    ParallelProgram prog("serial");
+    prog.addPhase(aluPhase(PhaseKind::Serial, 4, 1000));
+    Machine m(smallConfig(4, 4), prog);
+    m.run();
+    EXPECT_EQ(m.stats().ops_retired, 4000u);
+    // No parallelism possible: at least 4000 cycles.
+    EXPECT_GE(m.stats().cycles, 4000u);
+}
+
+TEST(Machine, BarriersSeparatePhases)
+{
+    // Phase 2 cannot start before phase 1 completes; total cycle count
+    // reflects the sum of two balanced phases.
+    ParallelProgram prog("two");
+    prog.addPhase(aluPhase(PhaseKind::ParallelStatic, 8, 4000));
+    prog.addPhase(aluPhase(PhaseKind::ParallelStatic, 8, 4000));
+    Machine m(smallConfig(8, 8), prog);
+    m.run();
+    EXPECT_EQ(m.stats().ops_retired, 2u * 8u * 4000u);
+    EXPECT_GE(m.stats().cycles, 8000u);
+}
+
+TEST(Machine, LockSerializesCriticalSections)
+{
+    // Each of 8 tasks takes the same lock around 2000 ops: the
+    // critical sections alone force >= 16000 cycles on any core count.
+    ParallelProgram prog("locked");
+    Phase p;
+    p.kind = PhaseKind::ParallelStatic;
+    p.num_tasks = 8;
+    p.make_task = [](std::size_t) -> std::unique_ptr<OpStream> {
+        std::vector<MicroOp> ops;
+        ops.push_back(MicroOp::lockAcquire(0));
+        for (int i = 0; i < 2000; ++i)
+            ops.push_back(MicroOp::intAlu());
+        ops.push_back(MicroOp::lockRelease(0));
+        return std::make_unique<VectorOpStream>(std::move(ops));
+    };
+    prog.addPhase(std::move(p));
+    Machine m(smallConfig(8, 8), prog);
+    m.run();
+    EXPECT_GE(m.stats().cycles, 8u * 2000u);
+    EXPECT_TRUE(m.finished());
+}
+
+TEST(Machine, PauseSleepsAndChargesIdle)
+{
+    ParallelProgram prog("pause");
+    Phase p;
+    p.kind = PhaseKind::Serial;
+    p.num_tasks = 1;
+    p.make_task = [](std::size_t) -> std::unique_ptr<OpStream> {
+        std::vector<MicroOp> ops;
+        ops.push_back(MicroOp::intAlu());
+        ops.push_back(MicroOp::pause());
+        ops.push_back(MicroOp::intAlu());
+        return std::make_unique<VectorOpStream>(std::move(ops));
+    };
+    prog.addPhase(std::move(p));
+    Machine m(smallConfig(1, 1), prog);
+    m.run();
+    EXPECT_GE(m.stats().cycles, 1000u);  // the sleep dominates
+    EXPECT_GE(m.stats().sleep_cycles, 1000u);
+}
+
+TEST(Machine, MemoryOpsStallInOrder)
+{
+    // A chain of loads to distinct lines: every one misses L1+L2 and
+    // pays the DRAM round trip; the in-order core cannot overlap them.
+    ParallelProgram prog("loads");
+    Phase p;
+    p.kind = PhaseKind::Serial;
+    p.num_tasks = 1;
+    const int n = 100;
+    p.make_task = [n](std::size_t) -> std::unique_ptr<OpStream> {
+        std::vector<MicroOp> ops;
+        for (int i = 0; i < n; ++i)
+            ops.push_back(MicroOp::load(static_cast<std::uint64_t>(i) *
+                                        64 * 131));
+        return std::make_unique<VectorOpStream>(std::move(ops));
+    };
+    prog.addPhase(std::move(p));
+    Machine m(smallConfig(1, 1), prog);
+    m.run();
+    // Each miss costs >= 20 (L2) + 60 (DRAM) + 16 (transfer).
+    EXPECT_GE(m.stats().cycles, static_cast<Cycles>(n) * 96u);
+    EXPECT_EQ(m.stats().l1_misses, static_cast<std::uint64_t>(n));
+}
+
+TEST(Machine, CachedLoadsHitAfterWarmup)
+{
+    ParallelProgram prog("hot");
+    Phase p;
+    p.kind = PhaseKind::Serial;
+    p.num_tasks = 1;
+    p.make_task = [](std::size_t) -> std::unique_ptr<OpStream> {
+        std::vector<MicroOp> ops;
+        for (int pass = 0; pass < 10; ++pass)
+            for (int i = 0; i < 8; ++i)
+                ops.push_back(MicroOp::load(
+                    static_cast<std::uint64_t>(i) * 64));
+        return std::make_unique<VectorOpStream>(std::move(ops));
+    };
+    prog.addPhase(std::move(p));
+    Machine m(smallConfig(1, 1), prog);
+    m.run();
+    EXPECT_EQ(m.stats().l1_misses, 8u);
+    EXPECT_EQ(m.stats().l1_hits, 72u);
+}
+
+TEST(Machine, MultiplexingMoreThreadsThanCores)
+{
+    // 8 threads on 1 core: same work as 8 threads on 8 cores but
+    // roughly 8x slower (plus switch overhead).
+    ParallelProgram prog("mux");
+    prog.addPhase(aluPhase(PhaseKind::ParallelStatic, 8, 20000));
+    Machine m1(smallConfig(1, 8), prog);
+    m1.run();
+    ParallelProgram prog2("mux");
+    prog2.addPhase(aluPhase(PhaseKind::ParallelStatic, 8, 20000));
+    Machine m8(smallConfig(8, 8), prog2);
+    m8.run();
+    EXPECT_EQ(m1.stats().ops_retired, m8.stats().ops_retired);
+    const double ratio =
+        static_cast<double>(m1.stats().cycles) / m8.stats().cycles;
+    EXPECT_GT(ratio, 7.0);
+    EXPECT_LT(ratio, 10.0);
+}
+
+TEST(Machine, ConsolidateMidRunCompletesWork)
+{
+    ParallelProgram prog("consolidate");
+    prog.addPhase(aluPhase(PhaseKind::ParallelStatic, 16, 50000));
+    Machine m(smallConfig(16, 16), prog);
+    bool consolidated = false;
+    m.setSampleHook(
+        [&](Machine &mm, Seconds, Joules) {
+            if (!consolidated && mm.stats().ops_retired > 0 &&
+                mm.simTime() > 20e-6) {
+                mm.consolidateToSingleCore();
+                consolidated = true;
+            }
+        },
+        1000);
+    m.run();
+    EXPECT_TRUE(consolidated);
+    EXPECT_TRUE(m.finished());
+    EXPECT_EQ(m.activeCores(), 1);
+    EXPECT_EQ(m.stats().ops_retired, 16u * 50000u);
+}
+
+TEST(Machine, DvfsBoostShortensWallClock)
+{
+    ParallelProgram prog("dvfs");
+    prog.addPhase(aluPhase(PhaseKind::Serial, 1, 100000));
+    MachineConfig boosted = smallConfig(1, 1);
+    boosted.freq_mult = 2.5;
+    Machine fast(boosted, prog);
+    fast.run();
+    ParallelProgram prog2("dvfs");
+    prog2.addPhase(aluPhase(PhaseKind::Serial, 1, 100000));
+    Machine slow(smallConfig(1, 1), prog2);
+    slow.run();
+    const double ratio = slow.stats().seconds / fast.stats().seconds;
+    EXPECT_NEAR(ratio, 2.5, 0.1);  // pure ALU work scales with clock
+}
+
+TEST(Machine, DvfsDoesNotSpeedUpMemory)
+{
+    auto make = []() {
+        ParallelProgram prog("memdvfs");
+        Phase p;
+        p.kind = PhaseKind::Serial;
+        p.num_tasks = 1;
+        p.make_task = [](std::size_t) -> std::unique_ptr<OpStream> {
+            std::vector<MicroOp> ops;
+            for (int i = 0; i < 2000; ++i)
+                ops.push_back(MicroOp::load(
+                    static_cast<std::uint64_t>(i) * 64 * 257));
+            return std::make_unique<VectorOpStream>(std::move(ops));
+        };
+        prog.addPhase(std::move(p));
+        return prog;
+    };
+    ParallelProgram pf = make();
+    MachineConfig boosted = smallConfig(1, 1);
+    boosted.freq_mult = 2.5;
+    Machine fast(boosted, pf);
+    fast.run();
+    ParallelProgram ps = make();
+    Machine slow(smallConfig(1, 1), ps);
+    slow.run();
+    const double ratio = slow.stats().seconds / fast.stats().seconds;
+    // Memory-bound work barely benefits from the clock boost.
+    EXPECT_LT(ratio, 1.3);
+}
+
+TEST(Machine, EnergyMatchesOpAccounting)
+{
+    ParallelProgram prog("energy");
+    prog.addPhase(aluPhase(PhaseKind::Serial, 1, 50000));
+    Machine m(smallConfig(1, 1), prog);
+    m.run();
+    const InstructionEnergyModel model;
+    const Joules expected =
+        50000.0 * model.opEnergy(OpKind::IntAlu);
+    // Idle charges add a little on top of pure op energy.
+    EXPECT_GE(m.stats().dynamic_energy, expected);
+    EXPECT_LT(m.stats().dynamic_energy, expected * 1.1);
+}
+
+TEST(Machine, SampleHookSeesAllEnergy)
+{
+    ParallelProgram prog("hook");
+    prog.addPhase(aluPhase(PhaseKind::ParallelStatic, 8, 10000));
+    Machine m(smallConfig(4, 4), prog);
+    Joules total = 0.0;
+    Seconds time = 0.0;
+    m.setSampleHook(
+        [&](Machine &, Seconds dt, Joules e) {
+            total += e;
+            time += dt;
+        },
+        1000);
+    m.run();
+    EXPECT_NEAR(total, m.stats().dynamic_energy,
+                0.02 * m.stats().dynamic_energy + 1e-9);
+    EXPECT_NEAR(time, m.stats().seconds, 2e-6);
+}
+
+TEST(Machine, DeterministicAcrossRuns)
+{
+    auto run = []() {
+        ParallelProgram prog("det");
+        prog.addPhase(aluPhase(PhaseKind::ParallelDynamic, 31, 3333));
+        prog.addPhase(aluPhase(PhaseKind::ParallelStatic, 13, 777));
+        Machine m(smallConfig(6, 6), prog);
+        m.run();
+        return std::make_pair(m.stats().cycles,
+                              m.stats().dynamic_energy);
+    };
+    const auto a = run();
+    const auto b = run();
+    EXPECT_EQ(a.first, b.first);
+    EXPECT_DOUBLE_EQ(a.second, b.second);
+}
+
+} // namespace
+} // namespace csprint

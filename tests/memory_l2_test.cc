@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the memory-bandwidth model and the directory-coherent
+ * shared L2.
+ */
+
+#include <gtest/gtest.h>
+
+#include "archsim/cache.hh"
+#include "archsim/l2.hh"
+#include "archsim/memory.hh"
+
+namespace csprint {
+namespace {
+
+MemoryConfig
+smallMem()
+{
+    MemoryConfig cfg;
+    cfg.channels = 2;
+    cfg.channel_bytes_per_sec = 4.0e9;
+    cfg.round_trip = 60e-9;
+    cfg.line_bytes = 64;
+    return cfg;
+}
+
+TEST(Memory, UncontendedLatencySixtyCycles)
+{
+    MemorySystem mem(smallMem(), 1e9);
+    EXPECT_EQ(mem.uncontendedLatency(), 60u);
+    // 4 GB/s at 1 GHz = 4 B/cycle -> 16 cycles per 64 B line.
+    EXPECT_EQ(mem.serviceCycles(), 16u);
+}
+
+TEST(Memory, SingleAccessNoQueue)
+{
+    MemorySystem mem(smallMem(), 1e9);
+    EXPECT_EQ(mem.read(0, 100), 60u + 16u);
+    EXPECT_EQ(mem.stats().queued_cycles, 0u);
+}
+
+TEST(Memory, BackToBackSameChannelQueues)
+{
+    MemorySystem mem(smallMem(), 1e9);
+    mem.read(0, 0);   // channel 0 busy until cycle 16
+    const Cycles lat = mem.read(2, 0);  // same channel (2 % 2 == 0)
+    EXPECT_EQ(lat, 16u + 60u + 16u);
+    EXPECT_GT(mem.stats().queued_cycles, 0u);
+}
+
+TEST(Memory, ChannelsIndependent)
+{
+    MemorySystem mem(smallMem(), 1e9);
+    mem.read(0, 0);  // channel 0
+    const Cycles lat = mem.read(1, 0);  // channel 1: no queueing
+    EXPECT_EQ(lat, 60u + 16u);
+}
+
+TEST(Memory, BandwidthCeiling)
+{
+    // Saturating one channel: N lines take ~N*service cycles.
+    MemorySystem mem(smallMem(), 1e9);
+    Cycles last = 0;
+    const int n = 100;
+    for (int i = 0; i < n; ++i)
+        last = mem.read(static_cast<std::uint64_t>(2 * i), 0);
+    // The last access queues behind 99 others: ~99*16 cycles.
+    EXPECT_GE(last, 99u * 16u);
+}
+
+TEST(Memory, FrequencyMultiplierScalesCycles)
+{
+    MemorySystem mem(smallMem(), 1e9, 2.0);
+    // At 2 GHz, 60 ns = 120 cycles and 4 GB/s = 2 B/cycle -> 32.
+    EXPECT_EQ(mem.uncontendedLatency(), 120u);
+    EXPECT_EQ(mem.serviceCycles(), 32u);
+}
+
+TEST(Memory, WritebackConsumesBandwidthOnly)
+{
+    MemorySystem mem(smallMem(), 1e9);
+    mem.writeback(0, 0);
+    EXPECT_EQ(mem.stats().writebacks, 1u);
+    // A read right behind it queues.
+    const Cycles lat = mem.read(2, 0);
+    EXPECT_GT(lat, 60u + 16u);
+}
+
+// --- Shared L2 + directory ---
+
+struct L2Fixture : public ::testing::Test
+{
+    L2Fixture()
+        : mem(smallMem(), 1e9),
+          l2(L2Config{}, mem)
+    {
+        for (int i = 0; i < 4; ++i)
+            l1s.emplace_back(32 * 1024, 8, 64);
+    }
+
+    MemorySystem mem;
+    SharedL2 l2;
+    std::vector<Cache> l1s;
+};
+
+TEST_F(L2Fixture, MissThenHitLatency)
+{
+    const Cycles miss = l2.access(100, false, 0, 0, l1s);
+    EXPECT_GT(miss, l2.config().hit_latency);
+    l1s[0].access(100, false);
+    const Cycles hit = l2.access(100, false, 1, 200, l1s);
+    EXPECT_EQ(hit, l2.config().hit_latency);
+    EXPECT_EQ(l2.stats().hits, 1u);
+    EXPECT_EQ(l2.stats().misses, 1u);
+}
+
+TEST_F(L2Fixture, WriteInvalidatesOtherSharers)
+{
+    // Cores 0..2 read line 7; core 3 writes it.
+    for (int c = 0; c < 3; ++c) {
+        l2.access(7, false, c, 0, l1s);
+        l1s[c].access(7, false);
+    }
+    const Cycles lat = l2.access(7, true, 3, 100, l1s);
+    EXPECT_GT(lat, l2.config().hit_latency);  // coherence penalty
+    EXPECT_EQ(l2.stats().invalidations_sent, 3u);
+    for (int c = 0; c < 3; ++c)
+        EXPECT_FALSE(l1s[c].contains(7)) << "core " << c;
+}
+
+TEST_F(L2Fixture, ReadDowngradesDirtyOwner)
+{
+    l2.access(9, true, 0, 0, l1s);
+    l1s[0].access(9, true);  // core 0 holds line 9 dirty
+    const Cycles lat = l2.access(9, false, 1, 50, l1s);
+    EXPECT_GT(lat, l2.config().hit_latency);
+    EXPECT_EQ(l2.stats().downgrades_sent, 1u);
+    EXPECT_TRUE(l1s[0].contains(9));
+    EXPECT_FALSE(l1s[0].isDirty(9));  // downgraded to clean
+}
+
+TEST_F(L2Fixture, WriteByOwnerNoPenalty)
+{
+    l2.access(9, true, 0, 0, l1s);
+    const Cycles lat = l2.access(9, true, 0, 50, l1s);
+    EXPECT_EQ(lat, l2.config().hit_latency);
+    EXPECT_EQ(l2.stats().invalidations_sent, 0u);
+}
+
+TEST_F(L2Fixture, InclusionRecallOnEviction)
+{
+    // Fill one L2 set past its associativity and check L1 recall.
+    // L2: 4 MB, 16 ways, 64 B lines -> 4096 sets; lines that collide
+    // are spaced 4096 apart.
+    const std::uint64_t base = 12;
+    for (int i = 0; i < 17; ++i) {
+        const std::uint64_t line = base + 4096ULL * i;
+        l2.access(line, false, 0, i * 100, l1s);
+        l1s[0].access(line, false);
+    }
+    // The first line was LRU in the L2 and must have been recalled
+    // from core 0's L1.
+    EXPECT_FALSE(l1s[0].contains(base));
+    EXPECT_GE(l2.stats().inclusion_recalls, 1u);
+}
+
+TEST_F(L2Fixture, WritebackFromL1MarksDirty)
+{
+    l2.access(21, true, 0, 0, l1s);
+    l1s[0].access(21, true);
+    l2.writebackFromL1(21, 0, 10);
+    EXPECT_EQ(l2.stats().writebacks_received, 1u);
+}
+
+TEST_F(L2Fixture, DropCoreClearsSharerState)
+{
+    l2.access(30, false, 2, 0, l1s);
+    l1s[2].access(30, false);
+    l2.dropCore(2, l1s);
+    EXPECT_EQ(l1s[2].validLines(), 0u);
+    // A later write by another core sends no invalidation to core 2.
+    const auto invals_before = l2.stats().invalidations_sent;
+    l2.access(30, true, 0, 100, l1s);
+    EXPECT_EQ(l2.stats().invalidations_sent, invals_before);
+}
+
+} // namespace
+} // namespace csprint

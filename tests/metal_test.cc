@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the solid-metal heat-storage alternative of paper
+ * Section 4.1, including the paper's worked example (16 J into a
+ * 7.2 mm copper slab over a 64 mm^2 die raises it 10 C) and the two
+ * drawbacks the paper identifies: eroded headroom after sustained
+ * operation, and the slab's internal resistance limiting absorption.
+ */
+
+#include <gtest/gtest.h>
+
+#include "thermal/metal.hh"
+#include "thermal/package.hh"
+#include "thermal/transients.hh"
+
+namespace csprint {
+namespace {
+
+TEST(MetalSlug, PaperCopperExample)
+{
+    // Paper: copper at 3.45 J/cm^3 K, 7.2 mm over 64 mm^2 absorbs
+    // 16 J with a 10 C rise.
+    MetalSlugSpec spec;
+    spec.metal = MetalProperties::copper();
+    spec.thickness = 7.2e-3;
+    spec.die_area_mm2 = 64.0;
+    EXPECT_NEAR(metalSlugTemperatureRise(spec, 16.0), 10.0, 0.2);
+}
+
+TEST(MetalSlug, PaperAluminumExample)
+{
+    // Paper: 10.3 mm of aluminum (2.42 J/cm^3 K) for the same 10 C.
+    const Meters t = metalThicknessFor(MetalProperties::aluminum(),
+                                       64.0, 16.0, 10.0);
+    EXPECT_NEAR(t, 10.3e-3, 0.3e-3);
+}
+
+TEST(MetalSlug, CopperThicknessInverse)
+{
+    const Meters t = metalThicknessFor(MetalProperties::copper(),
+                                       64.0, 16.0, 10.0);
+    EXPECT_NEAR(t, 7.2e-3, 0.3e-3);
+    MetalSlugSpec spec;
+    spec.thickness = t;
+    EXPECT_NEAR(metalSlugTemperatureRise(spec, 16.0), 10.0, 1e-6);
+}
+
+TEST(MetalSlug, CapacityScalesWithThickness)
+{
+    MetalSlugSpec thin;
+    thin.thickness = 2e-3;
+    MetalSlugSpec thick;
+    thick.thickness = 8e-3;
+    EXPECT_NEAR(metalSlugCapacity(thick) / metalSlugCapacity(thin),
+                4.0, 1e-9);
+}
+
+TEST(MetalSlug, InternalResistancePositiveAndThicknessMonotone)
+{
+    MetalSlugSpec thin;
+    thin.thickness = 2e-3;
+    MetalSlugSpec thick;
+    thick.thickness = 8e-3;
+    EXPECT_GT(metalSlugInternalResistance(thin), 0.0);
+    EXPECT_GT(metalSlugInternalResistance(thick),
+              metalSlugInternalResistance(thin));
+}
+
+TEST(MetalSlug, PackageSustainsAboutOneWatt)
+{
+    MobilePackageModel pkg(metalSlugPackage(MetalSlugSpec{}));
+    // The junction limit (not a melt point) governs sustained power:
+    // comparable to (or a bit above) the PCM package's TDP.
+    EXPECT_GT(pkg.sustainableTdp(), 0.8);
+    EXPECT_LT(pkg.sustainableTdp(), 1.6);
+}
+
+TEST(MetalSlug, SprintFromColdIsLong)
+{
+    // A multi-millimetre copper slab stores plenty of sensible heat
+    // from a cold start: the cold-start sprint is long.
+    MobilePackageModel pkg(metalSlugPackage(MetalSlugSpec{}));
+    const auto tr = runSprintTransient(pkg, 16.0, 30.0, 5e-3);
+    EXPECT_TRUE(tr.hit_limit);
+    EXPECT_GT(tr.time_to_limit, 1.0);
+    // But there is no latent plateau: temperature rises throughout.
+    EXPECT_NEAR(tr.plateau_duration, 0.0, 1e-9);
+}
+
+TEST(MetalSlug, PreheatedSlugErodesHeadroom)
+{
+    // Paper drawback (1): after sustained single-core operation the
+    // metal sits hot, so the remaining sprint budget collapses; the
+    // PCM package retains its latent budget as long as the sustained
+    // load keeps the junction below the melt point.
+    MobilePackageModel metal(metalSlugPackage(MetalSlugSpec{}));
+    MobilePackageModel pcm(MobilePackageParams::phonePcm());
+
+    const Joules metal_cold = metal.sprintEnergyBudget();
+    const Joules pcm_cold = pcm.sprintEnergyBudget();
+
+    for (int i = 0; i < 4000; ++i) {
+        metal.setDiePower(1.0);
+        metal.step(1.0);
+        pcm.setDiePower(1.0);
+        pcm.step(1.0);
+    }
+    const double metal_left =
+        metal.sprintEnergyBudget() / metal_cold;
+    const double pcm_left = pcm.sprintEnergyBudget() / pcm_cold;
+    EXPECT_LT(metal_left, 0.45);  // most sensible headroom gone
+    EXPECT_GT(pcm_left, 0.75);    // latent heat still untouched
+    EXPECT_GT(pcm_left, metal_left + 0.2);
+}
+
+TEST(MetalSlug, ThickSlabLimitsAbsorptionRate)
+{
+    // Paper drawback (2): conduction resistance inside a thick slab
+    // raises the junction temperature offset during an intense
+    // sprint, shortening the time to the junction limit per joule
+    // stored.
+    MetalSlugSpec thin;
+    thin.thickness = 2e-3;
+    MetalSlugSpec thick;
+    thick.thickness = 14e-3;
+    MobilePackageModel a(metalSlugPackage(thin));
+    MobilePackageModel b(metalSlugPackage(thick));
+    // Same power; the thick slab's junction runs hotter relative to
+    // its storage because of the added internal resistance.
+    EXPECT_GT(metalSlugInternalResistance(thick),
+              4.0 * metalSlugInternalResistance(thin));
+}
+
+} // namespace
+} // namespace csprint

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the op-stream abstraction and the MicroOp helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "archsim/op.hh"
+#include "archsim/opstream.hh"
+#include "archsim/program.hh"
+
+namespace csprint {
+namespace {
+
+TEST(MicroOp, FactoryHelpers)
+{
+    EXPECT_EQ(MicroOp::intAlu().kind, OpKind::IntAlu);
+    EXPECT_EQ(MicroOp::fpAlu().kind, OpKind::FpAlu);
+    EXPECT_EQ(MicroOp::branch().kind, OpKind::Branch);
+    EXPECT_EQ(MicroOp::pause().kind, OpKind::Pause);
+    EXPECT_EQ(MicroOp::load(0x1234).kind, OpKind::Load);
+    EXPECT_EQ(MicroOp::load(0x1234).addr, 0x1234u);
+    EXPECT_EQ(MicroOp::store(0x99).addr, 0x99u);
+    EXPECT_EQ(MicroOp::lockAcquire(3).addr, 3u);
+    EXPECT_EQ(MicroOp::lockRelease(3).kind, OpKind::LockRelease);
+}
+
+TEST(VectorOpStream, DrainsInOrder)
+{
+    VectorOpStream s({MicroOp::intAlu(), MicroOp::load(64),
+                      MicroOp::store(128)});
+    MicroOp op;
+    ASSERT_TRUE(s.next(op));
+    EXPECT_EQ(op.kind, OpKind::IntAlu);
+    ASSERT_TRUE(s.next(op));
+    EXPECT_EQ(op.addr, 64u);
+    ASSERT_TRUE(s.next(op));
+    EXPECT_EQ(op.addr, 128u);
+    EXPECT_FALSE(s.next(op));
+    EXPECT_FALSE(s.next(op));  // stays exhausted
+}
+
+TEST(VectorOpStream, EmptyIsImmediatelyExhausted)
+{
+    VectorOpStream s({});
+    MicroOp op;
+    EXPECT_FALSE(s.next(op));
+}
+
+TEST(ChunkedOpStream, GeneratesAllChunks)
+{
+    ChunkedOpStream s(4, [](std::size_t chunk,
+                            std::vector<MicroOp> &out) {
+        for (std::size_t i = 0; i <= chunk; ++i)
+            out.push_back(MicroOp::load(chunk * 100 + i));
+    });
+    MicroOp op;
+    std::size_t count = 0;
+    std::uint64_t last = 0;
+    while (s.next(op)) {
+        ++count;
+        last = op.addr;
+    }
+    EXPECT_EQ(count, 1u + 2u + 3u + 4u);
+    EXPECT_EQ(last, 303u);
+}
+
+TEST(ChunkedOpStream, SkipsEmptyChunks)
+{
+    // Chunks 0 and 2 are empty; the stream must not emit garbage or
+    // terminate early.
+    ChunkedOpStream s(4, [](std::size_t chunk,
+                            std::vector<MicroOp> &out) {
+        if (chunk % 2 == 1)
+            out.push_back(MicroOp::intAlu());
+    });
+    MicroOp op;
+    std::size_t count = 0;
+    while (s.next(op))
+        ++count;
+    EXPECT_EQ(count, 2u);
+}
+
+TEST(ChunkedOpStream, AllChunksEmpty)
+{
+    ChunkedOpStream s(8, [](std::size_t, std::vector<MicroOp> &) {});
+    MicroOp op;
+    EXPECT_FALSE(s.next(op));
+}
+
+TEST(ChunkedOpStream, ZeroChunks)
+{
+    ChunkedOpStream s(0, [](std::size_t, std::vector<MicroOp> &out) {
+        out.push_back(MicroOp::intAlu());
+    });
+    MicroOp op;
+    EXPECT_FALSE(s.next(op));
+}
+
+TEST(AddressAllocator, DisjointLineAlignedRanges)
+{
+    AddressAllocator alloc;
+    const std::uint64_t a = alloc.alloc(100);
+    const std::uint64_t b = alloc.alloc(1);
+    const std::uint64_t c = alloc.alloc(4096);
+    EXPECT_EQ(a % 64, 0u);
+    EXPECT_EQ(b % 64, 0u);
+    EXPECT_EQ(c % 64, 0u);
+    // No overlap, and at least one guard line between buffers.
+    EXPECT_GE(b, a + 100);
+    EXPECT_GE(b - (a + 100), 0u);
+    EXPECT_GE(c, b + 1);
+    EXPECT_NE(a / 64, b / 64);  // never share a cache line
+    EXPECT_NE(b / 64, c / 64);
+}
+
+TEST(OpKindNames, AllDistinct)
+{
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < kNumOpKinds; ++i)
+        names.insert(opKindName(static_cast<OpKind>(i)));
+    EXPECT_EQ(names.size(), kNumOpKinds);
+}
+
+} // namespace
+} // namespace csprint

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for sprint pacing: duty-cycle bounds, budget recovery during
+ * rest, and sprint trains arriving faster than the cooldown.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sprint/pacing.hh"
+#include "thermal/package.hh"
+
+namespace csprint {
+namespace {
+
+TEST(Pacing, DutyCycleIsTdpOverSprintPower)
+{
+    MobilePackageModel pkg(MobilePackageParams::phonePcm());
+    const double duty = sustainableDutyCycle(pkg, 16.0);
+    EXPECT_NEAR(duty, pkg.sustainableTdp() / 16.0, 1e-12);
+    EXPECT_GT(duty, 0.04);
+    EXPECT_LT(duty, 0.10);  // ~6% for a 16x sprint
+    EXPECT_DOUBLE_EQ(sustainableDutyCycle(pkg, 0.5), 1.0);
+}
+
+TEST(Pacing, BudgetRecoversMonotonicallyWithRest)
+{
+    // Drain the package, then measure budget after increasing rests.
+    auto drained = []() {
+        MobilePackageModel pkg(MobilePackageParams::phonePcm());
+        pkg.setDiePower(16.0);
+        for (int i = 0; i < 1100; ++i)
+            pkg.step(1e-3);
+        return pkg;
+    };
+    Joules prev = 0.0;
+    for (Seconds rest : {1.0, 5.0, 15.0, 40.0}) {
+        MobilePackageModel pkg = drained();
+        const Joules budget = budgetAfterRest(pkg, rest);
+        EXPECT_GE(budget, prev - 1e-9) << "rest " << rest;
+        prev = budget;
+    }
+    // After a long rest, the full cold-start budget is back.
+    MobilePackageModel pkg = drained();
+    MobilePackageModel cold(MobilePackageParams::phonePcm());
+    EXPECT_NEAR(budgetAfterRest(pkg, 120.0),
+                cold.sprintEnergyBudget(),
+                0.05 * cold.sprintEnergyBudget());
+}
+
+TEST(Pacing, TimeToFullBudgetMatchesPaperCooldown)
+{
+    MobilePackageModel pkg(MobilePackageParams::phonePcm());
+    pkg.setDiePower(16.0);
+    for (int i = 0; i < 1100; ++i)
+        pkg.step(1e-3);
+    const Seconds t = timeToBudgetFraction(pkg, 0.95, 120.0);
+    // Paper Section 4.5: cooldown ~16-24 s for a ~1 s 16 W sprint.
+    EXPECT_GT(t, 8.0);
+    EXPECT_LT(t, 40.0);
+}
+
+TEST(Pacing, WellSpacedTrainKeepsFullSprints)
+{
+    MobilePackageModel pkg(MobilePackageParams::phonePcm());
+    const auto train = runSprintTrain(pkg, 3, 16.0, 0.5, 60.0);
+    ASSERT_EQ(train.size(), 3u);
+    for (const auto &win : train) {
+        EXPECT_NEAR(win.duration, 0.5, 1e-6);
+        EXPECT_GT(win.budget_fraction, 0.9);
+    }
+}
+
+TEST(Pacing, BackToBackTrainDegrades)
+{
+    MobilePackageModel pkg(MobilePackageParams::phonePcm());
+    // Requests every 2 s wanting 1 s sprints: far faster than the
+    // ~20 s cooldown.
+    const auto train = runSprintTrain(pkg, 5, 16.0, 1.0, 2.0);
+    ASSERT_EQ(train.size(), 5u);
+    EXPECT_NEAR(train[0].duration, 1.0, 0.1);
+    // Later sprints start with less budget and are cut short.
+    EXPECT_LT(train[2].budget_fraction, train[0].budget_fraction);
+    EXPECT_LT(train[4].duration, 0.6 * train[0].duration);
+}
+
+TEST(Pacing, LongRunEnergyRespectsDutyCycle)
+{
+    // Over the whole train, average power above TDP cannot be
+    // sustained: total sprint energy <= budget + TDP * elapsed.
+    MobilePackageModel pkg(MobilePackageParams::phonePcm());
+    const auto train = runSprintTrain(pkg, 6, 16.0, 1.0, 4.0);
+    double sprint_energy = 0.0;
+    for (const auto &win : train)
+        sprint_energy += win.energy;
+    const Seconds elapsed = 6 * 4.0;
+    const Joules cap = pkg.sprintEnergyBudget() +
+                       MobilePackageModel(pkg.params())
+                               .sprintEnergyBudget() +
+                       pkg.sustainableTdp() * elapsed;
+    EXPECT_LT(sprint_energy, cap);
+}
+
+} // namespace
+} // namespace csprint

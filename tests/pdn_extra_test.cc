@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Additional power-delivery tests: clock-ripple core loads, schedule
+ * degenerate cases, metric computation on synthetic traces, and
+ * network composition details.
+ */
+
+#include <gtest/gtest.h>
+
+#include "powergrid/circuit.hh"
+#include "powergrid/pdn.hh"
+
+namespace csprint {
+namespace {
+
+TEST(PdnExtra, SingleCoreNetworkRuns)
+{
+    PdnParams params = PdnParams::paper16();
+    params.num_cores = 1;
+    PowerDeliveryNetwork pdn(params, ActivationSchedule::abrupt(1e-6));
+    const SupplyTrace trace = pdn.simulate(20e-6, 1e-9, 100e-9);
+    const SupplyMetrics m =
+        computeSupplyMetrics(trace, params.vdd, 0.02, 1e-6);
+    // Even one core's 0.5 A/ns step rings through its 32 pH bump
+    // inductance, but far less than the 16-core dip, and the static
+    // droop of a single core is tiny.
+    EXPECT_GT(m.min_voltage, 0.97 * params.vdd);
+    // 0.5 A through ~7 mOhm of rails: a few millivolts of droop.
+    EXPECT_GT(m.settled, params.vdd - 5e-3);
+
+    PdnParams full = PdnParams::paper16();
+    PowerDeliveryNetwork pdn16(full, ActivationSchedule::abrupt(1e-6));
+    const SupplyMetrics m16 = computeSupplyMetrics(
+        pdn16.simulate(20e-6, 1e-9, 100e-9), full.vdd, 0.02, 1e-6);
+    EXPECT_GT(m.min_voltage, m16.min_voltage);
+}
+
+TEST(PdnExtra, ScheduleSingleCoreDegeneratesToStart)
+{
+    const auto sched = ActivationSchedule::linearRamp(100e-6, 5e-6);
+    EXPECT_DOUBLE_EQ(sched.coreOnTime(0, 1), 5e-6);
+}
+
+TEST(PdnExtra, CoreCurrentRampIsLinear)
+{
+    ActivationSchedule sched = ActivationSchedule::abrupt(0.0);
+    sched.core_rise = 10e-9;
+    EXPECT_DOUBLE_EQ(sched.coreCurrent(0, 16, 1.0, 5e-9), 0.5);
+    EXPECT_DOUBLE_EQ(sched.coreCurrent(0, 16, 1.0, 20e-9), 1.0);
+}
+
+TEST(PdnExtra, ClockRippleIncreasesWorstCaseDip)
+{
+    PdnParams smooth = PdnParams::paper16();
+    PdnParams rippled = smooth;
+    rippled.clock_ripple = true;
+    rippled.clock_ripple_freq = 20e6;  // resolvable at dt = 1 ns
+
+    PowerDeliveryNetwork a(smooth,
+                           ActivationSchedule::linearRamp(16e-6, 2e-6));
+    PowerDeliveryNetwork b(rippled,
+                           ActivationSchedule::linearRamp(16e-6, 2e-6));
+    const auto ma = computeSupplyMetrics(
+        a.simulate(60e-6, 1e-9, 50e-9), smooth.vdd, 0.02, 2e-6);
+    const auto mb = computeSupplyMetrics(
+        b.simulate(60e-6, 1e-9, 50e-9), rippled.vdd, 0.02, 2e-6);
+    EXPECT_LT(mb.min_voltage, ma.min_voltage);
+}
+
+TEST(PdnExtra, MetricsOnSyntheticTrace)
+{
+    SupplyTrace trace;
+    trace.dt = 1e-9;
+    trace.worst_supply.add(0.0, 1.2);
+    trace.worst_supply.add(1e-6, 1.15);   // dip
+    trace.worst_supply.add(2e-6, 1.21);   // overshoot
+    trace.worst_supply.add(3e-6, 1.19);
+    trace.worst_supply.add(4e-6, 1.19);
+    const SupplyMetrics m =
+        computeSupplyMetrics(trace, 1.2, 0.02, 0.0);
+    EXPECT_DOUBLE_EQ(m.min_voltage, 1.15);
+    EXPECT_DOUBLE_EQ(m.max_voltage, 1.21);
+    EXPECT_DOUBLE_EQ(m.settled, 1.19);
+    EXPECT_FALSE(m.within_tolerance);  // 1.15 < 1.176
+}
+
+TEST(PdnExtra, DecapComposesSeriesRlc)
+{
+    // addDecap with ESR+ESL creates two internal nodes; with zero
+    // ESR/ESL it degenerates to a bare capacitor.
+    Circuit a;
+    const auto n1 = a.addNode("n");
+    a.addDecap(n1, a.ground(), 1e-6, 0.0, 0.0);
+    const std::size_t bare_nodes = a.nodeCount();
+
+    Circuit b;
+    const auto n2 = b.addNode("n");
+    b.addDecap(n2, b.ground(), 1e-6, 1e-3, 1e-9);
+    EXPECT_EQ(b.nodeCount(), bare_nodes + 2);
+}
+
+TEST(PdnExtra, VoltageBetweenIsAntisymmetric)
+{
+    Circuit ckt;
+    const auto top = ckt.addNode("top");
+    const auto mid = ckt.addNode("mid");
+    ckt.addVoltageSource(top, ckt.ground(), 6.0);
+    ckt.addResistor(top, mid, 100.0);
+    ckt.addResistor(mid, ckt.ground(), 200.0);
+    ckt.beginTransient(1e-6);
+    ckt.step();
+    EXPECT_NEAR(ckt.voltageBetween(top, mid),
+                -ckt.voltageBetween(mid, top), 1e-12);
+    EXPECT_NEAR(ckt.voltageBetween(top, mid), 2.0, 1e-9);
+}
+
+TEST(PdnExtra, TransientTimeAdvances)
+{
+    Circuit ckt;
+    const auto n = ckt.addNode("n");
+    ckt.addResistor(n, ckt.ground(), 1.0);
+    ckt.addVoltageSource(n, ckt.ground(), 1.0);
+    ckt.beginTransient(2e-9);
+    EXPECT_DOUBLE_EQ(ckt.time(), 0.0);
+    for (int i = 0; i < 5; ++i)
+        ckt.step();
+    EXPECT_NEAR(ckt.time(), 10e-9, 1e-15);
+}
+
+TEST(PdnExtra, SupplyTraceCoversWholeWindow)
+{
+    PdnParams params = PdnParams::paper16();
+    PowerDeliveryNetwork pdn(params, ActivationSchedule::abrupt(1e-6));
+    const SupplyTrace trace = pdn.simulate(10e-6, 1e-9, 1e-6);
+    ASSERT_GE(trace.worst_supply.size(), 10u);
+    EXPECT_NEAR(trace.worst_supply.timeAt(trace.worst_supply.size() - 1),
+                10e-6, 0.2e-6);
+}
+
+} // namespace
+} // namespace csprint

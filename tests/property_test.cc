@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Parameterized property sweeps (TEST_P): cache geometries, PCM
+ * masses, activation ramps, scaling scenarios, RNG seeds, and machine
+ * shapes. Each suite asserts an invariant across the whole sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "archsim/cache.hh"
+#include "archsim/machine.hh"
+#include "powergrid/pdn.hh"
+#include "scaling/darksilicon.hh"
+#include "sprint/experiment.hh"
+#include "thermal/package.hh"
+#include "thermal/transients.hh"
+#include "workloads/workload.hh"
+
+namespace csprint {
+namespace {
+
+// --- Cache geometry properties ---
+
+class CacheGeometry
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(CacheGeometry, HitRateOneForResidentSet)
+{
+    const auto [kb, assoc] = GetParam();
+    Cache c(static_cast<std::size_t>(kb) * 1024, assoc, 64);
+    const std::size_t lines = c.numSets() * assoc;
+    // Touch exactly capacity lines twice: second pass all hits.
+    for (int pass = 0; pass < 2; ++pass)
+        for (std::uint64_t l = 0; l < lines; ++l)
+            c.access(l, false);
+    EXPECT_EQ(c.stats().misses, lines);
+    EXPECT_EQ(c.stats().hits, lines);
+    EXPECT_EQ(c.validLines(), lines);
+}
+
+TEST_P(CacheGeometry, InvalidateThenMiss)
+{
+    const auto [kb, assoc] = GetParam();
+    Cache c(static_cast<std::size_t>(kb) * 1024, assoc, 64);
+    c.access(11, true);
+    EXPECT_TRUE(c.invalidate(11));
+    EXPECT_FALSE(c.access(11, false).hit);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CacheGeometry,
+    ::testing::Values(std::make_tuple(8, 1), std::make_tuple(8, 2),
+                      std::make_tuple(16, 4), std::make_tuple(32, 8),
+                      std::make_tuple(64, 16)));
+
+// --- PCM mass properties ---
+
+class PcmMass : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(PcmMass, SprintDurationMonotoneInMass)
+{
+    const double mass = GetParam();
+    MobilePackageModel smaller(
+        MobilePackageParams::phonePcm(mass * 0.5));
+    MobilePackageModel larger(MobilePackageParams::phonePcm(mass));
+    const auto tr_small = runSprintTransient(smaller, 16.0, 10.0);
+    const auto tr_large = runSprintTransient(larger, 16.0, 10.0);
+    EXPECT_LE(tr_small.time_to_limit, tr_large.time_to_limit + 1e-6);
+}
+
+TEST_P(PcmMass, BudgetScalesWithMass)
+{
+    const double mass = GetParam();
+    MobilePackageModel pkg(MobilePackageParams::phonePcm(mass));
+    const Joules latent =
+        mass * MobilePackageParams::phonePcm().pcm_latent_per_gram;
+    EXPECT_GE(pkg.sprintEnergyBudget(), latent);
+}
+
+INSTANTIATE_TEST_SUITE_P(Masses, PcmMass,
+                         ::testing::Values(0.015, 0.075, 0.150, 0.300));
+
+// --- Activation-ramp properties ---
+
+class RampSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(RampSweep, LongerRampsNeverUndershootMore)
+{
+    const double ramp = GetParam();
+    PdnParams params = PdnParams::paper16();
+    PowerDeliveryNetwork a(
+        params, ActivationSchedule::linearRamp(ramp, 2e-6));
+    PowerDeliveryNetwork b(
+        params, ActivationSchedule::linearRamp(4.0 * ramp, 2e-6));
+    const auto ma = computeSupplyMetrics(
+        a.simulate(ramp * 3 + 60e-6, 2e-9, 100e-9), params.vdd, 0.02,
+        2e-6);
+    const auto mb = computeSupplyMetrics(
+        b.simulate(12.0 * ramp + 60e-6, 2e-9, 200e-9), params.vdd,
+        0.02, 2e-6);
+    EXPECT_LE(ma.min_voltage, mb.min_voltage + 2e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ramps, RampSweep,
+                         ::testing::Values(1.28e-6, 5e-6, 32e-6));
+
+// --- Scaling scenarios ---
+
+class ScenarioSweep
+    : public ::testing::TestWithParam<ScalingScenario>
+{
+};
+
+TEST_P(ScenarioSweep, DarkFractionMonotone)
+{
+    const auto proj = projectDarkSilicon(GetParam());
+    for (std::size_t i = 1; i < proj.size(); ++i)
+        EXPECT_GE(proj[i].dark_fraction, proj[i - 1].dark_fraction);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, ScenarioSweep,
+    ::testing::Values(ScalingScenario::Itrs, ScalingScenario::Borkar,
+                      ScalingScenario::ItrsBorkarVdd));
+
+// --- Seed invariance of workload structure ---
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SeedSweep, SobelOpCountIndependentOfSeed)
+{
+    // Sobel's structure is data-independent: op counts must not vary
+    // with the input content.
+    const auto ops = countProgramOps(
+        buildKernelProgram(KernelId::Sobel, InputSize::A, GetParam()));
+    const auto ops_ref = countProgramOps(
+        buildKernelProgram(KernelId::Sobel, InputSize::A, 42));
+    EXPECT_EQ(ops, ops_ref);
+}
+
+TEST_P(SeedSweep, MachineDeterminismPerSeed)
+{
+    const ParallelProgram p1 =
+        buildKernelProgram(KernelId::Segment, InputSize::A, GetParam());
+    const ParallelProgram p2 =
+        buildKernelProgram(KernelId::Segment, InputSize::A, GetParam());
+    MachineConfig cfg;
+    cfg.num_cores = 4;
+    cfg.num_threads = 4;
+    Machine m1(cfg, p1);
+    m1.run();
+    Machine m2(cfg, p2);
+    m2.run();
+    EXPECT_EQ(m1.stats().cycles, m2.stats().cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1ULL, 7ULL, 42ULL, 1234ULL));
+
+// --- Core-count sweep: speedup sanity ---
+
+class CoreSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CoreSweep, SpeedupBoundedByCoreCount)
+{
+    const int cores = GetParam();
+    ExperimentSpec spec;
+    spec.kernel = KernelId::Sobel;
+    spec.size = InputSize::A;
+    spec.cores = cores;
+    const RunResult base = runBaselineExperiment(spec);
+    const RunResult par = runParallelSprintExperiment(spec);
+    const double s = speedupOver(base, par);
+    EXPECT_GT(s, 0.8);
+    EXPECT_LE(s, cores * 1.05 + 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cores, CoreSweep,
+                         ::testing::Values(1, 4, 16));
+
+} // namespace
+} // namespace csprint

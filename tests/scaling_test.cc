@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the dark-silicon scaling projections behind Figure 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "scaling/darksilicon.hh"
+
+namespace csprint {
+namespace {
+
+TEST(DarkSilicon, ReferenceNodeIsNormalized)
+{
+    for (auto scenario : {ScalingScenario::Itrs, ScalingScenario::Borkar,
+                          ScalingScenario::ItrsBorkarVdd}) {
+        const auto proj = projectDarkSilicon(scenario);
+        ASSERT_FALSE(proj.empty());
+        EXPECT_EQ(proj.front().node_nm, 45);
+        EXPECT_DOUBLE_EQ(proj.front().power_density, 1.0);
+        EXPECT_DOUBLE_EQ(proj.front().dark_fraction, 0.0);
+    }
+}
+
+TEST(DarkSilicon, PowerDensityRisesMonotonically)
+{
+    for (auto scenario : {ScalingScenario::Itrs, ScalingScenario::Borkar,
+                          ScalingScenario::ItrsBorkarVdd}) {
+        const auto proj = projectDarkSilicon(scenario);
+        for (std::size_t i = 1; i < proj.size(); ++i) {
+            EXPECT_GT(proj[i].power_density, proj[i - 1].power_density)
+                << scalingScenarioName(scenario) << " gen " << i;
+        }
+    }
+}
+
+TEST(DarkSilicon, DarkFractionConsistentWithPowerDensity)
+{
+    const auto proj = projectDarkSilicon(ScalingScenario::Borkar);
+    for (const auto &p : proj) {
+        if (p.power_density > 1.0) {
+            EXPECT_NEAR(p.dark_fraction, 1.0 - 1.0 / p.power_density,
+                        1e-12);
+        } else {
+            EXPECT_DOUBLE_EQ(p.dark_fraction, 0.0);
+        }
+    }
+}
+
+TEST(DarkSilicon, MostOfChipDarkAtEndOfRoadmap)
+{
+    // The paper quotes predictions of ~80-91% dark silicon by the end
+    // of the roadmap; every scenario should land in that regime.
+    for (auto scenario : {ScalingScenario::Itrs, ScalingScenario::Borkar,
+                          ScalingScenario::ItrsBorkarVdd}) {
+        const auto proj = projectDarkSilicon(scenario);
+        EXPECT_GE(proj.back().dark_fraction, 0.7)
+            << scalingScenarioName(scenario);
+        EXPECT_LT(proj.back().dark_fraction, 1.0);
+    }
+}
+
+TEST(DarkSilicon, PessimisticVddScalesFasterThanItrs)
+{
+    const auto itrs = projectDarkSilicon(ScalingScenario::Itrs);
+    const auto combo =
+        projectDarkSilicon(ScalingScenario::ItrsBorkarVdd);
+    // Same density assumptions but worse voltage scaling must yield
+    // strictly higher power density from the second node on.
+    for (std::size_t i = 1; i < itrs.size(); ++i)
+        EXPECT_GT(combo[i].power_density, itrs[i].power_density);
+}
+
+TEST(DarkSilicon, CustomNodeList)
+{
+    const auto proj = projectDarkSilicon(ScalingScenario::Borkar,
+                                         {22, 16, 11});
+    ASSERT_EQ(proj.size(), 3u);
+    EXPECT_EQ(proj[0].node_nm, 22);
+    EXPECT_DOUBLE_EQ(proj[0].power_density, 1.0);
+}
+
+TEST(DarkSilicon, ScenarioNamesMatchLegend)
+{
+    EXPECT_EQ(scalingScenarioName(ScalingScenario::Itrs), "ITRS");
+    EXPECT_EQ(scalingScenarioName(ScalingScenario::Borkar), "Borkar");
+    EXPECT_EQ(scalingScenarioName(ScalingScenario::ItrsBorkarVdd),
+              "ITRS + Borkar Vdd scaling");
+}
+
+} // namespace
+} // namespace csprint

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Tests for the coupled sprint simulation: baseline behaviour, sprint
+ * exhaustion and migration, DVFS mode, fault injection (hardware
+ * throttle), and the experiment helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sprint/experiment.hh"
+#include "sprint/simulation.hh"
+#include "workloads/workload.hh"
+
+namespace csprint {
+namespace {
+
+TEST(Simulation, BaselineCompletesWithoutSprinting)
+{
+    const ParallelProgram prog =
+        buildKernelProgram(KernelId::Sobel, InputSize::A, 42);
+    const RunResult r = runSprint(prog, SprintConfig::baseline());
+    EXPECT_GT(r.task_time, 0.0);
+    EXPECT_FALSE(r.sprint_exhausted);
+    EXPECT_FALSE(r.hardware_throttled);
+    EXPECT_EQ(r.sprint_cores, 1);
+}
+
+TEST(Simulation, ParallelSprintBeatsBaseline)
+{
+    const ParallelProgram prog =
+        buildKernelProgram(KernelId::Sobel, InputSize::A, 42);
+    const RunResult base = runSprint(prog, SprintConfig::baseline());
+    const RunResult sprint = runSprint(
+        prog, SprintConfig::parallelSprint(16, kFullPcm));
+    EXPECT_LT(sprint.task_time, base.task_time);
+    EXPECT_GT(base.task_time / sprint.task_time, 6.0);
+}
+
+TEST(Simulation, ActivationRampDelaysCompletion)
+{
+    const ParallelProgram prog =
+        buildKernelProgram(KernelId::Sobel, InputSize::A, 42);
+    SprintConfig with = SprintConfig::parallelSprint(16, kFullPcm);
+    SprintConfig without = with;
+    without.activation_ramp = 0.0;
+    const RunResult a = runSprint(prog, with);
+    const RunResult b = runSprint(prog, without);
+    EXPECT_NEAR(a.task_time - b.task_time, with.activation_ramp,
+                0.2 * with.activation_ramp);
+}
+
+TEST(Simulation, SmallPcmExhaustsAndMigrates)
+{
+    const ParallelProgram prog =
+        buildKernelProgram(KernelId::Sobel, InputSize::B, 42);
+    const RunResult small = runSprint(
+        prog, SprintConfig::parallelSprint(16, kSmallPcm));
+    const RunResult full = runSprint(
+        prog, SprintConfig::parallelSprint(16, kFullPcm));
+    EXPECT_TRUE(small.sprint_exhausted);
+    EXPECT_GT(small.task_time, full.task_time);
+    EXPECT_FALSE(small.hardware_throttled);
+}
+
+TEST(Simulation, JunctionStaysUnderLimit)
+{
+    const ParallelProgram prog =
+        buildKernelProgram(KernelId::Kmeans, InputSize::A, 42);
+    const RunResult r = runSprint(
+        prog, SprintConfig::parallelSprint(16, kSmallPcm));
+    EXPECT_LT(r.peak_junction,
+              MobilePackageParams::phonePcm().t_junction_max + 2.0);
+}
+
+TEST(Simulation, FaultInjectionFiresHardwareThrottle)
+{
+    const ParallelProgram prog =
+        buildKernelProgram(KernelId::Sobel, InputSize::B, 42);
+    SprintConfig cfg = SprintConfig::parallelSprint(16, kSmallPcm);
+    cfg.software_migration_fails = true;
+    cfg.governor.software_grace = 20e-6;
+    const RunResult r = runSprint(prog, cfg);
+    EXPECT_TRUE(r.sprint_exhausted);
+    EXPECT_TRUE(r.hardware_throttled);
+    // The run still completes (slowly, at throttled frequency).
+    EXPECT_GT(r.task_time, 0.0);
+}
+
+TEST(Simulation, DvfsSprintBoostsButLessThanParallel)
+{
+    const ParallelProgram prog =
+        buildKernelProgram(KernelId::Sobel, InputSize::A, 42);
+    const RunResult base = runSprint(prog, SprintConfig::baseline());
+    const RunResult dvfs = runSprint(
+        prog, SprintConfig::dvfsSprint(kPowerHeadroom, kFullPcm));
+    const RunResult par = runSprint(
+        prog, SprintConfig::parallelSprint(16, kFullPcm));
+    const double s_dvfs = base.task_time / dvfs.task_time;
+    const double s_par = base.task_time / par.task_time;
+    // DVFS caps near cbrt(16) ~ 2.5 on compute-bound work.
+    EXPECT_GT(s_dvfs, 1.5);
+    EXPECT_LT(s_dvfs, 2.7);
+    EXPECT_GT(s_par, s_dvfs);
+}
+
+TEST(Simulation, DvfsEnergyCostQuadratic)
+{
+    const ParallelProgram prog =
+        buildKernelProgram(KernelId::Sobel, InputSize::A, 42);
+    const RunResult base = runSprint(prog, SprintConfig::baseline());
+    const RunResult dvfs = runSprint(
+        prog, SprintConfig::dvfsSprint(kPowerHeadroom, kFullPcm));
+    const double ratio = dvfs.dynamic_energy / base.dynamic_energy;
+    // Paper Section 8.4: ~6x more energy for the DVFS sprint.
+    EXPECT_GT(ratio, 3.5);
+    EXPECT_LT(ratio, 7.5);
+}
+
+TEST(Simulation, ParallelEnergyNearBaseline)
+{
+    const ParallelProgram prog =
+        buildKernelProgram(KernelId::Sobel, InputSize::A, 42);
+    const RunResult base = runSprint(prog, SprintConfig::baseline());
+    const RunResult par = runSprint(
+        prog, SprintConfig::parallelSprint(16, kFullPcm));
+    const double ratio = par.dynamic_energy / base.dynamic_energy;
+    // Paper Section 8.6: <10-12% overhead in the linear regime.
+    EXPECT_LT(ratio, 1.25);
+    EXPECT_GT(ratio, 0.9);
+}
+
+TEST(Simulation, CooldownEstimatePositiveAfterSprint)
+{
+    const ParallelProgram prog =
+        buildKernelProgram(KernelId::Sobel, InputSize::A, 42);
+    const RunResult r = runSprint(
+        prog, SprintConfig::parallelSprint(16, kFullPcm));
+    EXPECT_GT(r.sprint_duration, 0.0);
+    EXPECT_GT(r.cooldown_estimate, r.sprint_duration);
+}
+
+TEST(Simulation, TracesAreRecorded)
+{
+    const ParallelProgram prog =
+        buildKernelProgram(KernelId::Sobel, InputSize::A, 42);
+    const RunResult r = runSprint(
+        prog, SprintConfig::parallelSprint(16, kFullPcm));
+    EXPECT_GT(r.junction_trace.size(), 10u);
+    EXPECT_GT(r.power_trace.size(), 10u);
+    EXPECT_GT(r.power_trace.maxValue(), 5.0);  // a real sprint
+}
+
+TEST(Experiment, HelpersConsistent)
+{
+    ExperimentSpec spec;
+    spec.kernel = KernelId::Sobel;
+    spec.size = InputSize::A;
+    const RunResult base = runBaselineExperiment(spec);
+    const RunResult par = runParallelSprintExperiment(spec);
+    EXPECT_GT(speedupOver(base, par), 1.0);
+    EXPECT_NEAR(energyRatio(base, base), 1.0, 1e-12);
+}
+
+TEST(Experiment, BandwidthMultiplierHelpsMemoryBoundKernels)
+{
+    ExperimentSpec spec;
+    spec.kernel = KernelId::Disparity;
+    spec.size = InputSize::B;
+    spec.cores = 16;
+    const RunResult base = runBaselineExperiment(spec);
+    const RunResult normal = runParallelSprintExperiment(spec);
+    ExperimentSpec spec2x = spec;
+    spec2x.bandwidth_mult = 2.0;
+    const RunResult base2x = runBaselineExperiment(spec2x);
+    const RunResult doubled = runParallelSprintExperiment(spec2x);
+    EXPECT_GE(speedupOver(base2x, doubled),
+              0.95 * speedupOver(base, normal));
+}
+
+} // namespace
+} // namespace csprint
