@@ -6,12 +6,17 @@
  * where a ramp would start to matter. Ramp lengths are quoted at
  * physical scale and applied through the same time scaling as the
  * thermal capacitances (see EXPERIMENTS.md).
+ *
+ * The baseline and every ramp point run concurrently on an
+ * ExperimentRunner.
  */
 
+#include <functional>
 #include <iostream>
+#include <vector>
 
 #include "common/table.hh"
-#include "sprint/experiment.hh"
+#include "sprint/runner.hh"
 #include "sprint/simulation.hh"
 #include "workloads/workload.hh"
 
@@ -25,20 +30,40 @@ main()
 
     const ParallelProgram prog =
         buildKernelProgram(KernelId::Sobel, InputSize::B, 42);
-    const RunResult base = runSprint(prog, SprintConfig::baseline());
+    const std::vector<double> ramps_us = {0.0, 128.0, 1280.0, 12800.0,
+                                          128000.0};
+    std::vector<Seconds> ramps_scaled; // physical us -> time-scaled s
+    for (const double ramp_us : ramps_us)
+        ramps_scaled.push_back(ramp_us * 1e-6 * 7e-4);
+
+    // Job 0 is the non-sprint baseline; jobs 1.. are the ramp sweep.
+    std::vector<std::function<RunResult()>> jobs;
+    jobs.emplace_back(
+        [&prog] { return runSprint(prog, SprintConfig::baseline()); });
+    for (const Seconds ramp : ramps_scaled) {
+        jobs.emplace_back([&prog, ramp] {
+            SprintConfig cfg = SprintConfig::parallelSprint(16, kFullPcm);
+            cfg.activation_ramp = ramp;
+            return runSprint(prog, cfg);
+        });
+    }
+
+    ExperimentRunner runner;
+    const std::vector<RunResult> results = runner.map(jobs);
+    const RunResult &base = results[0];
 
     Table t("speedup vs physical ramp length");
     t.setHeader({"ramp (physical)", "speedup", "ramp share of task"});
-    for (double ramp_us : {0.0, 128.0, 1280.0, 12800.0, 128000.0}) {
-        SprintConfig cfg = SprintConfig::parallelSprint(16, kFullPcm);
-        cfg.activation_ramp = ramp_us * 1e-6 * 7e-4;  // time-scaled
-        const RunResult r = runSprint(prog, cfg);
+    for (std::size_t i = 0; i < ramps_us.size(); ++i) {
+        const double ramp_us = ramps_us[i];
+        const RunResult &r = results[i + 1];
+        const Seconds ramp = ramps_scaled[i];
         t.startRow();
         t.cell(ramp_us >= 1000.0
                    ? Table::formatNumber(ramp_us / 1000.0, 2) + " ms"
                    : Table::formatNumber(ramp_us, 0) + " us");
         t.cell(base.task_time / r.task_time, 2);
-        t.cell(100.0 * cfg.activation_ramp / r.task_time, 1);
+        t.cell(100.0 * ramp / r.task_time, 1);
     }
     t.print(std::cout);
 

@@ -4,12 +4,18 @@
  * versus a ground-truth thermometer, across governor margins. The
  * activity estimate must trigger close to the thermometer while
  * never letting the junction exceed its limit.
+ *
+ * The thermometer reference and every margin point run concurrently
+ * on an ExperimentRunner.
  */
 
+#include <functional>
 #include <iostream>
+#include <vector>
 
 #include "common/table.hh"
 #include "sprint/governor.hh"
+#include "sprint/runner.hh"
 #include "thermal/package.hh"
 
 using namespace csprint;
@@ -51,9 +57,26 @@ main()
     std::cout << "Ablation: activity-estimate governor vs ground-truth "
                  "thermometer (16 W sprint)\n\n";
 
-    GovernorConfig thermo;
-    thermo.use_activity_estimate = false;
-    const Outcome truth = runGovernor(thermo, 16.0);
+    const std::vector<double> margins = {0.02, 0.05, 0.10, 0.20};
+
+    // Job 0 is the thermometer reference; jobs 1.. sweep the margin.
+    std::vector<std::function<Outcome()>> jobs;
+    jobs.emplace_back([] {
+        GovernorConfig thermo;
+        thermo.use_activity_estimate = false;
+        return runGovernor(thermo, 16.0);
+    });
+    for (const double margin : margins) {
+        jobs.emplace_back([margin] {
+            GovernorConfig cfg;
+            cfg.margin = margin;
+            return runGovernor(cfg, 16.0);
+        });
+    }
+
+    ExperimentRunner runner;
+    const std::vector<Outcome> results = runner.map(jobs);
+    const Outcome &truth = results[0];
 
     Table t("trigger time and peak junction temperature");
     t.setHeader({"governor", "margin", "trigger (s)",
@@ -65,13 +88,11 @@ main()
     t.cell(1.0, 2);
     t.cell(truth.peak, 1);
 
-    for (double margin : {0.02, 0.05, 0.10, 0.20}) {
-        GovernorConfig cfg;
-        cfg.margin = margin;
-        const Outcome o = runGovernor(cfg, 16.0);
+    for (std::size_t i = 0; i < margins.size(); ++i) {
+        const Outcome &o = results[i + 1];
         t.startRow();
         t.cell("activity estimate");
-        t.cell(margin, 2);
+        t.cell(margins[i], 2);
         t.cell(o.trigger, 3);
         t.cell(o.trigger / truth.trigger, 2);
         t.cell(o.peak, 1);

@@ -7,12 +7,16 @@
  * scaling the LLC capacity by the same factor as the inputs restores
  * the paper's working-set : cache ratio and recovers the
  * bandwidth-limited shape (and its 2x-bandwidth remedy).
+ *
+ * All 18 coupled runs (3 kernels x 3 configurations x
+ * baseline/sprint) execute as one ExperimentRunner batch.
  */
 
 #include <iostream>
+#include <vector>
 
 #include "common/table.hh"
-#include "sprint/experiment.hh"
+#include "sprint/runner.hh"
 
 using namespace csprint;
 
@@ -23,33 +27,49 @@ main()
                  "match the input scaling\n(1/16 of 4 MB = 256 KB; "
                  "largest input, fixed V/f, ample thermal budget)\n\n";
 
-    Table t("normalized speedup over the same-LLC 1-core baseline");
-    t.setHeader({"kernel", "paper LLC (4MB)", "scaled LLC",
-                 "scaled LLC + 2x BW"});
+    const std::vector<KernelId> kernels = {
+        KernelId::Disparity, KernelId::Feature, KernelId::Sobel};
 
-    for (KernelId id :
-         {KernelId::Disparity, KernelId::Feature, KernelId::Sobel}) {
+    // Batch layout per kernel: [paper-LLC base, paper-LLC sprint,
+    // scaled-LLC base, scaled-LLC sprint, remedy base, remedy sprint].
+    std::vector<ExperimentRun> batch;
+    for (KernelId id : kernels) {
         ExperimentSpec spec;
         spec.kernel = id;
         spec.size = InputSize::D;
         spec.cores = 64;
         spec.time_scale = 1e-2;
 
-        const double paper_llc = speedupOver(
-            runBaselineExperiment(spec),
-            runParallelSprintExperiment(spec));
-
         ExperimentSpec scaled = spec;
         scaled.l2_scale = 1.0 / 16.0;
-        const double small_llc = speedupOver(
-            runBaselineExperiment(scaled),
-            runParallelSprintExperiment(scaled));
 
         ExperimentSpec remedy = scaled;
         remedy.bandwidth_mult = 2.0;
-        const double with_bw = speedupOver(
-            runBaselineExperiment(remedy),
-            runParallelSprintExperiment(remedy));
+
+        batch.push_back({ExperimentMode::Baseline, spec});
+        batch.push_back({ExperimentMode::ParallelSprint, spec});
+        batch.push_back({ExperimentMode::Baseline, scaled});
+        batch.push_back({ExperimentMode::ParallelSprint, scaled});
+        batch.push_back({ExperimentMode::Baseline, remedy});
+        batch.push_back({ExperimentMode::ParallelSprint, remedy});
+    }
+
+    ExperimentRunner runner;
+    const std::vector<RunResult> results = runner.runBatch(batch);
+
+    Table t("normalized speedup over the same-LLC 1-core baseline");
+    t.setHeader({"kernel", "paper LLC (4MB)", "scaled LLC",
+                 "scaled LLC + 2x BW"});
+
+    std::size_t row = 0;
+    for (KernelId id : kernels) {
+        const double paper_llc =
+            speedupOver(results[row], results[row + 1]);
+        const double small_llc =
+            speedupOver(results[row + 2], results[row + 3]);
+        const double with_bw =
+            speedupOver(results[row + 4], results[row + 5]);
+        row += 6;
 
         t.startRow();
         t.cell(kernelName(id));

@@ -3,12 +3,18 @@
  * Ablation (paper Section 3): sprint-and-rest pacing. Prints budget
  * recovery versus rest time (the PCM refreeze), and the degradation
  * of a train of sprints re-triggered faster than the cooldown.
+ *
+ * Each rest-time and each request-period point owns its package
+ * model, so both sweeps run concurrently on an ExperimentRunner.
  */
 
+#include <functional>
 #include <iostream>
+#include <vector>
 
 #include "common/table.hh"
 #include "sprint/pacing.hh"
+#include "sprint/runner.hh"
 #include "thermal/package.hh"
 
 using namespace csprint;
@@ -25,33 +31,52 @@ main()
                      100.0 * sustainableDutyCycle(ref, 16.0), 1)
               << "% (TDP / sprint power)\n\n";
 
+    ExperimentRunner runner;
+
     // Budget recovery after a full sprint.
+    const std::vector<double> rests = {0.5, 2.0, 5.0, 10.0, 20.0, 40.0};
+    std::vector<std::function<Joules()>> rest_jobs;
+    for (const double rest : rests) {
+        rest_jobs.emplace_back([rest] {
+            MobilePackageModel pkg(MobilePackageParams::phonePcm());
+            pkg.setDiePower(16.0);
+            for (int i = 0; i < 1100; ++i)
+                pkg.step(1e-3);
+            return budgetAfterRest(pkg, rest);
+        });
+    }
+    const std::vector<Joules> budgets = runner.map(rest_jobs);
+
     Table rec("sprint budget vs rest time after a ~1.1 s full sprint");
     rec.setHeader({"rest (s)", "budget (J)", "fraction of cold start"});
     MobilePackageModel cold(MobilePackageParams::phonePcm());
     const Joules full = cold.sprintEnergyBudget();
-    for (double rest : {0.5, 2.0, 5.0, 10.0, 20.0, 40.0}) {
-        MobilePackageModel pkg(MobilePackageParams::phonePcm());
-        pkg.setDiePower(16.0);
-        for (int i = 0; i < 1100; ++i)
-            pkg.step(1e-3);
-        const Joules budget = budgetAfterRest(pkg, rest);
+    for (std::size_t i = 0; i < rests.size(); ++i) {
         rec.startRow();
-        rec.cell(rest, 1);
-        rec.cell(budget, 1);
-        rec.cell(budget / full, 2);
+        rec.cell(rests[i], 1);
+        rec.cell(budgets[i], 1);
+        rec.cell(budgets[i] / full, 2);
     }
     rec.print(std::cout);
 
     std::cout << "\n";
+    const std::vector<double> periods = {2.0, 5.0, 10.0, 30.0};
+    std::vector<std::function<std::vector<SprintWindow>()>> train_jobs;
+    for (const double period : periods) {
+        train_jobs.emplace_back([period] {
+            MobilePackageModel pkg(MobilePackageParams::phonePcm());
+            return runSprintTrain(pkg, 5, 16.0, 1.0, period);
+        });
+    }
+    const auto trains = runner.map(train_jobs);
+
     Table train_table("train of 1 s sprint requests vs request period");
     train_table.setHeader({"period (s)", "sprint 1 (s)", "sprint 3 (s)",
                            "sprint 5 (s)", "budget at sprint 5"});
-    for (double period : {2.0, 5.0, 10.0, 30.0}) {
-        MobilePackageModel pkg(MobilePackageParams::phonePcm());
-        const auto train = runSprintTrain(pkg, 5, 16.0, 1.0, period);
+    for (std::size_t i = 0; i < periods.size(); ++i) {
+        const auto &train = trains[i];
         train_table.startRow();
-        train_table.cell(period, 0);
+        train_table.cell(periods[i], 0);
         train_table.cell(train[0].duration, 2);
         train_table.cell(train[2].duration, 2);
         train_table.cell(train[4].duration, 2);

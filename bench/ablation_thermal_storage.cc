@@ -5,16 +5,54 @@
  * (slab thickness for 16 J / 10 C), cold-start sprint durations, and
  * the two PCM advantages: retained headroom after sustained
  * operation, and the constant-temperature latent plateau.
+ *
+ * The three storage designs evaluate concurrently on an
+ * ExperimentRunner (each job owns its package models).
  */
 
+#include <functional>
 #include <iostream>
+#include <vector>
 
 #include "common/table.hh"
+#include "sprint/runner.hh"
 #include "thermal/metal.hh"
 #include "thermal/package.hh"
 #include "thermal/transients.hh"
 
 using namespace csprint;
+
+namespace {
+
+/** Per-design numbers for the cold/hot comparison table. */
+struct DesignOutcome
+{
+    Joules budget_cold = 0.0;
+    Seconds time_to_limit = 0.0;
+    Seconds plateau = 0.0;
+    Joules budget_hot = 0.0;
+};
+
+DesignOutcome
+evaluateDesign(const MobilePackageParams &params)
+{
+    DesignOutcome out;
+
+    MobilePackageModel cold_model(params);
+    out.budget_cold = cold_model.sprintEnergyBudget();
+    const auto tr = runSprintTransient(cold_model, 16.0, 30.0, 5e-3);
+    out.time_to_limit = tr.time_to_limit;
+    out.plateau = tr.plateau_duration;
+
+    MobilePackageModel hot_model(params);
+    hot_model.setDiePower(1.0);
+    for (int i = 0; i < 4000; ++i)
+        hot_model.step(1.0);
+    out.budget_hot = hot_model.sprintEnergyBudget();
+    return out;
+}
+
+} // namespace
 
 int
 main()
@@ -41,33 +79,32 @@ main()
         const char *label;
         MobilePackageParams params;
     };
-    const Design designs[] = {
+    const std::vector<Design> designs = {
         {"PCM 150 mg", MobilePackageParams::phonePcm()},
         {"copper slug 7.2 mm", metalSlugPackage(MetalSlugSpec{})},
         {"no storage", MobilePackageParams::phoneNoPcm()},
     };
 
+    std::vector<std::function<DesignOutcome()>> jobs;
+    for (const Design &d : designs)
+        jobs.emplace_back([&d] { return evaluateDesign(d.params); });
+
+    ExperimentRunner runner;
+    const std::vector<DesignOutcome> outcomes = runner.map(jobs);
+
     Table t("cold start vs pre-heated (after 1 W sustained operation)");
     t.setHeader({"design", "budget cold (J)", "sprint cold (s)",
                  "plateau (s)", "budget hot (J)", "hot/cold"});
-    for (const Design &d : designs) {
-        MobilePackageModel cold_model(d.params);
-        const Joules budget_cold = cold_model.sprintEnergyBudget();
-        const auto tr = runSprintTransient(cold_model, 16.0, 30.0, 5e-3);
-
-        MobilePackageModel hot_model(d.params);
-        hot_model.setDiePower(1.0);
-        for (int i = 0; i < 4000; ++i)
-            hot_model.step(1.0);
-        const Joules budget_hot = hot_model.sprintEnergyBudget();
-
+    for (std::size_t i = 0; i < designs.size(); ++i) {
+        const DesignOutcome &o = outcomes[i];
         t.startRow();
-        t.cell(d.label);
-        t.cell(budget_cold, 1);
-        t.cell(tr.time_to_limit, 2);
-        t.cell(tr.plateau_duration, 2);
-        t.cell(budget_hot, 1);
-        t.cell(budget_cold > 0.0 ? budget_hot / budget_cold : 0.0, 2);
+        t.cell(designs[i].label);
+        t.cell(o.budget_cold, 1);
+        t.cell(o.time_to_limit, 2);
+        t.cell(o.plateau, 2);
+        t.cell(o.budget_hot, 1);
+        t.cell(o.budget_cold > 0.0 ? o.budget_hot / o.budget_cold : 0.0,
+               2);
     }
     t.print(std::cout);
 

@@ -5,12 +5,16 @@
  * thermal design points (1.5 mg and 150 mg PCM equivalents), across
  * all six kernels. The paper reports a 10.2x average for the
  * fully-provisioned parallel sprint.
+ *
+ * All 30 coupled runs (6 kernels x 5 configurations) are independent,
+ * so they are fanned across an ExperimentRunner batch.
  */
 
 #include <iostream>
+#include <vector>
 
 #include "common/table.hh"
-#include "sprint/experiment.hh"
+#include "sprint/runner.hh"
 
 using namespace csprint;
 
@@ -22,28 +26,41 @@ main()
               << "bars: bottom segment = 1.5 mg PCM design point, "
                  "total = 150 mg design point\n\n";
 
+    // Batch layout: per kernel, [baseline, par 1.5mg, par 150mg,
+    // dvfs 1.5mg, dvfs 150mg].
+    std::vector<ExperimentRun> batch;
+    for (KernelId id : allKernels()) {
+        ExperimentSpec spec;
+        spec.kernel = id;
+        spec.size = InputSize::B;
+
+        ExperimentSpec small = spec;
+        small.pcm_mass = kSmallPcm;
+
+        batch.push_back({ExperimentMode::Baseline, spec});
+        batch.push_back({ExperimentMode::ParallelSprint, small});
+        batch.push_back({ExperimentMode::ParallelSprint, spec});
+        batch.push_back({ExperimentMode::DvfsSprint, small});
+        batch.push_back({ExperimentMode::DvfsSprint, spec});
+    }
+
+    ExperimentRunner runner;
+    const std::vector<RunResult> results = runner.runBatch(batch);
+
     Table t("normalized speedup over 1-core non-sprint baseline");
     t.setHeader({"kernel", "Par 1.5mg", "Par 150mg", "DVFS 1.5mg",
                  "DVFS 150mg"});
 
     double par_sum = 0.0;
     int n = 0;
+    std::size_t row = 0;
     for (KernelId id : allKernels()) {
-        ExperimentSpec spec;
-        spec.kernel = id;
-        spec.size = InputSize::B;
-        const RunResult base = runBaselineExperiment(spec);
-
-        ExperimentSpec small = spec;
-        small.pcm_mass = kSmallPcm;
-        const double par_small = speedupOver(
-            base, runParallelSprintExperiment(small));
-        const double par_full = speedupOver(
-            base, runParallelSprintExperiment(spec));
-        const double dvfs_small =
-            speedupOver(base, runDvfsSprintExperiment(small));
-        const double dvfs_full =
-            speedupOver(base, runDvfsSprintExperiment(spec));
+        const RunResult &base = results[row];
+        const double par_small = speedupOver(base, results[row + 1]);
+        const double par_full = speedupOver(base, results[row + 2]);
+        const double dvfs_small = speedupOver(base, results[row + 3]);
+        const double dvfs_full = speedupOver(base, results[row + 4]);
+        row += 5;
 
         t.startRow();
         t.cell(kernelName(id));

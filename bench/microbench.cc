@@ -7,16 +7,23 @@
 
 #include <benchmark/benchmark.h>
 
+#include <functional>
+#include <vector>
+
 #include "archsim/cache.hh"
 #include "archsim/machine.hh"
 #include "powergrid/pdn.hh"
+#include "sprint/runner.hh"
 #include "thermal/package.hh"
+#include "thermal/transients.hh"
+#include "thermal/validation.hh"
 #include "workloads/sobel.hh"
 
 namespace {
 
 using namespace csprint;
 
+/** The coupled-loop hot path: one 1 ms package step at sprint power. */
 void
 BM_ThermalStep(benchmark::State &state)
 {
@@ -28,6 +35,76 @@ BM_ThermalStep(benchmark::State &state)
     }
 }
 BENCHMARK(BM_ThermalStep);
+
+/** Same step through the retained first-order reference integrator. */
+void
+BM_ThermalStepReferenceEuler(benchmark::State &state)
+{
+    MobilePackageModel pkg(MobilePackageParams::phonePcm());
+    pkg.network().setIntegrator(ThermalIntegrator::ReferenceEuler);
+    pkg.setDiePower(16.0);
+    for (auto _ : state) {
+        pkg.step(1e-3);
+        benchmark::DoNotOptimize(pkg.junctionTemp());
+    }
+}
+BENCHMARK(BM_ThermalStepReferenceEuler);
+
+/**
+ * PCM-heavy stepping: a ladder of PCM nodes held on the latent
+ * plateau, so every substep walks the enthalpy curve of every node.
+ */
+void
+BM_ThermalStepPcmHeavy(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    ThermalNetwork net(25.0);
+    buildPcmLadder(net, n);
+    for (auto _ : state) {
+        net.step(1e-3);
+        benchmark::DoNotOptimize(net.temperature(0));
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ThermalStepPcmHeavy)->Arg(8)->Arg(32);
+
+/**
+ * Batched experiment throughput: a batch of independent sprint
+ * transients fanned across the ExperimentRunner thread pool, versus
+ * the serial loop the seed drivers used (Arg(0) = serial).
+ */
+void
+BM_BatchedSprintTransients(benchmark::State &state)
+{
+    const int workers = static_cast<int>(state.range(0));
+    constexpr int kBatch = 8;
+    auto one = [] {
+        MobilePackageModel pkg(MobilePackageParams::phonePcm());
+        const auto tr = runSprintTransient(pkg, 16.0, 3.0, 1e-3);
+        return tr.time_to_limit;
+    };
+    if (workers == 0) {
+        for (auto _ : state) {
+            double sum = 0.0;
+            for (int i = 0; i < kBatch; ++i)
+                sum += one();
+            benchmark::DoNotOptimize(sum);
+        }
+    } else {
+        ExperimentRunner runner(workers);
+        std::vector<std::function<double()>> jobs(kBatch, one);
+        for (auto _ : state) {
+            const std::vector<double> times = runner.map(jobs);
+            benchmark::DoNotOptimize(times.data());
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_BatchedSprintTransients)
+    ->Arg(0)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_CircuitStep(benchmark::State &state)

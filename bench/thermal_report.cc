@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Machine-readable before/after report for the thermal hot path,
+ * written to BENCH_thermal.json (schema documented in PERF.md).
+ *
+ * "Before" is the retained first-order reference integrator
+ * (ThermalIntegrator::ReferenceEuler) — the seed's integration scheme
+ * running on the optimized CSR kernel; the seed's original
+ * implementation additionally heap-allocated per substep and
+ * recomputed the stability bound per step, and is recorded under
+ * seed_baseline when a measurement is supplied. "After" is the Heun
+ * hot path. Every speedup is reported together with the maximum
+ * junction-temperature deviation between the two integrators over a
+ * full melt/freeze transient, so the acceptance criterion (>= 5x at
+ * equal traces within 0.1 C) is checked by the tool itself.
+ *
+ *   ./thermal_report [--out BENCH_thermal.json]
+ *                    [--seed-thermal-step-ns N]
+ */
+
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/args.hh"
+#include "sprint/runner.hh"
+#include "thermal/package.hh"
+#include "thermal/transients.hh"
+#include "thermal/validation.hh"
+
+using namespace csprint;
+
+namespace {
+
+/** Nanoseconds per call of @p fn, after a warmup pass. */
+template <typename F>
+double
+nsPerCall(F fn, int iters)
+{
+    for (int i = 0; i < iters / 10 + 1; ++i)
+        fn();
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i)
+        fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+           iters;
+}
+
+/** ns per step(1e-3) on the phonePcm package at 16 W sprint power. */
+double
+timePackageStep(ThermalIntegrator scheme, int iters)
+{
+    MobilePackageModel pkg(MobilePackageParams::phonePcm());
+    pkg.network().setIntegrator(scheme);
+    pkg.setDiePower(16.0);
+    volatile double sink = 0.0;
+    const double ns = nsPerCall(
+        [&] {
+            pkg.step(1e-3);
+            sink = pkg.junctionTemp();
+        },
+        iters);
+    (void)sink;
+    return ns;
+}
+
+/** ns per step(1e-3) on a ladder of PCM nodes on the latent plateau. */
+double
+timePcmHeavyStep(ThermalIntegrator scheme, int nodes, int iters)
+{
+    ThermalNetwork net(25.0);
+    buildPcmLadder(net, nodes);
+    net.setIntegrator(scheme);
+    volatile double sink = 0.0;
+    const double ns = nsPerCall(
+        [&] {
+            net.step(1e-3);
+            sink = net.temperature(0);
+        },
+        iters);
+    (void)sink;
+    return ns;
+}
+
+
+/**
+ * Seconds to run a batch of sprint transients; serial when @p runner
+ * is null (pool construction is excluded from the timed region).
+ */
+double
+timeBatch(ExperimentRunner *runner, int batch)
+{
+    const auto one = [] {
+        MobilePackageModel pkg(MobilePackageParams::phonePcm());
+        // Sprint, then cooldown: the full Figure 4 shape.
+        const auto tr = runSprintTransient(pkg, 16.0, 3.0, 2.5e-4);
+        runCooldownTransient(pkg, 40.0, 1e-2);
+        return tr.time_to_limit;
+    };
+    const auto t0 = std::chrono::steady_clock::now();
+    if (runner == nullptr) {
+        volatile double sum = 0.0;
+        for (int i = 0; i < batch; ++i)
+            sum = sum + one();
+        (void)sum;
+    } else {
+        std::vector<std::function<double()>> jobs(
+            static_cast<std::size_t>(batch), one);
+        runner->map(jobs);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args(argc, argv, {"out", "seed-thermal-step-ns", "iters"});
+    const std::string out_path = args.get("out", "BENCH_thermal.json");
+    // Optional: the measured ns/step of the pre-refactor seed
+    // implementation on this host (it cannot be re-measured from this
+    // tree; pass it through when known).
+    const double seed_ns = args.getDouble("seed-thermal-step-ns", 0.0);
+    const int iters = static_cast<int>(args.getDouble("iters", 2000000));
+
+    std::cout << "measuring thermal hot path (this takes ~a minute)...\n";
+
+    const double euler_ns =
+        timePackageStep(ThermalIntegrator::ReferenceEuler, iters);
+    const double heun_ns =
+        timePackageStep(ThermalIntegrator::Heun, iters);
+    const double pcm_euler_ns =
+        timePcmHeavyStep(ThermalIntegrator::ReferenceEuler, 32,
+                         iters / 50);
+    const double pcm_heun_ns =
+        timePcmHeavyStep(ThermalIntegrator::Heun, 32, iters / 50);
+    // The equal-traces check of the acceptance criterion: a 16 W melt
+    // transient plus cooldown refreeze, both integrators, 1 ms samples.
+    const double deviation =
+        runMeltFreezeParity(1500, 30000).max_temp_dev;
+    const int batch = 32;
+    const double batch_serial_s = timeBatch(nullptr, batch);
+    ExperimentRunner runner;
+    const int workers = runner.workerCount();
+    const double batch_pool_s = timeBatch(&runner, batch);
+
+    std::ofstream out(out_path);
+    if (!out) {
+        std::cerr << "FAIL: cannot open " << out_path
+                  << " for writing\n";
+        return 1;
+    }
+    out.precision(4);
+    out << "{\n"
+        << "  \"schema\": \"csprint-thermal-bench-v1\",\n"
+        << "  \"units\": {\"time\": \"ns/step unless noted\"},\n"
+        << "  \"parity\": {\n"
+        << "    \"max_junction_deviation_c\": " << deviation << ",\n"
+        << "    \"budget_c\": 0.1,\n"
+        << "    \"trace\": \"phonePcm 16 W melt transient + cooldown "
+           "refreeze, 1 ms sampling\"\n"
+        << "  },\n"
+        << "  \"phone_pcm_step_1ms\": {\n"
+        << "    \"before_reference_euler_ns\": " << euler_ns << ",\n"
+        << "    \"after_heun_ns\": " << heun_ns << ",\n"
+        << "    \"speedup\": " << euler_ns / heun_ns;
+    if (seed_ns > 0.0) {
+        out << ",\n    \"seed_baseline\": {\n"
+            << "      \"note\": \"pre-refactor seed implementation "
+               "(allocating Euler, uncached stability bound) measured "
+               "on this host\",\n"
+            << "      \"ns\": " << seed_ns << ",\n"
+            << "      \"speedup_vs_seed\": " << seed_ns / heun_ns
+            << "\n    }";
+    }
+    out << "\n  },\n"
+        << "  \"pcm_heavy_step_1ms_32_nodes\": {\n"
+        << "    \"before_reference_euler_ns\": " << pcm_euler_ns << ",\n"
+        << "    \"after_heun_ns\": " << pcm_heun_ns << ",\n"
+        << "    \"speedup\": " << pcm_euler_ns / pcm_heun_ns << "\n"
+        << "  },\n"
+        << "  \"batched_sprint_transients\": {\n"
+        << "    \"batch_size\": " << batch << ",\n"
+        << "    \"serial_s\": " << batch_serial_s << ",\n"
+        << "    \"pool_workers\": " << workers << ",\n"
+        << "    \"pool_s\": " << batch_pool_s << ",\n"
+        << "    \"throughput_gain\": " << batch_serial_s / batch_pool_s
+        << "\n  }\n"
+        << "}\n";
+
+    std::cout << "phonePcm step(1e-3): reference Euler " << euler_ns
+              << " ns -> Heun " << heun_ns << " ns ("
+              << euler_ns / heun_ns << "x)\n"
+              << "PCM-heavy (32 nodes): " << pcm_euler_ns << " -> "
+              << pcm_heun_ns << " ns (" << pcm_euler_ns / pcm_heun_ns
+              << "x)\n"
+              << "max trace deviation: " << deviation << " C (budget 0.1)\n"
+              << "batch of " << batch << ": serial " << batch_serial_s
+              << " s, pool(" << workers << ") " << batch_pool_s << " s\n"
+              << "wrote " << out_path << "\n";
+
+    const bool parity_ok = deviation <= 0.1;
+    if (!parity_ok)
+        std::cerr << "FAIL: trace deviation exceeds 0.1 C budget\n";
+    return parity_ok ? 0 : 1;
+}

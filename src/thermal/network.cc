@@ -8,6 +8,18 @@
 
 namespace csprint {
 
+namespace {
+
+// Accuracy-driven sub-step fractions of the explicit stability bound.
+// First-order Euler needs h = 0.01 * tau to keep step-response errors
+// under ~0.2% of the driving amplitude; second-order Heun reaches the
+// same accuracy with ~10x longer sub-steps (global error ~ (h/tau)^2).
+constexpr double kEulerStepFraction = 0.01;
+constexpr double kHeunStepFraction = 0.1;
+constexpr double kHeunOverEuler = kHeunStepFraction / kEulerStepFraction;
+
+} // namespace
+
 ThermalNetwork::ThermalNetwork(Celsius ambient) : ambient_temp(ambient) {}
 
 ThermalNodeId
@@ -15,16 +27,16 @@ ThermalNetwork::addNode(const std::string &name, JoulesPerKelvin cap,
                         Celsius t0)
 {
     SPRINT_ASSERT(cap > 0.0, "node capacity must be positive");
-    Node n;
-    n.name = name;
-    n.capacity = cap;
-    n.temp = t0;
-    n.injected = 0.0;
-    n.has_pcm = false;
-    n.pcm = {0.0, 0.0};
-    n.melt_fraction = 0.0;
-    nodes.push_back(n);
-    return nodes.size() - 1;
+    temp_.push_back(t0);
+    injected_.push_back(0.0);
+    cap_.push_back(cap);
+    sens_inv_cap_.push_back(1.0 / cap);
+    melt_fraction_.push_back(0.0);
+    has_pcm_.push_back(0);
+    pcm_.push_back({0.0, 0.0});
+    names_.push_back(name);
+    topology_dirty_ = true;
+    return temp_.size() - 1;
 }
 
 ThermalNodeId
@@ -33,9 +45,12 @@ ThermalNetwork::addPcmNode(const std::string &name, JoulesPerKelvin cap,
 {
     SPRINT_ASSERT(pcm.latent_heat > 0.0, "latent heat must be positive");
     const ThermalNodeId id = addNode(name, cap, t0);
-    nodes[id].has_pcm = true;
-    nodes[id].pcm = pcm;
-    nodes[id].melt_fraction = t0 > pcm.melt_temp ? 1.0 : 0.0;
+    has_pcm_[id] = 1;
+    pcm_[id] = pcm;
+    melt_fraction_[id] = t0 > pcm.melt_temp ? 1.0 : 0.0;
+    // PCM nodes take the enthalpy walk, not the sensible fast path.
+    sens_inv_cap_[id] = 0.0;
+    pcm_nodes_.push_back(id);
     return id;
 }
 
@@ -43,208 +58,325 @@ void
 ThermalNetwork::addResistor(ThermalNodeId a, ThermalNodeId b,
                             KelvinPerWatt r)
 {
-    SPRINT_ASSERT(a < nodes.size() && b < nodes.size(),
+    SPRINT_ASSERT(a < temp_.size() && b < temp_.size(),
                   "resistor endpoint out of range");
     SPRINT_ASSERT(r > 0.0, "thermal resistance must be positive");
     edges.push_back({a, b, r});
+    topology_dirty_ = true;
 }
 
 void
 ThermalNetwork::addResistorToAmbient(ThermalNodeId node, KelvinPerWatt r)
 {
-    SPRINT_ASSERT(node < nodes.size(), "resistor endpoint out of range");
+    SPRINT_ASSERT(node < temp_.size(), "resistor endpoint out of range");
     SPRINT_ASSERT(r > 0.0, "thermal resistance must be positive");
     edges.push_back({node, kAmbient, r});
+    topology_dirty_ = true;
 }
 
 void
 ThermalNetwork::setPower(ThermalNodeId node, Watts power)
 {
-    SPRINT_ASSERT(node < nodes.size(), "node out of range");
-    nodes[node].injected = power;
+    SPRINT_ASSERT(node < temp_.size(), "node out of range");
+    injected_[node] = power;
 }
 
 Watts
 ThermalNetwork::power(ThermalNodeId node) const
 {
-    SPRINT_ASSERT(node < nodes.size(), "node out of range");
-    return nodes[node].injected;
+    SPRINT_ASSERT(node < temp_.size(), "node out of range");
+    return injected_[node];
 }
 
 Celsius
 ThermalNetwork::temperature(ThermalNodeId node) const
 {
-    SPRINT_ASSERT(node < nodes.size(), "node out of range");
-    return nodes[node].temp;
+    SPRINT_ASSERT(node < temp_.size(), "node out of range");
+    return temp_[node];
 }
 
 double
 ThermalNetwork::meltFraction(ThermalNodeId node) const
 {
-    SPRINT_ASSERT(node < nodes.size(), "node out of range");
-    return nodes[node].melt_fraction;
+    SPRINT_ASSERT(node < temp_.size(), "node out of range");
+    return melt_fraction_[node];
 }
 
 bool
 ThermalNetwork::isPcmNode(ThermalNodeId node) const
 {
-    SPRINT_ASSERT(node < nodes.size(), "node out of range");
-    return nodes[node].has_pcm;
+    SPRINT_ASSERT(node < temp_.size(), "node out of range");
+    return has_pcm_[node] != 0;
 }
 
 const std::string &
 ThermalNetwork::name(ThermalNodeId node) const
 {
-    SPRINT_ASSERT(node < nodes.size(), "node out of range");
-    return nodes[node].name;
+    SPRINT_ASSERT(node < temp_.size(), "node out of range");
+    return names_[node];
 }
 
-Celsius
-ThermalNetwork::endpointTemp(std::size_t id) const
+void
+ThermalNetwork::ensureTopology() const
 {
-    return id == kAmbient ? ambient_temp : nodes[id].temp;
+    if (!topology_dirty_)
+        return;
+
+    const std::size_t n = temp_.size();
+    row_ptr_.assign(n + 1, 0);
+    g_amb_.assign(n, 0.0);
+    g_sum_.assign(n, 0.0);
+
+    // Counting pass: each internal edge appears in both endpoint rows;
+    // ambient edges fold into g_amb_ instead of occupying a slot.
+    for (const auto &e : edges) {
+        if (e.a != kAmbient && e.b != kAmbient) {
+            ++row_ptr_[e.a + 1];
+            ++row_ptr_[e.b + 1];
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        row_ptr_[i + 1] += row_ptr_[i];
+
+    nbr_.assign(row_ptr_[n], 0);
+    g_.assign(row_ptr_[n], 0.0);
+    std::vector<std::size_t> fill(row_ptr_.begin(), row_ptr_.end() - 1);
+    for (const auto &e : edges) {
+        const double g = 1.0 / e.resistance;
+        if (e.a != kAmbient && e.b != kAmbient) {
+            nbr_[fill[e.a]] = e.b;
+            g_[fill[e.a]++] = g;
+            nbr_[fill[e.b]] = e.a;
+            g_[fill[e.b]++] = g;
+            g_sum_[e.a] += g;
+            g_sum_[e.b] += g;
+        } else if (e.a != kAmbient) {
+            g_amb_[e.a] += g;
+            g_sum_[e.a] += g;
+        } else if (e.b != kAmbient) {
+            g_amb_[e.b] += g;
+            g_sum_[e.b] += g;
+        }
+    }
+
+    // Explicit Euler on a node is stable while dt < C_i / sum_j(1/R_ij);
+    // take the tightest node. (Heun shares the same real-axis bound.)
+    double limit = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (g_sum_[i] > 0.0)
+            limit = std::min(limit, cap_[i] / g_sum_[i]);
+    }
+    stable_cached_ = limit;
+    inv_hmax_ = std::isinf(limit)
+                    ? 0.0
+                    : 1.0 / (kHeunStepFraction * limit);
+
+    p1_.assign(n, 0.0);
+    p2_.assign(n, 0.0);
+    t_pred_.assign(n, 0.0);
+    mf_pred_.assign(n, 0.0);
+    topology_dirty_ = false;
 }
 
 Seconds
 ThermalNetwork::maxStableStep() const
 {
-    // Explicit Euler on a node is stable while
-    // dt < C_i / sum_j(1/R_ij); take the tightest node.
-    std::vector<double> conductance(nodes.size(), 0.0);
-    for (const auto &e : edges) {
-        const double g = 1.0 / e.resistance;
-        if (e.a != kAmbient)
-            conductance[e.a] += g;
-        if (e.b != kAmbient)
-            conductance[e.b] += g;
-    }
-    double limit = std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < nodes.size(); ++i) {
-        if (conductance[i] > 0.0)
-            limit = std::min(limit, nodes[i].capacity / conductance[i]);
-    }
-    return limit;
+    ensureTopology();
+    return stable_cached_;
 }
 
 void
-ThermalNetwork::applyHeat(Node &node, Joules joules)
+ThermalNetwork::applyPcmHeat(double &temp, double &melt_fraction,
+                             JoulesPerKelvin cap,
+                             const PcmProperties &pcm, Joules joules)
 {
-    if (!node.has_pcm) {
-        node.temp += joules / node.capacity;
-        return;
-    }
-
     // Walk the piecewise enthalpy curve: sensible heat below the melt
     // point, latent plateau at the melt point, sensible heat above.
     double remaining = joules;
-    const Celsius melt = node.pcm.melt_temp;
-    const Joules latent = node.pcm.latent_heat;
+    const Celsius melt = pcm.melt_temp;
+    const Joules latent = pcm.latent_heat;
 
-    // Guard against infinite loops from floating-point residue.
+    // One sign of heat crosses at most three segments; the bound only
+    // guards against floating-point ping-pong.
     for (int iter = 0; iter < 8 && remaining != 0.0; ++iter) {
         if (remaining > 0.0) {
-            if (node.temp < melt) {
-                const Joules to_melt_point =
-                    (melt - node.temp) * node.capacity;
+            if (temp < melt) {
+                const Joules to_melt_point = (melt - temp) * cap;
                 if (remaining < to_melt_point) {
-                    node.temp += remaining / node.capacity;
+                    temp += remaining / cap;
                     remaining = 0.0;
                 } else {
-                    node.temp = melt;
+                    temp = melt;
                     remaining -= to_melt_point;
                 }
-            } else if (node.melt_fraction < 1.0) {
+            } else if (melt_fraction < 1.0) {
                 const Joules to_full_melt =
-                    (1.0 - node.melt_fraction) * latent;
+                    (1.0 - melt_fraction) * latent;
                 if (remaining < to_full_melt) {
-                    node.melt_fraction += remaining / latent;
-                    node.temp = melt;
+                    melt_fraction += remaining / latent;
+                    temp = melt;
                     remaining = 0.0;
                 } else {
-                    node.melt_fraction = 1.0;
-                    node.temp = melt;
+                    melt_fraction = 1.0;
+                    temp = melt;
                     remaining -= to_full_melt;
                 }
             } else {
-                node.temp += remaining / node.capacity;
+                temp += remaining / cap;
                 remaining = 0.0;
             }
         } else {
-            if (node.temp > melt) {
+            if (temp > melt) {
                 const Joules to_melt_point =
-                    (melt - node.temp) * node.capacity; // negative
+                    (melt - temp) * cap; // negative
                 if (remaining > to_melt_point) {
-                    node.temp += remaining / node.capacity;
+                    temp += remaining / cap;
                     remaining = 0.0;
                 } else {
-                    node.temp = melt;
+                    temp = melt;
                     remaining -= to_melt_point;
                 }
-            } else if (node.melt_fraction > 0.0) {
+            } else if (melt_fraction > 0.0) {
                 const Joules to_full_freeze =
-                    -node.melt_fraction * latent; // negative
+                    -melt_fraction * latent; // negative
                 if (remaining > to_full_freeze) {
-                    node.melt_fraction += remaining / latent;
-                    node.temp = melt;
+                    melt_fraction += remaining / latent;
+                    temp = melt;
                     remaining = 0.0;
                 } else {
-                    node.melt_fraction = 0.0;
-                    node.temp = melt;
+                    melt_fraction = 0.0;
+                    temp = melt;
                     remaining -= to_full_freeze;
                 }
             } else {
-                node.temp += remaining / node.capacity;
+                temp += remaining / cap;
                 remaining = 0.0;
             }
         }
     }
+    // Energy conservation: never drop residual heat. Any leftover from
+    // the guard above folds into sensible heat.
+    if (remaining != 0.0)
+        temp += remaining / cap;
 }
 
 void
-ThermalNetwork::substep(Seconds dt)
+ThermalNetwork::computeNetPower(const double *t, double *p) const
 {
-    // Gather net heat per node at the current temperatures, then apply.
-    std::vector<Joules> heat(nodes.size(), 0.0);
-    for (std::size_t i = 0; i < nodes.size(); ++i)
-        heat[i] = nodes[i].injected * dt;
-    for (const auto &e : edges) {
-        const double flow =
-            (endpointTemp(e.a) - endpointTemp(e.b)) / e.resistance;
-        const Joules q = flow * dt;
-        if (e.a != kAmbient)
-            heat[e.a] -= q;
-        if (e.b != kAmbient)
-            heat[e.b] += q;
+    const std::size_t n = temp_.size();
+    const double t_amb = ambient_temp;
+    for (std::size_t i = 0; i < n; ++i) {
+        double acc =
+            injected_[i] + g_amb_[i] * t_amb - g_sum_[i] * t[i];
+        const std::size_t end = row_ptr_[i + 1];
+        for (std::size_t k = row_ptr_[i]; k < end; ++k)
+            acc += g_[k] * t[nbr_[k]];
+        p[i] = acc;
     }
-    for (std::size_t i = 0; i < nodes.size(); ++i)
-        applyHeat(nodes[i], heat[i]);
+}
+
+void
+ThermalNetwork::substepEuler(Seconds h)
+{
+    const std::size_t n = temp_.size();
+    double *const t = temp_.data();
+    double *const p1 = p1_.data();
+    const double *const sic = sens_inv_cap_.data();
+
+    computeNetPower(t, p1);
+    // Branch-free sensible update (sens_inv_cap_ is 0 for PCM nodes)...
+    for (std::size_t i = 0; i < n; ++i)
+        t[i] += h * p1[i] * sic[i];
+    // ...then the enthalpy walk for the flagged PCM nodes only.
+    for (const std::size_t i : pcm_nodes_)
+        applyPcmHeat(t[i], melt_fraction_[i], cap_[i], pcm_[i],
+                     h * p1[i]);
+}
+
+void
+ThermalNetwork::substepHeun(Seconds h)
+{
+    const std::size_t n = temp_.size();
+    double *const t = temp_.data();
+    double *const tp = t_pred_.data();
+    double *const p1 = p1_.data();
+    double *const p2 = p2_.data();
+    const double *const sic = sens_inv_cap_.data();
+    const double t_amb = ambient_temp;
+    const std::size_t *const rp = row_ptr_.data();
+    const std::size_t *const nbr = nbr_.data();
+    const double *const g = g_.data();
+    const double *const g_amb = g_amb_.data();
+    const double *const g_sum = g_sum_.data();
+    const double *const inj = injected_.data();
+
+    // Stage 1 at the current state, fused with the Euler predictor
+    // into preallocated scratch (sens_inv_cap_ is 0 for PCM nodes).
+    for (std::size_t i = 0; i < n; ++i) {
+        double acc = inj[i] + g_amb[i] * t_amb - g_sum[i] * t[i];
+        const std::size_t end = rp[i + 1];
+        for (std::size_t k = rp[i]; k < end; ++k)
+            acc += g[k] * t[nbr[k]];
+        p1[i] = acc;
+        tp[i] = t[i] + h * acc * sic[i];
+    }
+    // Enthalpy-aware predictor for the flagged PCM nodes only, so the
+    // latent plateau is honoured mid-step.
+    for (const std::size_t i : pcm_nodes_) {
+        mf_pred_[i] = melt_fraction_[i];
+        applyPcmHeat(tp[i], mf_pred_[i], cap_[i], pcm_[i], h * p1[i]);
+    }
+
+    // Stage 2 at the predicted state, fused with the corrector: apply
+    // the averaged heat. Per-edge flows enter both endpoints
+    // antisymmetrically, so the applied heats conserve energy to
+    // rounding.
+    const double hh = 0.5 * h;
+    for (std::size_t i = 0; i < n; ++i) {
+        double acc = inj[i] + g_amb[i] * t_amb - g_sum[i] * tp[i];
+        const std::size_t end = rp[i + 1];
+        for (std::size_t k = rp[i]; k < end; ++k)
+            acc += g[k] * tp[nbr[k]];
+        p2[i] = acc;
+        t[i] += hh * (p1[i] + acc) * sic[i];
+    }
+    for (const std::size_t i : pcm_nodes_)
+        applyPcmHeat(t[i], melt_fraction_[i], cap_[i], pcm_[i],
+                     hh * (p1[i] + p2[i]));
 }
 
 void
 ThermalNetwork::step(Seconds dt)
 {
     SPRINT_ASSERT(dt >= 0.0, "negative time step");
-    if (dt == 0.0 || nodes.empty())
+    if (dt == 0.0 || temp_.empty())
         return;
-    // Well below the stability bound for accuracy, not just
-    // stability: explicit Euler at h = 0.01 * tau keeps step-response
-    // errors under ~0.2% of the driving amplitude.
-    const Seconds stable = 0.01 * maxStableStep();
+    ensureTopology();
+
+    const bool heun = scheme == ThermalIntegrator::Heun;
+    // ratio is 0 for an edge-free network (stable bound = infinity).
+    const double ratio =
+        dt * inv_hmax_ * (heun ? 1.0 : kHeunOverEuler);
     const int substeps =
-        std::max(1, static_cast<int>(std::ceil(dt / stable)));
+        ratio > 1.0 ? static_cast<int>(std::ceil(ratio)) : 1;
     const Seconds h = dt / substeps;
-    for (int i = 0; i < substeps; ++i)
-        substep(h);
+    if (heun) {
+        for (int i = 0; i < substeps; ++i)
+            substepHeun(h);
+    } else {
+        for (int i = 0; i < substeps; ++i)
+            substepEuler(h);
+    }
 }
 
 Joules
 ThermalNetwork::storedEnergy() const
 {
     Joules total = 0.0;
-    for (const auto &n : nodes) {
-        total += n.capacity * (n.temp - ambient_temp);
-        if (n.has_pcm)
-            total += n.melt_fraction * n.pcm.latent_heat;
+    for (std::size_t i = 0; i < temp_.size(); ++i) {
+        total += cap_[i] * (temp_[i] - ambient_temp);
+        if (has_pcm_[i])
+            total += melt_fraction_[i] * pcm_[i].latent_heat;
     }
     return total;
 }
@@ -252,12 +384,20 @@ ThermalNetwork::storedEnergy() const
 void
 ThermalNetwork::reset()
 {
-    for (auto &n : nodes) {
-        n.temp = ambient_temp;
-        n.melt_fraction =
-            n.has_pcm && ambient_temp > n.pcm.melt_temp ? 1.0 : 0.0;
-        n.injected = 0.0;
+    for (std::size_t i = 0; i < temp_.size(); ++i) {
+        temp_[i] = ambient_temp;
+        melt_fraction_[i] =
+            has_pcm_[i] && ambient_temp > pcm_[i].melt_temp ? 1.0 : 0.0;
+        injected_[i] = 0.0;
     }
+    // Drop integrator scratch and force the stability cache to be
+    // re-validated, so a network reused across batched experiments can
+    // never read stale state.
+    std::fill(p1_.begin(), p1_.end(), 0.0);
+    std::fill(p2_.begin(), p2_.end(), 0.0);
+    std::fill(t_pred_.begin(), t_pred_.end(), 0.0);
+    std::fill(mf_pred_.begin(), mf_pred_.end(), 0.0);
+    topology_dirty_ = true;
 }
 
 } // namespace csprint

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared fixtures for validating and benchmarking the thermal hot
+ * path: the PCM-ladder network used by the PCM-heavy benchmarks, and
+ * the phonePcm melt/freeze parity trace that compares the optimized
+ * Heun integrator against the retained reference Euler. Kept in one
+ * place so the microbenchmark, the BENCH_thermal.json report tool,
+ * and the parity test all measure the same thing.
+ */
+
+#ifndef CSPRINT_THERMAL_VALIDATION_HH
+#define CSPRINT_THERMAL_VALIDATION_HH
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "thermal/network.hh"
+#include "thermal/package.hh"
+
+namespace csprint {
+
+/**
+ * Build a ladder of @p nodes PCM nodes hanging off a driven die node,
+ * each starting just below its melt point so every substep walks the
+ * enthalpy curve of every node (the PCM-heavy worst case).
+ */
+inline void
+buildPcmLadder(ThermalNetwork &net, int nodes)
+{
+    ThermalNodeId prev = net.addNode("die", 0.1, 25.0);
+    net.setPower(prev, 4.0 * nodes);
+    for (int i = 0; i < nodes; ++i) {
+        const ThermalNodeId pcm = net.addPcmNode(
+            "pcm" + std::to_string(i), 0.05, 59.9, {50.0, 60.0});
+        net.addResistor(prev, pcm, 0.5);
+        prev = pcm;
+    }
+    net.addResistorToAmbient(prev, 3.5);
+}
+
+/** Outcome of a melt/freeze parity trace between the two integrators. */
+struct MeltFreezeParity
+{
+    double max_temp_dev = 0.0; ///< max |T_Heun - T_Euler| [C]
+    double max_mf_dev = 0.0;   ///< max melt-fraction deviation
+    double final_melt_fraction = 0.0; ///< Heun melt fraction at the end
+};
+
+/**
+ * Drive two phonePcm packages — reference Euler and Heun — through a
+ * 16 W sprint of @p sprint_steps ms followed by @p cooldown_steps ms
+ * of cooldown refreeze, sampling the junction every 1 ms, and report
+ * the worst divergence (the equal-traces acceptance check).
+ */
+inline MeltFreezeParity
+runMeltFreezeParity(int sprint_steps, int cooldown_steps)
+{
+    MobilePackageModel ref(MobilePackageParams::phonePcm());
+    MobilePackageModel opt(MobilePackageParams::phonePcm());
+    ref.network().setIntegrator(ThermalIntegrator::ReferenceEuler);
+    opt.network().setIntegrator(ThermalIntegrator::Heun);
+
+    MeltFreezeParity out;
+    const int steps[] = {sprint_steps, cooldown_steps};
+    const double power[] = {16.0, 0.0};
+    for (int phase = 0; phase < 2; ++phase) {
+        ref.setDiePower(power[phase]);
+        opt.setDiePower(power[phase]);
+        for (int i = 0; i < steps[phase]; ++i) {
+            ref.step(1e-3);
+            opt.step(1e-3);
+            out.max_temp_dev =
+                std::max(out.max_temp_dev,
+                         std::fabs(ref.junctionTemp() -
+                                   opt.junctionTemp()));
+            out.max_mf_dev =
+                std::max(out.max_mf_dev,
+                         std::fabs(ref.meltFraction() -
+                                   opt.meltFraction()));
+        }
+    }
+    out.final_melt_fraction = opt.meltFraction();
+    return out;
+}
+
+} // namespace csprint
+
+#endif // CSPRINT_THERMAL_VALIDATION_HH
