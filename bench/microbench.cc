@@ -18,6 +18,7 @@
 #include "thermal/transients.hh"
 #include "thermal/validation.hh"
 #include "workloads/sobel.hh"
+#include "workloads/workload.hh"
 
 namespace {
 
@@ -133,6 +134,53 @@ BM_CacheAccess(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_CacheAccess);
+
+/**
+ * End-to-end Machine::run() on the fig07 kernel, comparing the
+ * retained cycle-by-cycle reference loop (arg 0) against the
+ * event-driven skip-ahead scheduler (arg 1).
+ */
+void
+BM_MachineRunSerial(benchmark::State &state)
+{
+    const MachineLoop loop = state.range(0) == 0
+                                 ? MachineLoop::Reference
+                                 : MachineLoop::EventDriven;
+    for (auto _ : state) {
+        const ParallelProgram prog =
+            buildKernelProgram(KernelId::Sobel, InputSize::A);
+        MachineConfig cfg;
+        cfg.num_cores = 1;
+        cfg.num_threads = 1;
+        cfg.loop = loop;
+        Machine m(cfg, prog);
+        m.run();
+        benchmark::DoNotOptimize(m.stats().cycles);
+    }
+}
+BENCHMARK(BM_MachineRunSerial)->Arg(0)->Arg(1)->Unit(
+    benchmark::kMillisecond);
+
+void
+BM_MachineRunParallel16(benchmark::State &state)
+{
+    const MachineLoop loop = state.range(0) == 0
+                                 ? MachineLoop::Reference
+                                 : MachineLoop::EventDriven;
+    for (auto _ : state) {
+        const ParallelProgram prog =
+            buildKernelProgram(KernelId::Sobel, InputSize::B);
+        MachineConfig cfg;
+        cfg.num_cores = 16;
+        cfg.num_threads = 16;
+        cfg.loop = loop;
+        Machine m(cfg, prog);
+        m.run();
+        benchmark::DoNotOptimize(m.stats().cycles);
+    }
+}
+BENCHMARK(BM_MachineRunParallel16)->Arg(0)->Arg(1)->Unit(
+    benchmark::kMillisecond);
 
 void
 BM_MachineSobel(benchmark::State &state)

@@ -42,7 +42,7 @@ main()
                 auto s = phase.make_task(task);
                 MicroOp op;
                 while (s->next(op)) {
-                    ++counts[static_cast<std::size_t>(op.kind)];
+                    ++counts[static_cast<std::size_t>(op.kind())];
                     ++total;
                 }
             }

@@ -5,6 +5,20 @@
  * store of the shared L2 (paper Section 8.1). The cache operates on
  * line indices (byte address divided by the line size); data values
  * are not modelled, only presence, dirtiness, and recency.
+ *
+ * The tag array is stored structure-of-arrays: one contiguous
+ * per-set run of tags (a single host cache line for an 8-way set) and
+ * one packed per-set metadata word holding the recency order as a
+ * move-to-front nibble list plus valid/dirty way masks. Recency is
+ * positional, so a hit updates one 64-bit word instead of per-way LRU
+ * timestamps; victim choice (first invalid way, else the true-LRU
+ * way) is identical to a timestamp implementation.
+ *
+ * Two lookup paths exist: access() is the full allocate-on-miss path,
+ * and accessIfPresent() is the simulation hot path — a hit-only probe
+ * (with a one-entry MRU shortcut) that performs exactly the recency,
+ * dirty-bit, and counter updates of a hitting access() and touches
+ * nothing on a miss or an S->M upgrade.
  */
 
 #ifndef CSPRINT_ARCHSIM_CACHE_HH
@@ -32,15 +46,20 @@ struct CacheAccessResult
     bool evicted = false;            ///< a victim line was displaced
     std::uint64_t evicted_line = 0;  ///< the victim's line index
     bool evicted_dirty = false;      ///< victim needed a write-back
+    std::size_t slot = 0;            ///< storage slot of the line (the
+                                     ///< victim's slot on an eviction)
 };
 
-/** Set-associative LRU tag array. */
+/** Set-associative LRU tag array (at most 16 ways). */
 class Cache
 {
   public:
+    /** Sentinel returned by findSlot() when a line is absent. */
+    static constexpr std::size_t kNoSlot = ~std::size_t(0);
+
     /**
      * @param size_bytes total capacity
-     * @param assoc ways per set
+     * @param assoc ways per set (1..16)
      * @param line_bytes line size (used only to derive the set count)
      */
     Cache(std::size_t size_bytes, int assoc, std::size_t line_bytes);
@@ -51,8 +70,60 @@ class Cache
      */
     CacheAccessResult access(std::uint64_t line, bool write);
 
+    /**
+     * Hit-only access: when @p line is present and the access
+     * completes locally (any read, or a write to an already-dirty
+     * copy), update recency/dirtiness/hit counters exactly as
+     * access() would and return true. Otherwise (miss, or a write
+     * needing an S->M upgrade) touch nothing and return false so the
+     * caller can take the full coherence path.
+     */
+    bool accessIfPresent(std::uint64_t line, bool write);
+
     /** True when @p line is present. */
     bool contains(std::uint64_t line) const;
+
+    /**
+     * Pure lookahead for the machine's stride probe: true when an
+     * access of @p line would be a local one-cycle hit (present, and
+     * for a write already dirty). Touches nothing — presence and
+     * dirtiness do not depend on recency, so the answer stays valid
+     * until this cache is mutated by a fill, eviction, coherence
+     * action, or flush.
+     */
+    bool wouldHit(std::uint64_t line, bool write) const
+    {
+        return hitWay(line, write) >= 0;
+    }
+
+    /**
+     * Way that a local one-cycle hit of @p line would use (see
+     * wouldHit()), or -1. Pure lookahead for the stride probe; the
+     * answer and the way stay valid until this cache is mutated.
+     */
+    int hitWay(std::uint64_t line, bool write) const
+    {
+        const std::size_t set = line & (sets - 1);
+        const int way = findWay(set, line);
+        if (way < 0 || (write && !((meta[set].dirty >> way) & 1u)))
+            return -1;
+        return way;
+    }
+
+    /**
+     * Replay a batch of probed hits, each packed as (set << 4 | way):
+     * exactly the recency and counter updates of hitting accesses.
+     * The caller guarantees (via the stride probe) that each access
+     * was a local hit at its nominal cycle and that no mutation has
+     * intervened since.
+     */
+    void commitHits(const std::uint32_t *setway, std::size_t n)
+    {
+        for (std::size_t j = 0; j < n; ++j)
+            touch(meta[setway[j] >> 4],
+                  static_cast<int>(setway[j] & 0xF));
+        counters.hits += n;
+    }
 
     /** True when @p line is present and dirty. */
     bool isDirty(std::uint64_t line) const;
@@ -72,6 +143,31 @@ class Cache
     /** Ways per set. */
     int associativity() const { return ways; }
 
+    /** Total storage slots (sets * ways); slot ids index this range. */
+    std::size_t numSlots() const { return tags.size(); }
+
+    /** Storage slot of @p line, or kNoSlot when absent. */
+    std::size_t findSlot(std::uint64_t line) const;
+
+    /**
+     * The slot access(line, _) would use, without mutating: the hit
+     * way when present, otherwise the victim way (first invalid way,
+     * else the LRU tail) the fill would displace. @p hit reports
+     * which case applied.
+     */
+    std::size_t peekSlot(std::uint64_t line, bool &hit) const;
+
+    /** True when @p slot holds a valid line. */
+    bool validAt(std::size_t slot) const
+    {
+        return (meta[slot / static_cast<std::size_t>(ways)].valid >>
+                (slot % static_cast<std::size_t>(ways))) &
+               1u;
+    }
+
+    /** Line index stored at @p slot (meaningful only when valid). */
+    std::uint64_t lineAt(std::size_t slot) const { return tags[slot]; }
+
     /** Number of currently valid lines. */
     std::size_t validLines() const;
 
@@ -79,21 +175,61 @@ class Cache
     const CacheStats &stats() const { return counters; }
 
   private:
-    struct Line
+    /**
+     * Per-set packed metadata: `order` lists way indices as nibbles,
+     * most-recently-used in bits [0, 4); `valid`/`dirty` are way
+     * bitmasks.
+     */
+    struct SetMeta
     {
-        std::uint64_t tag = 0;
-        bool valid = false;
-        bool dirty = false;
-        std::uint64_t lru = 0;
+        std::uint64_t order = 0;
+        std::uint16_t valid = 0;
+        std::uint16_t dirty = 0;
+        std::uint32_t pad = 0;
     };
 
-    Line *findLine(std::uint64_t line);
-    const Line *findLine(std::uint64_t line) const;
+    /** Way holding @p line in @p set, or -1. */
+    int findWay(std::size_t set, std::uint64_t line) const
+    {
+        const std::uint64_t *base = &tags[set * ways];
+        const unsigned valid_ways = meta[set].valid;
+        for (int w = 0; w < ways; ++w) {
+            if (base[w] == line && ((valid_ways >> w) & 1u))
+                return w;
+        }
+        return -1;
+    }
+
+    /** Move @p way's nibble to the front of the recency list. */
+    void touch(SetMeta &m, int way)
+    {
+        const std::uint64_t order = m.order;
+        // Position of the nibble equal to `way` (each way id appears
+        // exactly once in the word, including the unused upper
+        // nibbles of a narrow cache, so the scan always terminates).
+        int p = 0;
+        while (((order >> (4 * p)) & 0xF) !=
+               static_cast<std::uint64_t>(way))
+            ++p;
+        const std::uint64_t below =
+            order & ((std::uint64_t(1) << (4 * p)) - 1);
+        const std::uint64_t above =
+            p < 15 ? (order >> (4 * (p + 1))) << (4 * (p + 1)) : 0;
+        m.order =
+            above | (below << 4) | static_cast<std::uint64_t>(way);
+    }
 
     std::size_t sets;
     int ways;
-    std::vector<Line> lines;  ///< sets * ways, row-major by set
-    std::uint64_t tick = 0;
+    std::vector<std::uint64_t> tags;  ///< sets * ways, row-major by set
+    std::vector<SetMeta> meta;        ///< one packed word per set
+    // One-entry MRU filter for accessIfPresent: consecutive accesses
+    // to the same line skip the way scan. The tag/valid re-check makes
+    // stale hints (invalidation, eviction reuse, flush) fall back to
+    // the scan.
+    std::size_t hint_set = 0;
+    int hint_way = 0;
+    std::uint64_t hint_line = ~std::uint64_t(0);
     CacheStats counters;
 };
 

@@ -6,28 +6,46 @@ namespace csprint {
 
 SharedL2::SharedL2(const L2Config &cfg, MemorySystem &memory)
     : cfg(cfg), memory(memory),
-      tags(cfg.size_bytes, cfg.assoc, cfg.line_bytes)
+      tags(cfg.size_bytes, cfg.assoc, cfg.line_bytes),
+      dir(tags.numSlots())
 {
 }
 
 void
-SharedL2::evict(std::uint64_t line, bool dirty, Cycles now,
-                std::vector<Cache> &l1s)
+SharedL2::evictRecall(std::uint64_t line, const DirEntry &victim,
+                      Cycles now, std::vector<Cache> &l1s)
 {
     // Inclusion: recall the line from every L1 holding it.
-    auto it = directory.find(line);
     bool any_l1_dirty = false;
-    if (it != directory.end()) {
-        for (std::size_t c = 0; c < l1s.size(); ++c) {
-            if (it->second.sharers & (1ULL << c)) {
-                any_l1_dirty |= l1s[c].invalidate(line);
-                ++counters.inclusion_recalls;
-            }
+    for (std::size_t c = 0; c < l1s.size(); ++c) {
+        if (victim.sharers & (1ULL << c)) {
+            any_l1_dirty |= l1s[c].invalidate(line);
+            l1_mutations |= 1ULL << c;
+            ++counters.inclusion_recalls;
         }
-        directory.erase(it);
     }
-    if (dirty || any_l1_dirty)
+    if (victim.l2_dirty || any_l1_dirty)
         memory.writeback(line, now);
+}
+
+std::uint64_t
+SharedL2::peekL1Targets(std::uint64_t line, bool write,
+                        int requester) const
+{
+    bool hit = false;
+    const std::size_t slot = tags.peekSlot(line, hit);
+    const std::uint64_t req_bit = 1ULL << requester;
+    if (hit) {
+        const DirEntry &entry = dir[slot];
+        if (write)
+            return entry.sharers & ~req_bit;
+        if (entry.dirty_owner >= 0 && entry.dirty_owner != requester)
+            return 1ULL << entry.dirty_owner;
+        return 0;
+    }
+    // Miss: an eviction recalls the victim line from every sharer;
+    // the freshly installed entry has no other sharers to act on.
+    return tags.validAt(slot) ? dir[slot].sharers : 0;
 }
 
 Cycles
@@ -43,7 +61,7 @@ SharedL2::access(std::uint64_t line, bool write, int requester,
     const std::uint64_t req_bit = 1ULL << requester;
 
     const CacheAccessResult tag_result = tags.access(line, false);
-    DirEntry &entry = directory[line];
+    DirEntry &entry = dir[tag_result.slot];
 
     if (tag_result.hit) {
         ++counters.hits;
@@ -51,14 +69,10 @@ SharedL2::access(std::uint64_t line, bool write, int requester,
         ++counters.misses;
         latency += memory.read(line, now + latency);
         if (tag_result.evicted) {
-            evict(tag_result.evicted_line,
-                  [&] {
-                      auto vic = directory.find(tag_result.evicted_line);
-                      return vic != directory.end() &&
-                             vic->second.l2_dirty;
-                  }(),
-                  now, l1s);
+            // The slot still holds the victim's directory state.
+            evictRecall(tag_result.evicted_line, entry, now, l1s);
         }
+        entry = DirEntry{};
     }
 
     if (write) {
@@ -70,6 +84,7 @@ SharedL2::access(std::uint64_t line, bool write, int requester,
                 const bool was_dirty = l1s[c].invalidate(line);
                 if (was_dirty)
                     entry.l2_dirty = true;
+                l1_mutations |= bit;
                 ++counters.invalidations_sent;
                 remote = true;
             }
@@ -83,6 +98,7 @@ SharedL2::access(std::uint64_t line, bool write, int requester,
         // Downgrade a remote dirty owner so the reader sees clean data.
         if (entry.dirty_owner >= 0 && entry.dirty_owner != requester) {
             l1s[entry.dirty_owner].markClean(line);
+            l1_mutations |= 1ULL << entry.dirty_owner;
             entry.l2_dirty = true;
             entry.dirty_owner = -1;
             ++counters.downgrades_sent;
@@ -97,12 +113,13 @@ void
 SharedL2::writebackFromL1(std::uint64_t line, int from, Cycles now)
 {
     ++counters.writebacks_received;
-    auto it = directory.find(line);
-    if (it != directory.end()) {
-        it->second.l2_dirty = true;
-        it->second.sharers &= ~(1ULL << from);
-        if (it->second.dirty_owner == from)
-            it->second.dirty_owner = -1;
+    const std::size_t slot = tags.findSlot(line);
+    if (slot != Cache::kNoSlot) {
+        DirEntry &entry = dir[slot];
+        entry.l2_dirty = true;
+        entry.sharers &= ~(1ULL << from);
+        if (entry.dirty_owner == from)
+            entry.dirty_owner = -1;
     } else {
         // The line already left the L2 (inclusion recall raced with
         // the eviction in this approximation); forward to memory.
@@ -114,14 +131,16 @@ void
 SharedL2::dropCore(int core, std::vector<Cache> &l1s)
 {
     const std::uint64_t bit = 1ULL << core;
-    for (auto &kv : directory) {
-        if (kv.second.sharers & bit) {
-            if (l1s[core].invalidate(kv.first))
-                kv.second.l2_dirty = true;
-            kv.second.sharers &= ~bit;
-            if (kv.second.dirty_owner == core)
-                kv.second.dirty_owner = -1;
-        }
+    for (std::size_t slot = 0; slot < dir.size(); ++slot) {
+        DirEntry &entry = dir[slot];
+        if (!(entry.sharers & bit) || !tags.validAt(slot))
+            continue;
+        if (l1s[core].invalidate(tags.lineAt(slot)))
+            entry.l2_dirty = true;
+        l1_mutations |= bit;
+        entry.sharers &= ~bit;
+        if (entry.dirty_owner == core)
+            entry.dirty_owner = -1;
     }
     l1s[core].flush();
 }

@@ -9,13 +9,19 @@
  * of a line another core holds dirty, the owner is downgraded and its
  * L1 copy marked clean. Inclusion is enforced: an L2 eviction recalls
  * the line from every L1 that holds it.
+ *
+ * The directory is stored as a flat array parallel to the tag store
+ * (one entry per tag slot, holding a fixed 64-bit sharer bitmask keyed
+ * by core id), so a directory lookup is the slot index returned by the
+ * tag access — no per-line hashed container on the hot path. Inclusion
+ * guarantees the invariant that a line has directory state iff it is
+ * resident in the L2 tags.
  */
 
 #ifndef CSPRINT_ARCHSIM_L2_HH
 #define CSPRINT_ARCHSIM_L2_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "archsim/cache.hh"
@@ -72,6 +78,31 @@ class SharedL2
     /** Drop core @p core from all sharer sets (core deactivated). */
     void dropCore(int core, std::vector<Cache> &l1s);
 
+    /**
+     * Bitmask of the cores whose L1s an access(line, write, requester)
+     * call would mutate, computed without side effects: sharers to be
+     * invalidated on a write, a remote dirty owner to be downgraded on
+     * a read, and every sharer of the tag victim an L2 miss would
+     * recall. The machine commits those cores' deferred local runs
+     * before issuing the access, so replayed ops never see
+     * post-mutation state.
+     */
+    std::uint64_t peekL1Targets(std::uint64_t line, bool write,
+                                int requester) const;
+
+    /**
+     * Bitmask of cores whose L1 contents this L2 has mutated
+     * (invalidations, downgrades, inclusion recalls, dropCore) since
+     * the last call; reading clears it. The machine's event loop uses
+     * it to invalidate cached stride probes precisely.
+     */
+    std::uint64_t takeL1Mutations()
+    {
+        const std::uint64_t m = l1_mutations;
+        l1_mutations = 0;
+        return m;
+    }
+
     /** Event counters. */
     const L2Stats &stats() const { return counters; }
 
@@ -86,13 +117,14 @@ class SharedL2
         bool l2_dirty = false;      ///< L2 copy newer than memory
     };
 
-    void evict(std::uint64_t line, bool dirty, Cycles now,
-               std::vector<Cache> &l1s);
+    void evictRecall(std::uint64_t line, const DirEntry &victim,
+                     Cycles now, std::vector<Cache> &l1s);
 
     L2Config cfg;
     MemorySystem &memory;
     Cache tags;
-    std::unordered_map<std::uint64_t, DirEntry> directory;
+    std::vector<DirEntry> dir;  ///< parallel to the tag slots
+    std::uint64_t l1_mutations = 0;  ///< cores with externally-changed L1s
     L2Stats counters;
 };
 

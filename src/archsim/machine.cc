@@ -24,6 +24,12 @@ Machine::Machine(const MachineConfig &config,
                   "core count must be in [1, 64]");
     SPRINT_ASSERT(cfg.num_threads >= 1, "need at least one thread");
     SPRINT_ASSERT(freq_mult > 0.0, "bad frequency multiplier");
+    SPRINT_ASSERT(cfg.line_bytes > 0 &&
+                      (cfg.line_bytes & (cfg.line_bytes - 1)) == 0,
+                  "line size must be a power of two");
+    line_shift = 0;
+    while ((std::size_t(1) << line_shift) < cfg.line_bytes)
+        ++line_shift;
 
     memory = std::make_unique<MemorySystem>(cfg.memory,
                                             cfg.nominal_clock, freq_mult);
@@ -31,15 +37,21 @@ Machine::Machine(const MachineConfig &config,
 
     l1s.reserve(cfg.num_cores);
     cores.resize(cfg.num_cores);
+    next_event.assign(cfg.num_cores, 0);
+    reach.assign(cfg.num_cores, 0);
+    qend.assign(cfg.num_cores, kNever);
     for (int c = 0; c < cfg.num_cores; ++c) {
         l1s.emplace_back(cfg.l1_bytes, cfg.l1_assoc, cfg.line_bytes);
         cores[c].id = c;
         cores[c].active = true;
     }
+    active_cores = cfg.num_cores;
+    mem_batch_ok = active_cores == 1;
 
     threads.resize(cfg.num_threads);
     for (int t = 0; t < cfg.num_threads; ++t) {
         threads[t].id = static_cast<std::size_t>(t);
+        threads[t].buf.resize(kOpBufferCap);
         cores[t % cfg.num_cores].run_queue.push_back(t);
     }
 
@@ -54,6 +66,14 @@ Machine::setSampleHook(SampleHook new_hook, Cycles quantum)
     SPRINT_ASSERT(quantum > 0, "sampling quantum must be positive");
     hook = std::move(new_hook);
     sample_quantum = quantum;
+}
+
+void
+Machine::setEnergyModel(const InstructionEnergyModel &model)
+{
+    // Price everything accrued so far with the outgoing model.
+    flushEnergy();
+    cfg.energy = model;
 }
 
 bool
@@ -83,7 +103,8 @@ Machine::enterPhase(std::size_t index)
         Thread &thread = threads[t];
         thread.stream.reset();
         thread.at_barrier = false;
-        thread.has_pending = false;
+        thread.buf_pos = 0;
+        thread.buf_len = 0;
         thread.spin_failures = 0;
         if (phase.kind == PhaseKind::ParallelStatic) {
             thread.next_task = t * n / nt;
@@ -108,7 +129,7 @@ Machine::acquireNextTask(Thread &thread, Cycles now)
     auto to_barrier = [&]() {
         thread.at_barrier = true;
         ++barrier_count;
-        ++totals.sleep_cycles;  // barrier arrival marker
+        ++totals.barrier_arrivals;
         return false;
     };
 
@@ -139,38 +160,120 @@ Machine::acquireNextTask(Thread &thread, Cycles now)
     SPRINT_PANIC("unknown phase kind");
 }
 
-void
-Machine::chargeOp(OpKind kind)
+bool
+Machine::refillOps(Thread &thread)
 {
-    ++totals.ops_retired;
-    ++totals.ops_by_kind[static_cast<std::size_t>(kind)];
-    totals.dynamic_energy += cfg.energy.opEnergy(kind);
+    thread.buf_len = thread.stream->fillInto(thread.buf);
+    thread.buf_pos = 0;
+    return thread.buf_len > 0;
+}
+
+void
+Machine::flushEnergy()
+{
+    std::uint64_t retired = 0;
+    for (std::size_t k = 0; k < kNumOpKinds; ++k) {
+        const std::uint64_t n = tally.ops[k];
+        if (n == 0)
+            continue;
+        tally.ops[k] = 0;
+        retired += n;
+        totals.ops_by_kind[k] += n;
+        totals.dynamic_energy +=
+            static_cast<double>(n) *
+            cfg.energy.opEnergy(static_cast<OpKind>(k));
+    }
+    totals.ops_retired += retired;
+    if (tally.idle_ticks != 0) {
+        totals.dynamic_energy +=
+            static_cast<double>(tally.idle_ticks) *
+            cfg.energy.idleCycleEnergy();
+        tally.idle_ticks = 0;
+    }
+    if (tally.l2_accesses != 0) {
+        totals.dynamic_energy +=
+            static_cast<double>(tally.l2_accesses) *
+            cfg.energy.l2AccessEnergy();
+        tally.l2_accesses = 0;
+    }
+    if (tally.dram_accesses != 0) {
+        totals.dynamic_energy +=
+            static_cast<double>(tally.dram_accesses) *
+            cfg.energy.dramAccessEnergy();
+        tally.dram_accesses = 0;
+    }
+}
+
+void
+Machine::syncCacheTotals()
+{
+    // The per-Cache counters are the single source of truth; the
+    // MachineStats fields only mirror them for observers.
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    for (const auto &l1 : l1s) {
+        hits += l1.stats().hits;
+        misses += l1.stats().misses;
+    }
+    totals.l1_hits = hits;
+    totals.l1_misses = misses;
+}
+
+void
+Machine::precommitL1Targets(std::uint64_t line, bool write,
+                            int requester, Cycles now)
+{
+    // Deferred stride runs exist only in the multi-core event-driven
+    // loop; skip the directory peek entirely otherwise.
+    if (mem_batch_ok || cfg.loop == MachineLoop::Reference)
+        return;
+    // This access is about to perform coherence actions on other
+    // cores' L1s. Any deferred stride run of an affected core holds
+    // ops that were verified against the pre-mutation state: replay
+    // them first. Within one cycle the reference loop ticks cores in
+    // id order, so a lower-id core's op on the mutation cycle itself
+    // executes *before* this access (commit through `now`
+    // inclusive — the stride scan guarantees its coverage extends
+    // past `now`, else that core would have been dispatched first),
+    // while a higher-id core's op at `now` comes after the mutation
+    // and is re-evaluated once the stale probe is dropped.
+    std::uint64_t targets =
+        l2->peekL1Targets(line, write, requester) &
+        ~(std::uint64_t(1) << requester);
+    while (targets) {
+        const int y = __builtin_ctzll(targets);
+        targets &= targets - 1;
+        Core &cy = cores[y];
+        const Cycles ty = next_event[y];
+        if (!cy.active || ty > now || !streamCapable(cy, ty))
+            continue;
+        const Cycles k = now - ty + (y < requester ? 1 : 0);
+        if (k > 0 && k <= cy.probe_local)
+            commitRun(cy, ty, k);
+    }
 }
 
 Cycles
 Machine::memoryAccess(Core &core, bool write, std::uint64_t addr,
                       Cycles now)
 {
-    const std::uint64_t line = addr / cfg.line_bytes;
+    const std::uint64_t line = addr >> line_shift;
     Cache &l1 = l1s[core.id];
 
-    if (l1.contains(line)) {
-        // A dirty local copy is exclusive (MESI M state); loads and
-        // stores to it complete locally. A store to a clean copy
-        // needs a directory upgrade (S -> M) that invalidates other
-        // sharers.
-        if (!write || l1.isDirty(line)) {
-            l1.access(line, write);
-            ++totals.l1_hits;
-            return 1;
-        }
+    // A dirty local copy is exclusive (MESI M state); loads and
+    // stores to it complete locally. A store to a clean copy needs a
+    // directory upgrade (S -> M) that invalidates other sharers.
+    if (l1.accessIfPresent(line, write))
+        return 1;
+
+    if (write && l1.contains(line)) {
+        precommitL1Targets(line, true, core.id, now);
         const Cycles lat = l2->access(line, true, core.id, now, l1s);
-        l1.access(line, true);
-        ++totals.l1_hits;  // data was local; only ownership was remote
+        l1.access(line, true);  // data was local; only ownership moved
         return std::max<Cycles>(1, lat);
     }
 
-    ++totals.l1_misses;
+    precommitL1Targets(line, write, core.id, now);
     const Cycles lat = l2->access(line, write, core.id, now, l1s);
     CacheAccessResult fill = l1.access(line, write);
     if (fill.evicted && fill.evicted_dirty)
@@ -182,24 +285,21 @@ void
 Machine::executeOp(Core &core, Thread &thread, const MicroOp &op,
                    Cycles now)
 {
-    switch (op.kind) {
+    switch (op.kind()) {
       case OpKind::IntAlu:
       case OpKind::FpAlu:
       case OpKind::Branch:
-        chargeOp(op.kind);
+        chargeOp(op.kind());
         core.busy_until = now + 1;
-        thread.has_pending = false;
+        ++thread.buf_pos;
         return;
 
       case OpKind::Pause: {
-        chargeOp(op.kind);
-        thread.has_pending = false;
+        chargeOp(op.kind());
+        ++thread.buf_pos;
         thread.sleep_until = now + cfg.pause_sleep_cycles;
         totals.sleep_cycles += cfg.pause_sleep_cycles;
-        totals.idle_cycles += cfg.pause_sleep_cycles;
-        totals.dynamic_energy +=
-            cfg.energy.idleCycleEnergy() *
-            static_cast<double>(cfg.pause_sleep_cycles);
+        chargeIdle(cfg.pause_sleep_cycles);
         core.current = -1;  // yield the core
         core.busy_until = now + 1;
         return;
@@ -207,47 +307,43 @@ Machine::executeOp(Core &core, Thread &thread, const MicroOp &op,
 
       case OpKind::Load:
       case OpKind::Store: {
-        chargeOp(op.kind);
-        const Cycles lat = memoryAccess(core, op.kind == OpKind::Store,
-                                        op.addr, now);
+        chargeOp(op.kind());
+        const Cycles lat = memoryAccess(core, op.kind() == OpKind::Store,
+                                        op.addr(), now);
         if (lat > 1) {
-            totals.idle_cycles += lat - 1;
-            totals.dynamic_energy +=
-                cfg.energy.idleCycleEnergy() *
-                static_cast<double>(lat - 1);
+            chargeIdle(lat - 1);
             // Accesses past the L1 burn L2/DRAM energy.
-            totals.dynamic_energy += cfg.energy.l2AccessEnergy();
+            ++tally.l2_accesses;
             if (lat > cfg.l2.hit_latency + cfg.l2.coherence_penalty + 1)
-                totals.dynamic_energy += cfg.energy.dramAccessEnergy();
+                ++tally.dram_accesses;
         }
         core.busy_until = now + lat;
-        thread.has_pending = false;
+        ++thread.buf_pos;
         return;
       }
 
       case OpKind::LockAcquire: {
-        if (op.addr >= locks.size())
-            locks.resize(op.addr + 1);
-        LockState &lock = locks[op.addr];
+        if (op.addr() >= locks.size()) {
+            SPRINT_ASSERT(op.addr() < kMaxLockId,
+                          "lock id out of sanity range");
+            locks.resize(op.addr() + 1);
+        }
+        LockState &lock = locks[op.addr()];
         if (lock.holder < 0) {
             lock.holder = static_cast<int>(thread.id);
-            chargeOp(op.kind);
+            chargeOp(op.kind());
             thread.spin_failures = 0;
-            thread.has_pending = false;
+            ++thread.buf_pos;
             core.busy_until = now + 2;
         } else {
             // Spin; after enough failures, PAUSE-sleep (Section 8.1).
             ++thread.spin_failures;
-            totals.idle_cycles += 2;
-            totals.dynamic_energy += 2.0 * cfg.energy.idleCycleEnergy();
+            chargeIdle(2);
             if (thread.spin_failures >= cfg.spin_tries_before_pause) {
                 thread.spin_failures = 0;
                 thread.sleep_until = now + cfg.pause_sleep_cycles;
                 totals.sleep_cycles += cfg.pause_sleep_cycles;
-                totals.idle_cycles += cfg.pause_sleep_cycles;
-                totals.dynamic_energy +=
-                    cfg.energy.idleCycleEnergy() *
-                    static_cast<double>(cfg.pause_sleep_cycles);
+                chargeIdle(cfg.pause_sleep_cycles);
                 core.current = -1;
             }
             core.busy_until = now + 2;
@@ -256,13 +352,13 @@ Machine::executeOp(Core &core, Thread &thread, const MicroOp &op,
       }
 
       case OpKind::LockRelease: {
-        SPRINT_ASSERT(op.addr < locks.size() &&
-                          locks[op.addr].holder ==
+        SPRINT_ASSERT(op.addr() < locks.size() &&
+                          locks[op.addr()].holder ==
                               static_cast<int>(thread.id),
                       "release of a lock not held by this thread");
-        locks[op.addr].holder = -1;
-        chargeOp(op.kind);
-        thread.has_pending = false;
+        locks[op.addr()].holder = -1;
+        chargeOp(op.kind());
+        ++thread.buf_pos;
         core.busy_until = now + 1;
         return;
       }
@@ -270,9 +366,178 @@ Machine::executeOp(Core &core, Thread &thread, const MicroOp &op,
     SPRINT_PANIC("unknown op kind");
 }
 
+Cycles
+Machine::batchLimit(const Core &core, Cycles now) const
+{
+    if (cfg.loop == MachineLoop::Reference)
+        return 1;  // the parity baseline executes one op per cycle
+    Cycles limit = kNever;  // tryBatch clamps to the buffered window
+    // Never execute past a sample boundary: the hook must observe
+    // exactly the state the reference loop would show it.
+    if (next_sample_at - now < limit)
+        limit = next_sample_at - now;
+    // Quantum preemption is checked every cycle when multiplexing.
+    if (core.run_queue.size() > 1 && core.quantum_end - now < limit)
+        limit = core.quantum_end - now;
+    return limit;
+}
+
+Cycles
+Machine::tryBatch(Core &core, Thread &thread, Cycles limit,
+                  bool allow_mem)
+{
+    Cache &l1 = l1s[core.id];
+    const MicroOp *ops = thread.buf.data();
+    const std::size_t start = thread.buf_pos;
+    std::size_t i = start;
+    const std::size_t end =
+        std::min<std::size_t>(thread.buf_len,
+                              start + static_cast<std::size_t>(limit));
+    while (i < end) {
+        const MicroOp &op = ops[i];
+        if (isComputeOp(op.kind())) {
+            chargeOp(op.kind());
+            ++i;
+            continue;
+        }
+        // Memory hits reach this point only when no other core can
+        // interleave a coherence action inside the batch window:
+        // exactly one active core, or a stride-verified commit.
+        if (isMemoryOp(op.kind()) && allow_mem &&
+            l1.accessIfPresent(op.addr() >> line_shift,
+                               op.kind() == OpKind::Store)) {
+            chargeOp(op.kind());
+            ++i;
+            continue;
+        }
+        break;
+    }
+    thread.buf_pos = i;
+    return static_cast<Cycles>(i - start);
+}
+
+bool
+Machine::streamCapable(const Core &core, Cycles now) const
+{
+    // True when the core's next actions are fully described by its
+    // current thread's buffered ops: a tick at `now` would neither
+    // reschedule, preempt, refill, nor sleep.
+    if (core.current < 0 || core.idle_repeat)
+        return false;
+    const Thread &t = threads[core.current];
+    if (t.at_barrier || now < t.sleep_until ||
+        t.buf_pos >= t.buf_len)
+        return false;
+    if (core.run_queue.size() > 1 && now >= core.quantum_end)
+        return false;
+    return true;
+}
+
+void
+Machine::probeLocalRun(Core &core, const Thread &thread, Cycles cap)
+{
+    // Extend the cached count of verified-local ops (each one cycle,
+    // own-L1 only) from the thread's current buffer position, up to
+    // @p cap ops or the first stride blocker.
+    if (core.probe_blocked)
+        return;
+    const Cache &l1 = l1s[core.id];
+    // Hoisted bounds: walk [first, last) with one comparison per op;
+    // stopping short of `goal` (for any reason other than the cap)
+    // marks the blocker.
+    const MicroOp *const base = thread.buf.data();
+    const MicroOp *p = base + thread.buf_pos + core.probe_local;
+    const std::size_t want =
+        cap < static_cast<Cycles>(thread.buf_len - thread.buf_pos)
+            ? static_cast<std::size_t>(cap)
+            : thread.buf_len - thread.buf_pos;
+    const MicroOp *const goal = base + thread.buf_pos + want;
+    const bool hit_buffer_end = want < cap;
+    if (core.probe_mem.capacity() < thread.buf_len)
+        core.probe_mem.reserve(thread.buf_len);
+    const std::uint64_t set_mask = l1.numSets() - 1;
+    // Same-line memo: back-to-back accesses to one line are the
+    // common pattern (stencil neighbours), and presence/dirtiness
+    // cannot change inside a verified-local run.
+    std::uint64_t memo_key = ~std::uint64_t(0);
+    std::uint32_t memo_entry = 0;
+    bool memo_ok = false;
+    while (p != goal) {
+        const OpKind kind = p->kind();
+        if (isComputeOp(kind)) {
+            ++core.probe_counts[opKindIndex(kind)];
+            ++p;
+            continue;
+        }
+        if (!isMemoryOp(kind))
+            break;
+        const std::uint64_t line = p->addr() >> line_shift;
+        const std::uint64_t key =
+            (line << 1) | (kind == OpKind::Store);
+        if (key != memo_key) {
+            memo_key = key;
+            const int way = l1.hitWay(line, kind == OpKind::Store);
+            memo_ok = way >= 0;
+            memo_entry = static_cast<std::uint32_t>(
+                ((line & set_mask) << 4) |
+                static_cast<std::uint32_t>(way & 0xF));
+        }
+        if (!memo_ok)
+            break;
+        core.probe_mem.push_back(memo_entry);
+        ++core.probe_counts[opKindIndex(kind)];
+        ++p;
+    }
+    const std::uint32_t n = static_cast<std::uint32_t>(
+        p - (base + thread.buf_pos));
+    core.probe_local = n;
+    core.probe_blocked = (p != goal) || hit_buffer_end;
+}
+
+Cycles
+Machine::coreWake(const Core &core, Cycles now) const
+{
+    // Earliest cycle >= now + 1 at which some thread in the run queue
+    // becomes runnable; kNever while all are parked at the barrier (a
+    // barrier release resets every core's next event) or the queue is
+    // empty.
+    Cycles wake = kNever;
+    for (std::size_t idx : core.run_queue) {
+        const Thread &t = threads[idx];
+        if (t.at_barrier)
+            continue;
+        wake = std::min(wake, std::max(t.sleep_until, now + 1));
+    }
+    return wake;
+}
+
+void
+Machine::settleIdle(Core &core, Cycles upto)
+{
+    // Charge the idle tick the reference loop would have issued on
+    // every cycle of [idle_from, upto).
+    if (core.idle_repeat && upto > core.idle_from) {
+        chargeIdle(upto - core.idle_from);
+        core.idle_from = upto;
+    }
+}
+
+void
+Machine::resetProbe(Core &core)
+{
+    core.probe_local = 0;
+    core.probe_blocked = false;
+    core.probe_counts.fill(0);
+    core.probe_mem.clear();
+    core.probe_mem_pos = 0;
+}
+
 void
 Machine::tickCore(Core &core, Cycles now)
 {
+    core.idle_repeat = false;
+    resetProbe(core);
+
     // Validate / preempt the current thread.
     if (core.current >= 0) {
         Thread &t = threads[core.current];
@@ -299,10 +564,8 @@ Machine::tickCore(Core &core, Cycles now)
                 // Context-switch cost when multiplexing.
                 if (n > 1) {
                     core.busy_until = now + cfg.context_switch_cycles;
-                    totals.idle_cycles += cfg.context_switch_cycles;
-                    totals.dynamic_energy +=
-                        cfg.energy.idleCycleEnergy() *
-                        static_cast<double>(cfg.context_switch_cycles);
+                    chargeIdle(cfg.context_switch_cycles);
+                    next_event[core.id] = core.busy_until;
                     return;
                 }
                 break;
@@ -310,44 +573,73 @@ Machine::tickCore(Core &core, Cycles now)
         }
         if (!found) {
             core.busy_until = now + 1;
-            ++totals.idle_cycles;
-            totals.dynamic_energy += cfg.energy.idleCycleEnergy();
+            chargeIdle(1);
+            core.idle_repeat = true;
+            core.idle_from = now + 1;
+            next_event[core.id] = coreWake(core, now);
             return;
         }
     }
 
     Thread &thread = threads[core.current];
 
-    // Fetch the next op, pulling a fresh task when the stream drains.
-    if (!thread.has_pending) {
+    // Refill the op window, pulling fresh tasks when a stream drains.
+    if (thread.buf_pos >= thread.buf_len) {
         while (true) {
-            if (thread.stream && thread.stream->next(thread.pending)) {
-                thread.has_pending = true;
+            if (thread.stream && refillOps(thread))
                 break;
-            }
             if (!acquireNextTask(thread, now)) {
                 // Barrier or dequeue contention: nothing this cycle.
-                if (thread.at_barrier)
+                const bool at_barrier = thread.at_barrier;
+                if (at_barrier)
                     core.current = -1;
                 core.busy_until = now + 1;
-                ++totals.idle_cycles;
-                totals.dynamic_energy += cfg.energy.idleCycleEnergy();
+                chargeIdle(1);
+                core.idle_repeat = true;
+                core.idle_from = now + 1;
+                next_event[core.id] =
+                    at_barrier
+                        ? coreWake(core, now)
+                        : std::min(dequeue_free_at,
+                                   core.run_queue.size() > 1
+                                       ? core.quantum_end
+                                       : kNever);
                 return;
             }
             if (program.phases()[phase_idx].kind ==
                 PhaseKind::ParallelDynamic) {
                 // Charge the dequeue critical section.
                 core.busy_until = now + cfg.task_dequeue_cycles;
-                totals.idle_cycles += cfg.task_dequeue_cycles;
-                totals.dynamic_energy +=
-                    cfg.energy.idleCycleEnergy() *
-                    static_cast<double>(cfg.task_dequeue_cycles);
+                chargeIdle(cfg.task_dequeue_cycles);
+                next_event[core.id] = core.busy_until;
                 return;
             }
         }
     }
 
-    executeOp(core, thread, thread.pending, now);
+    const MicroOp &op = thread.buf[thread.buf_pos];
+    if (isComputeOp(op.kind()) ||
+        (mem_batch_ok && isMemoryOp(op.kind()))) {
+        const Cycles n = tryBatch(core, thread, batchLimit(core, now),
+                                  mem_batch_ok);
+        if (n > 0) {
+            core.busy_until = now + n;
+            next_event[core.id] = core.busy_until;
+            return;
+        }
+    } else if (isMemoryOp(op.kind()) &&
+               l1s[core.id].accessIfPresent(op.addr() >> line_shift,
+                                            op.kind() == OpKind::Store)) {
+        // Multi-core local L1 hit: one cycle, no coherence traffic.
+        // (Identical to executeOp's Load/Store path with lat == 1.)
+        chargeOp(op.kind());
+        ++thread.buf_pos;
+        core.busy_until = now + 1;
+        next_event[core.id] = core.busy_until;
+        return;
+    }
+    executeOp(core, thread, op, now);
+    next_event[core.id] = core.busy_until;
 }
 
 void
@@ -358,7 +650,72 @@ Machine::maybeAdvanceBarrier()
 }
 
 void
+Machine::resetNextEvents()
+{
+    // Conservative re-arm after a structural change (barrier release,
+    // consolidation): every active core is due no later than the next
+    // cycle it could possibly act on. Idle bookkeeping is preserved so
+    // the pending span is still charged when the core is processed.
+    for (auto &core : cores) {
+        next_event[core.id] =
+            core.active ? std::max(core.busy_until, cycle + 1) : kNever;
+        resetProbe(core);
+        refreshScanCache(static_cast<std::size_t>(core.id));
+    }
+}
+
+void
+Machine::fireSampleHook()
+{
+    // Settle lazy idle spans so the hook observes exactly the totals
+    // the reference loop would show at this boundary.
+    for (auto &core : cores) {
+        if (core.active)
+            settleIdle(core, cycle);
+    }
+    flushEnergy();
+    syncCacheTotals();
+    const Seconds dt = static_cast<double>(sample_quantum) /
+                       (cfg.nominal_clock * freq_mult);
+    const Joules delta = totals.dynamic_energy - energy_at_last_sample;
+    energy_at_last_sample = totals.dynamic_energy;
+    next_sample_at += sample_quantum;
+    hook(*this, dt, delta);
+    if (events_dirty) {
+        // The hook consolidated cores or re-queued threads: recompute
+        // every wake-up conservatively.
+        events_dirty = false;
+        resetNextEvents();
+    }
+}
+
+void
 Machine::run()
+{
+    next_sample_at =
+        hook ? (cycle / sample_quantum + 1) * sample_quantum : kNever;
+    if (cfg.loop == MachineLoop::Reference)
+        runReference();
+    else
+        runEventLoop();
+    finishRun();
+}
+
+void
+Machine::finishRun()
+{
+    for (auto &core : cores) {
+        if (core.active)
+            settleIdle(core, cycle);
+    }
+    flushEnergy();
+    totals.cycles = cycle;
+    totals.seconds = simTime();
+    syncCacheTotals();
+}
+
+void
+Machine::runReference()
 {
     constexpr Cycles kMaxCycles = 200ULL * 1000 * 1000 * 1000;
     while (!finished() && !aborted) {
@@ -368,32 +725,195 @@ Machine::run()
         }
         maybeAdvanceBarrier();
         ++cycle;
-        if (hook && cycle % sample_quantum == 0) {
-            const Seconds dt =
-                static_cast<double>(sample_quantum) /
-                (cfg.nominal_clock * freq_mult);
-            const Joules delta =
-                totals.dynamic_energy - energy_at_last_sample;
-            energy_at_last_sample = totals.dynamic_energy;
-            hook(*this, dt, delta);
-        }
+        if (cycle == next_sample_at)
+            fireSampleHook();
         SPRINT_ASSERT(cycle < kMaxCycles,
                       "machine exceeded the cycle safety bound");
     }
-    totals.cycles = cycle;
-    totals.seconds = simTime();
-    totals.l1_hits = 0;
-    totals.l1_misses = 0;
-    for (const auto &l1 : l1s) {
-        totals.l1_hits += l1.stats().hits;
-        totals.l1_misses += l1.stats().misses;
+}
+
+void
+Machine::commitRun(Core &core, Cycles from, Cycles k)
+{
+    // Replay @p k stride-verified local ops of the core's current
+    // thread, occupying cycles [from, from + k). The probe guarantees
+    // each replays as a one-cycle local op, and recorded the hit way
+    // of every memory op, so no lookup happens here.
+    SPRINT_ASSERT(k <= core.probe_local,
+                  "stride commit exceeds its probe");
+    Thread &thread = threads[core.current];
+    Cache &l1 = l1s[core.id];
+    if (k == core.probe_local) {
+        // Full-run commit (the common case: the core reached its own
+        // blocker): apply the aggregated counts and replay the packed
+        // hit list without touching the op array.
+        for (std::size_t kd = 0; kd < kNumOpKinds; ++kd) {
+            tally.ops[kd] += core.probe_counts[kd];
+            core.probe_counts[kd] = 0;
+        }
+        l1.commitHits(core.probe_mem.data() + core.probe_mem_pos,
+                      core.probe_mem.size() - core.probe_mem_pos);
+        core.probe_mem.clear();
+        core.probe_mem_pos = 0;
+        thread.buf_pos += static_cast<std::size_t>(k);
+        core.probe_local = 0;
+    } else {
+        // Partial commit (horizon or mutation truncation): walk the
+        // prefix, consuming the packed list in step.
+        const MicroOp *ops = thread.buf.data();
+        std::size_t i = thread.buf_pos;
+        const std::size_t end = i + static_cast<std::size_t>(k);
+        std::uint32_t mem_n = 0;
+        for (; i != end; ++i) {
+            const std::size_t kd = opKindIndex(ops[i].kind());
+            ++tally.ops[kd];
+            --core.probe_counts[kd];
+            mem_n += isMemoryOp(ops[i].kind());
+        }
+        l1.commitHits(core.probe_mem.data() + core.probe_mem_pos,
+                      mem_n);
+        core.probe_mem_pos += mem_n;
+        thread.buf_pos = end;
+        core.probe_local -= static_cast<std::uint32_t>(k);
+    }
+    core.busy_until = from + k;
+    next_event[core.id] = from + k;
+}
+
+void
+Machine::runEventLoop()
+{
+    constexpr Cycles kMaxCycles = 200ULL * 1000 * 1000 * 1000;
+    const std::size_t ncores = cores.size();
+    while (!finished() && !aborted) {
+        // Find the earliest cycle at which anything non-local can
+        // happen: a core's first op that is not a verified one-cycle
+        // local op (L2-reaching access, lock, PAUSE, refill), a
+        // scheduler wake-up/preemption, or the sample boundary. Every
+        // streaming core's probe is extended to cover the horizon, so
+        // ops before it are provably confined to their own L1 and
+        // commute across cores; they are committed lazily — when
+        // their core reaches a global op, when a coherence action
+        // touches that core, or at a sample boundary.
+        const Cycles *ne = next_event.data();
+        const Cycles *re = reach.data();
+        const Cycles *qe = qend.data();
+        Cycles horizon = next_sample_at;
+        int pick = -1;
+        for (std::size_t c = 0; c < ncores; ++c) {
+            const Cycles t = ne[c];
+            if (t >= horizon)
+                continue;
+            if (mem_batch_ok) {
+                // Single active core: no cross-core hazard exists, so
+                // ticking is eager — tickCore's batch path drains the
+                // whole local run in one pass with no probe/commit
+                // split.
+                horizon = t;
+                pick = static_cast<int>(c);
+                continue;
+            }
+            // Fast path: the cached verified-local reach (clamped to
+            // the preemption point) already covers the horizon.
+            const Cycles r = std::min(re[c], qe[c]);
+            if (r >= horizon)
+                continue;
+            Core &core = cores[c];
+            if (r <= t && !streamCapable(core, t)) {
+                // Plain scheduler event (wake-up, preemption, refill,
+                // barrier pickup): handled by a normal tick at t.
+                // (r < t only via a stale preemption point, which a
+                // tick refreshes.)
+                horizon = t;
+                pick = static_cast<int>(c);
+                continue;
+            }
+            Cycles cap = horizon - t;
+            if (qe[c] - t < cap)
+                cap = qe[c] - t;
+            if (!core.probe_blocked && core.probe_local < cap) {
+                probeLocalRun(core, threads[core.current], cap);
+                reach[c] = t + core.probe_local;
+            }
+            const Cycles run = std::min<Cycles>(core.probe_local, cap);
+            if (t + run < horizon) {
+                horizon = t + run;
+                pick = static_cast<int>(c);
+            }
+        }
+        SPRINT_ASSERT(horizon != kNever,
+                      "machine deadlock: no pending events");
+
+        if (pick < 0) {
+            // Nothing due before the sample boundary: commit every
+            // deferred local run up to it and fire the hook.
+            for (std::size_t c = 0; c < ncores; ++c) {
+                const Cycles t = ne[c];
+                if (t < horizon)
+                    commitRun(cores[c], t, horizon - t);
+            }
+            cycle = horizon;
+            fireSampleHook();
+            SPRINT_ASSERT(cycle < kMaxCycles,
+                          "machine exceeded the cycle safety bound");
+            continue;
+        }
+
+        // One core acts at the horizon. Commit its own deferred run
+        // first (its op at the horizon may depend on its L1 recency),
+        // then tick it — in core-id order when several cores share
+        // the cycle, because the scan keeps the first minimum.
+        Core &core = cores[pick];
+        {
+            const Cycles t = ne[pick];
+            if (t < horizon)
+                commitRun(core, t, horizon - t);
+            settleIdle(core, horizon);
+            const std::size_t phase_before = phase_idx;
+            tickCore(core, horizon);
+            refreshScanCache(static_cast<std::size_t>(pick));
+            cycle = horizon;
+            maybeAdvanceBarrier();
+            if (phase_idx != phase_before)
+                resetNextEvents();
+            if (finished()) {
+                // Mirror the reference loop's final iteration: the
+                // cycle completes (idle cores included — finishRun
+                // settles their spans through this cycle) and the
+                // clock advances once more before the loop exits.
+                cycle += 1;
+                if (cycle == next_sample_at)
+                    fireSampleHook();
+                continue;
+            }
+        }
+
+        // If the tick performed coherence actions on other cores'
+        // L1s, their probes beyond this cycle are stale: commit the
+        // still-valid prefix (ops strictly before the mutation) and
+        // drop the rest for re-probing.
+        std::uint64_t mutated = l2->takeL1Mutations() &
+                                ~(std::uint64_t(1) << pick);
+        while (mutated) {
+            const int y = __builtin_ctzll(mutated);
+            mutated &= mutated - 1;
+            Core &cy = cores[y];
+            const Cycles ty = next_event[y];
+            if (cy.active && ty < cycle && streamCapable(cy, ty))
+                commitRun(cy, ty, cycle - ty);
+            resetProbe(cy);
+            reach[y] = next_event[y];
+        }
+
+        SPRINT_ASSERT(cycle < kMaxCycles,
+                      "machine exceeded the cycle safety bound");
     }
 }
 
 void
 Machine::consolidateToSingleCore()
 {
-    if (activeCores() == 1)
+    if (active_cores == 1)
         return;
     std::vector<std::size_t> all_threads;
     for (auto &core : cores) {
@@ -401,6 +921,7 @@ Machine::consolidateToSingleCore()
             all_threads.push_back(t);
         core.run_queue.clear();
         core.current = -1;
+        core.idle_repeat = false;
         if (core.id != 0) {
             core.active = false;
             l2->dropCore(core.id, l1s);
@@ -411,10 +932,10 @@ Machine::consolidateToSingleCore()
     cores[0].rr = 0;
     cores[0].busy_until =
         std::max(cores[0].busy_until, cycle + cfg.migration_cycles);
-    totals.idle_cycles += cfg.migration_cycles;
-    totals.dynamic_energy +=
-        cfg.energy.idleCycleEnergy() *
-        static_cast<double>(cfg.migration_cycles);
+    chargeIdle(cfg.migration_cycles);
+    active_cores = 1;
+    mem_batch_ok = true;
+    events_dirty = true;
 }
 
 void
@@ -427,15 +948,6 @@ Machine::setFrequencyMult(double mult)
     cycle_base = cycle;
     freq_mult = mult;
     memory->setFrequencyMult(mult, cycle);
-}
-
-int
-Machine::activeCores() const
-{
-    int n = 0;
-    for (const auto &core : cores)
-        n += core.active ? 1 : 0;
-    return n;
 }
 
 Seconds

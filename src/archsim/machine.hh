@@ -12,6 +12,15 @@
  * of active power. An external controller (the sprint governor) may
  * observe energy every sampling quantum and react by consolidating all
  * threads onto core 0 or by throttling frequency.
+ *
+ * Two scheduler loops implement identical semantics (see PERF.md, "The
+ * machine hot path"): the default event-driven loop advances the clock
+ * directly to the next cycle on which any core can change state
+ * (charging skipped idle cycles in bulk) and drains runs of one-cycle
+ * ops per core visit, while the retained reference loop is the seed's
+ * cycle-by-cycle scan, kept as the parity baseline. Both charge energy
+ * through integer event tallies priced at sample boundaries, so their
+ * statistics agree bit-for-bit.
  */
 
 #ifndef CSPRINT_ARCHSIM_MACHINE_HH
@@ -32,6 +41,13 @@
 #include "energy/ops.hh"
 
 namespace csprint {
+
+/** Which scheduler loop Machine::run() executes. */
+enum class MachineLoop : unsigned char
+{
+    EventDriven,  ///< skip-ahead scheduler with batched op streams
+    Reference,    ///< retained cycle-by-cycle loop (parity baseline)
+};
 
 /** Machine configuration (paper defaults). */
 struct MachineConfig
@@ -55,6 +71,8 @@ struct MachineConfig
     Cycles migration_cycles = 30000;    ///< consolidation cost on core 0
     int spin_tries_before_pause = 16;   ///< lock spin before PAUSE
 
+    MachineLoop loop = MachineLoop::EventDriven;
+
     InstructionEnergyModel energy;
 
     /** Sixteen-core sprint chip of the paper's evaluation. */
@@ -68,10 +86,11 @@ struct MachineStats
     Seconds seconds = 0.0;      ///< wall-clock time elapsed
     std::uint64_t ops_retired = 0;
     std::array<std::uint64_t, kNumOpKinds> ops_by_kind{};
-    std::uint64_t l1_hits = 0;
-    std::uint64_t l1_misses = 0;
+    std::uint64_t l1_hits = 0;     ///< mirror of the per-L1 counters
+    std::uint64_t l1_misses = 0;   ///< (refreshed at sample boundaries)
     std::uint64_t idle_cycles = 0;   ///< stall/sleep/idle core-cycles
-    std::uint64_t sleep_cycles = 0;  ///< PAUSE/barrier sleep subset
+    std::uint64_t sleep_cycles = 0;  ///< PAUSE-sleep subset
+    std::uint64_t barrier_arrivals = 0;  ///< threads reaching a barrier
     Joules dynamic_energy = 0.0;
 };
 
@@ -113,13 +132,10 @@ class Machine
     void setFrequencyMult(double mult);
 
     /** Swap the energy model (DVFS boost entry/exit re-prices ops). */
-    void setEnergyModel(const InstructionEnergyModel &model)
-    {
-        cfg.energy = model;
-    }
+    void setEnergyModel(const InstructionEnergyModel &model);
 
     /** Number of currently active cores. */
-    int activeCores() const;
+    int activeCores() const { return active_cores; }
 
     /** Current frequency multiplier. */
     double frequencyMult() const { return freq_mult; }
@@ -135,19 +151,29 @@ class Machine
     Seconds simTime() const;
 
   private:
+    /** Per-thread op window refilled in bulk from the task stream. */
+    static constexpr std::size_t kOpBufferCap = 1024;
+
+    /** Sanity bound on lock ids (locks are resized on demand). */
+    static constexpr std::uint64_t kMaxLockId = 1 << 20;
+
+    /** "No pending wake-up" sentinel for next-event times. */
+    static constexpr Cycles kNever = ~Cycles(0);
+
     struct Thread
     {
         std::size_t id = 0;
         std::unique_ptr<OpStream> stream;  ///< current task
         bool at_barrier = false;
-        bool waiting_lock = false;
         Cycles sleep_until = 0;
         int spin_failures = 0;
         // Static-partition bookkeeping for the current phase.
         std::size_t next_task = 0;
         std::size_t task_end = 0;
-        MicroOp pending{};
-        bool has_pending = false;
+        // Bulk-fetched op window (ops[buf_pos, buf_len) are pending).
+        std::vector<MicroOp> buf;
+        std::size_t buf_pos = 0;
+        std::size_t buf_len = 0;
     };
 
     struct Core
@@ -159,24 +185,82 @@ class Machine
         int current = -1;             ///< running thread (-1: none)
         Cycles busy_until = 0;
         Cycles quantum_end = 0;
+        // Lazy idle accounting: while idle_repeat is set, the
+        // reference loop would have idle-ticked this core on every
+        // cycle in [idle_from, now); the gap is charged in one piece
+        // when the core is next processed (or settled at a sample
+        // boundary / end of run).
+        bool idle_repeat = false;
+        Cycles idle_from = 0;
+        // Cached stride probe: the next probe_local ops of the
+        // current thread's buffer are verified local (one-cycle, own
+        // L1 only); probe_blocked marks the op after them as a
+        // verified stride blocker (global op or buffer end). Cleared
+        // whenever this core ticks or its L1 is externally mutated.
+        // probe_counts aggregates the probed ops per kind and
+        // probe_mem queues each probed memory op's (set << 4 | way),
+        // so a full-run commit applies counts wholesale and replays
+        // hits from the packed list without re-walking the ops.
+        std::uint32_t probe_local = 0;
+        bool probe_blocked = false;
+        std::array<std::uint32_t, kNumOpKinds> probe_counts{};
+        std::vector<std::uint32_t> probe_mem;
+        std::uint32_t probe_mem_pos = 0;
     };
 
     struct LockState
     {
         int holder = -1;
-        std::vector<std::size_t> waiters;
+    };
+
+    /**
+     * Integer event counts accumulated since the last energy flush;
+     * priced against the (possibly swapped) energy model at sample
+     * boundaries and at the end of the run, in a fixed order, so both
+     * scheduler loops produce bit-identical dynamic energy.
+     */
+    struct EnergyTally
+    {
+        std::array<std::uint64_t, kNumOpKinds> ops{};
+        std::uint64_t idle_ticks = 0;
+        std::uint64_t l2_accesses = 0;
+        std::uint64_t dram_accesses = 0;
     };
 
     void enterPhase(std::size_t index);
     bool acquireNextTask(Thread &thread, Cycles now);
     bool threadRunnable(const Thread &thread, Cycles now) const;
+    bool refillOps(Thread &thread);
     void tickCore(Core &core, Cycles now);
+    Cycles tryBatch(Core &core, Thread &thread, Cycles limit,
+                    bool allow_mem);
+    Cycles batchLimit(const Core &core, Cycles now) const;
+    bool streamCapable(const Core &core, Cycles now) const;
+    void probeLocalRun(Core &core, const Thread &thread, Cycles cap);
+    void resetProbe(Core &core);
+    void commitRun(Core &core, Cycles from, Cycles k);
+    void precommitL1Targets(std::uint64_t line, bool write,
+                            int requester, Cycles now);
+    Cycles coreWake(const Core &core, Cycles now) const;
+    void settleIdle(Core &core, Cycles upto);
     void executeOp(Core &core, Thread &thread, const MicroOp &op,
                    Cycles now);
     Cycles memoryAccess(Core &core, bool write, std::uint64_t addr,
                         Cycles now);
     void maybeAdvanceBarrier();
-    void chargeOp(OpKind kind);
+    void chargeOp(OpKind kind) { ++tally.ops[opKindIndex(kind)]; }
+    void chargeIdle(Cycles n)
+    {
+        totals.idle_cycles += n;
+        tally.idle_ticks += n;
+    }
+    void flushEnergy();
+    void syncCacheTotals();
+    void fireSampleHook();
+    void resetNextEvents();
+    void runEventLoop();
+    void runReference();
+    void finishRun();
 
     MachineConfig cfg;
     const ParallelProgram &program;
@@ -193,6 +277,36 @@ class Machine
     std::size_t dynamic_next_task = 0;  ///< dynamic-phase shared counter
     Cycles dequeue_free_at = 0;         ///< dynamic-dequeue lock horizon
     std::size_t barrier_count = 0;
+    int active_cores = 0;
+    bool mem_batch_ok = false;  ///< memory hits batchable (1 active core)
+    bool events_dirty = false;  ///< a hook rewired cores mid-run
+    unsigned line_shift = 6;            ///< log2(cfg.line_bytes)
+
+    /**
+     * Per-core next-event time (kNever for inactive cores), kept as a
+     * flat array so the event loop's due/minimum scans touch two cache
+     * lines instead of every Core struct.
+     */
+    std::vector<Cycles> next_event;
+
+    /**
+     * Flat mirrors for the dispatch scan's fast path. reach[c] =
+     * next_event[c] + the core's cached verified-local run (commits
+     * advance both ends equally, so it is invariant under commits and
+     * refreshed only by probes, ticks, and resets); reach[c] >
+     * next_event[c] implies the core is still stream-capable, because
+     * every state change that could end streaming goes through a tick
+     * or a reset, which collapse reach back to next_event. qend[c] is
+     * the core's preemption point (kNever when not multiplexing).
+     */
+    std::vector<Cycles> reach;
+    std::vector<Cycles> qend;
+    void refreshScanCache(std::size_t c)
+    {
+        const Core &core = cores[c];
+        reach[c] = next_event[c] + core.probe_local;
+        qend[c] = core.run_queue.size() > 1 ? core.quantum_end : kNever;
+    }
 
     Cycles cycle = 0;
     double freq_mult = 1.0;
@@ -201,9 +315,11 @@ class Machine
 
     SampleHook hook;
     Cycles sample_quantum = 1000;
+    Cycles next_sample_at = kNever;  ///< next boundary (kNever: no hook)
     Joules energy_at_last_sample = 0.0;
 
     MachineStats totals;
+    EnergyTally tally;
     bool aborted = false;
 };
 

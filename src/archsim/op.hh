@@ -3,6 +3,11 @@
  * The micro-operation record the simulator executes: an abstract
  * instruction class plus a byte address for memory operations (or a
  * lock identifier for the lock primitives).
+ *
+ * The record packs into a single 64-bit word — the kind in the top
+ * byte, the address in the low 56 bits — so op streams cost 8 bytes
+ * per op to generate, buffer, and scan. Workload address spaces are
+ * synthetic and far below 2^56.
  */
 
 #ifndef CSPRINT_ARCHSIM_OP_HH
@@ -14,30 +19,63 @@
 
 namespace csprint {
 
-/** One simulated operation. */
+/** One simulated operation, packed as (kind << 56 | addr). */
 struct MicroOp
 {
-    OpKind kind = OpKind::IntAlu;
-    std::uint64_t addr = 0;  ///< byte address (Load/Store) or lock id
+    std::uint64_t bits = 0;
 
-    static MicroOp intAlu() { return {OpKind::IntAlu, 0}; }
-    static MicroOp fpAlu() { return {OpKind::FpAlu, 0}; }
-    static MicroOp branch() { return {OpKind::Branch, 0}; }
-    static MicroOp pause() { return {OpKind::Pause, 0}; }
-    static MicroOp load(std::uint64_t addr) { return {OpKind::Load, addr}; }
+    /** Address payload mask: the low 56 bits. */
+    static constexpr std::uint64_t kAddrMask =
+        (std::uint64_t(1) << 56) - 1;
+
+    /** Instruction class. */
+    OpKind kind() const { return static_cast<OpKind>(bits >> 56); }
+
+    /** Byte address (Load/Store) or lock id (lock primitives). */
+    std::uint64_t addr() const { return bits & kAddrMask; }
+
+    static MicroOp make(OpKind kind, std::uint64_t addr)
+    {
+        return {(static_cast<std::uint64_t>(kind) << 56) |
+                (addr & kAddrMask)};
+    }
+
+    static MicroOp intAlu() { return make(OpKind::IntAlu, 0); }
+    static MicroOp fpAlu() { return make(OpKind::FpAlu, 0); }
+    static MicroOp branch() { return make(OpKind::Branch, 0); }
+    static MicroOp pause() { return make(OpKind::Pause, 0); }
+    static MicroOp load(std::uint64_t addr)
+    {
+        return make(OpKind::Load, addr);
+    }
     static MicroOp store(std::uint64_t addr)
     {
-        return {OpKind::Store, addr};
+        return make(OpKind::Store, addr);
     }
     static MicroOp lockAcquire(std::uint64_t id)
     {
-        return {OpKind::LockAcquire, id};
+        return make(OpKind::LockAcquire, id);
     }
     static MicroOp lockRelease(std::uint64_t id)
     {
-        return {OpKind::LockRelease, id};
+        return make(OpKind::LockRelease, id);
     }
 };
+
+/** Single-cycle compute op with no memory or scheduler side effects. */
+constexpr bool
+isComputeOp(OpKind kind)
+{
+    return kind == OpKind::IntAlu || kind == OpKind::FpAlu ||
+           kind == OpKind::Branch;
+}
+
+/** Load or store (addr is a byte address). */
+constexpr bool
+isMemoryOp(OpKind kind)
+{
+    return kind == OpKind::Load || kind == OpKind::Store;
+}
 
 } // namespace csprint
 

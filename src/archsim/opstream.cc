@@ -1,8 +1,32 @@
 #include "archsim/opstream.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace csprint {
+
+std::size_t
+OpStream::fill(MicroOp *out, std::size_t max)
+{
+    std::size_t n = 0;
+    while (n < max && next(out[n]))
+        ++n;
+    return n;
+}
+
+namespace {
+/** Default window for fillInto() when the caller's buffer is tiny. */
+constexpr std::size_t kFillWindow = 1024;
+} // namespace
+
+std::size_t
+OpStream::fillInto(std::vector<MicroOp> &out)
+{
+    if (out.size() < kFillWindow)
+        out.resize(kFillWindow);
+    return fill(out.data(), out.size());
+}
 
 VectorOpStream::VectorOpStream(std::vector<MicroOp> ops)
     : ops(std::move(ops))
@@ -18,6 +42,15 @@ VectorOpStream::next(MicroOp &op)
     return true;
 }
 
+std::size_t
+VectorOpStream::fill(MicroOp *out, std::size_t max)
+{
+    const std::size_t n = std::min(max, ops.size() - pos);
+    std::copy_n(ops.data() + pos, n, out);
+    pos += n;
+    return n;
+}
+
 ChunkedOpStream::ChunkedOpStream(std::size_t num_chunks, ChunkFn fn)
     : num_chunks(num_chunks), fn(std::move(fn))
 {
@@ -28,7 +61,6 @@ bool
 ChunkedOpStream::refill()
 {
     while (next_chunk < num_chunks) {
-        buffer.clear();
         pos = 0;
         fn(next_chunk++, buffer);
         if (!buffer.empty())
@@ -44,6 +76,37 @@ ChunkedOpStream::next(MicroOp &op)
         return false;
     op = buffer[pos++];
     return true;
+}
+
+std::size_t
+ChunkedOpStream::fill(MicroOp *out, std::size_t max)
+{
+    if (pos >= buffer.size() && !refill())
+        return 0;
+    const std::size_t n = std::min(max, buffer.size() - pos);
+    std::copy_n(buffer.data() + pos, n, out);
+    pos += n;
+    return n;
+}
+
+std::size_t
+ChunkedOpStream::fillInto(std::vector<MicroOp> &out)
+{
+    if (pos >= buffer.size() && !refill())
+        return 0;
+    if (pos == 0) {
+        // Hand the whole chunk over without copying; the caller's
+        // storage becomes the next chunk's scratch buffer.
+        out.swap(buffer);
+        buffer.clear();
+        return out.size();
+    }
+    const std::size_t n = buffer.size() - pos;
+    if (out.size() < n)
+        out.resize(n);
+    std::copy_n(buffer.data() + pos, n, out.data());
+    pos = buffer.size();
+    return n;
 }
 
 } // namespace csprint

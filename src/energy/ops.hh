@@ -31,6 +31,22 @@ enum class OpKind : unsigned char
 /** Number of distinct OpKind values. */
 constexpr std::size_t kNumOpKinds = 8;
 
+static_assert(kNumOpKinds ==
+                  static_cast<std::size_t>(OpKind::LockRelease) + 1,
+              "kNumOpKinds must track the OpKind enumerators; update both "
+              "together (and every OpKind-indexed array) when adding ops");
+
+/**
+ * Index of @p kind into an OpKind-indexed array of kNumOpKinds
+ * entries. Using this instead of a bare cast keeps every such array
+ * behind the static_assert above.
+ */
+constexpr std::size_t
+opKindIndex(OpKind kind)
+{
+    return static_cast<std::size_t>(kind);
+}
+
 /** Human-readable op-kind name. */
 std::string opKindName(OpKind kind);
 

@@ -13,6 +13,14 @@ applyBandwidth(MachineConfig &machine, double mult)
     machine.memory.channel_bytes_per_sec *= mult;
 }
 
+/** Apply the spec's spot-configurable machine knobs. */
+void
+applyMachineKnobs(MachineConfig &machine, const ExperimentSpec &spec)
+{
+    machine.loop = spec.loop;
+    applyBandwidth(machine, spec.bandwidth_mult);
+}
+
 void
 applyL2Scale(MachineConfig &machine, double scale)
 {
@@ -40,7 +48,7 @@ runBaselineExperiment(const ExperimentSpec &spec)
     const ParallelProgram program =
         buildKernelProgram(spec.kernel, spec.size, spec.seed);
     SprintConfig cfg = SprintConfig::baseline();
-    applyBandwidth(cfg.machine, spec.bandwidth_mult);
+    applyMachineKnobs(cfg.machine, spec);
     applyL2Scale(cfg.machine, spec.l2_scale);
     return runSprint(program, cfg);
 }
@@ -52,7 +60,7 @@ runParallelSprintExperiment(const ExperimentSpec &spec)
         buildKernelProgram(spec.kernel, spec.size, spec.seed);
     SprintConfig cfg = SprintConfig::parallelSprint(
         spec.cores, spec.pcm_mass, spec.time_scale);
-    applyBandwidth(cfg.machine, spec.bandwidth_mult);
+    applyMachineKnobs(cfg.machine, spec);
     applyL2Scale(cfg.machine, spec.l2_scale);
     return runSprint(program, cfg);
 }
@@ -64,7 +72,7 @@ runDvfsSprintExperiment(const ExperimentSpec &spec)
         buildKernelProgram(spec.kernel, spec.size, spec.seed);
     SprintConfig cfg = SprintConfig::dvfsSprint(
         kPowerHeadroom, spec.pcm_mass, spec.time_scale);
-    applyBandwidth(cfg.machine, spec.bandwidth_mult);
+    applyMachineKnobs(cfg.machine, spec);
     applyL2Scale(cfg.machine, spec.l2_scale);
     return runSprint(program, cfg);
 }

@@ -41,6 +41,13 @@ struct ExperimentSpec
      */
     double l2_scale = 1.0;
     std::uint64_t seed = 42;
+    /**
+     * Scheduler loop for the architectural simulator. EventDriven is
+     * the production path; Reference retains the cycle-by-cycle seed
+     * loop for parity measurement (bench/archsim_report.cc and the
+     * machine-determinism tests hold the two bit-identical).
+     */
+    MachineLoop loop = MachineLoop::EventDriven;
 };
 
 /** Single-core non-sprint baseline for @p spec's kernel and input. */

@@ -5,6 +5,12 @@
  * thermal model and the sprint governor; governor decisions feed back
  * into the machine (thread migration to a single core, or the
  * hardware frequency throttle).
+ *
+ * Sample boundaries are scheduler events of the machine's event-driven
+ * loop (see PERF.md, "The machine hot path"): the machine stops at
+ * every multiple of the sampling quantum with all energy tallies
+ * priced, so the trace a hook observes is identical whichever
+ * MachineLoop the SprintConfig's machine template selects.
  */
 
 #ifndef CSPRINT_SPRINT_SIMULATION_HH

@@ -116,6 +116,7 @@ disparityProgram(const DisparityConfig &cfg)
             return std::make_unique<ChunkedOpStream>(
                 row1 - row0,
                 [=](std::size_t chunk, std::vector<MicroOp> &out) {
+                    out.clear();
                     const std::size_t y = row0 + chunk;
                     for (std::size_t x = 0; x < w; ++x) {
                         const std::size_t xs = std::min<std::size_t>(
@@ -145,6 +146,7 @@ disparityProgram(const DisparityConfig &cfg)
             return std::make_unique<ChunkedOpStream>(
                 row1 - row0,
                 [=](std::size_t chunk, std::vector<MicroOp> &out) {
+                    out.clear();
                     const std::size_t y = row0 + chunk;
                     for (std::size_t x = 0; x < w; ++x) {
                         for (int dy = -r; dy <= r; ++dy) {

@@ -139,6 +139,7 @@ featureProgram(const FeatureConfig &cfg)
         return std::make_unique<ChunkedOpStream>(
             row1 - row0,
             [=](std::size_t chunk, std::vector<MicroOp> &out) {
+                out.clear();
                 const std::size_t y = row0 + chunk;
                 for (std::size_t x = 0; x < w; ++x) {
                     out.push_back(
@@ -164,6 +165,7 @@ featureProgram(const FeatureConfig &cfg)
         return std::make_unique<ChunkedOpStream>(
             col1 - col0,
             [=](std::size_t chunk, std::vector<MicroOp> &out) {
+                out.clear();
                 const std::size_t x = col0 + chunk;
                 for (std::size_t y = 1; y < h; ++y) {
                     out.push_back(
@@ -192,6 +194,7 @@ featureProgram(const FeatureConfig &cfg)
         return std::make_unique<ChunkedOpStream>(
             row1 - row0,
             [=](std::size_t chunk, std::vector<MicroOp> &out) {
+                out.clear();
                 const std::size_t y = row0 + chunk;
                 auto iaddr = [=](long xx, long yy) {
                     xx = std::clamp<long>(xx, 0,
@@ -252,6 +255,7 @@ featureProgram(const FeatureConfig &cfg)
         return std::make_unique<ChunkedOpStream>(
             4,  // one chunk per descriptor grid row
             [=](std::size_t gy, std::vector<MicroOp> &out) {
+                out.clear();
                 auto iaddr = [=](long xx, long yy) {
                     xx = std::clamp<long>(xx, 0,
                                           static_cast<long>(w) - 1);

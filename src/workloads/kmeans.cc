@@ -142,6 +142,7 @@ kmeansProgram(const KmeansConfig &cfg)
             return std::make_unique<ChunkedOpStream>(
                 p1 - p0,
                 [=](std::size_t chunk, std::vector<MicroOp> &out) {
+                    out.clear();
                     const std::size_t p = p0 + chunk;
                     // Load the point once.
                     for (std::size_t j = 0; j < d; ++j) {
@@ -184,6 +185,7 @@ kmeansProgram(const KmeansConfig &cfg)
             return std::make_unique<ChunkedOpStream>(
                 chunks,
                 [=](std::size_t chunk, std::vector<MicroOp> &out) {
+                    out.clear();
                     if (chunk < p1 - p0) {
                         const std::size_t p = p0 + chunk;
                         out.push_back(

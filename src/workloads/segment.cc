@@ -171,6 +171,7 @@ segmentProgram(const SegmentConfig &cfg)
         return std::make_unique<ChunkedOpStream>(
             classify_chunks + smooth_chunks,
             [=](std::size_t chunk, std::vector<MicroOp> &out) {
+                out.clear();
                 auto addr = [=](std::uint64_t base, std::size_t x,
                                 std::size_t y) {
                     return base + 4 * (y * w + x);

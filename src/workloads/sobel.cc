@@ -64,6 +64,8 @@ sobelProgram(const SobelConfig &cfg)
     phase.name = "stencil";
     phase.kind = PhaseKind::ParallelStatic;
     phase.num_tasks = (h + rpt - 1) / rpt;
+    // 8 neighbour loads + 8 int + 3 fp + branch + store per pixel.
+    constexpr std::size_t kOpsPerPixel = 21;
     phase.make_task = [=](std::size_t task) -> std::unique_ptr<OpStream> {
         const std::size_t row0 = task * rpt;
         const std::size_t row1 = std::min(h, row0 + rpt);
@@ -71,37 +73,45 @@ sobelProgram(const SobelConfig &cfg)
             row1 - row0,
             [=](std::size_t chunk, std::vector<MicroOp> &out) {
                 const std::size_t y = row0 + chunk;
-                auto px = [&](long xx, long yy) {
-                    xx = std::clamp<long>(xx, 0,
-                                          static_cast<long>(w) - 1);
-                    yy = std::clamp<long>(yy, 0,
-                                          static_cast<long>(h) - 1);
-                    return in_base +
-                           4 * (static_cast<std::uint64_t>(yy) * w +
-                                static_cast<std::uint64_t>(xx));
-                };
-                out.reserve((row1 - row0) * w * 22);
+                // Row clamping resolves once per chunk, column
+                // clamping once per pixel; the generated sequence is
+                // the per-pixel (dy, dx) neighbour scan.
+                const std::size_t ym = y > 0 ? y - 1 : 0;
+                const std::size_t yp = y + 1 < h ? y + 1 : h - 1;
+                const std::uint64_t row_m =
+                    in_base + 4 * (static_cast<std::uint64_t>(ym) * w);
+                const std::uint64_t row_c =
+                    in_base + 4 * (static_cast<std::uint64_t>(y) * w);
+                const std::uint64_t row_p =
+                    in_base + 4 * (static_cast<std::uint64_t>(yp) * w);
+                out.resize(w * kOpsPerPixel);
+                MicroOp *p = out.data();
                 for (std::size_t x = 0; x < w; ++x) {
-                    const long xl = static_cast<long>(x);
-                    const long yl = static_cast<long>(y);
+                    const std::uint64_t xm =
+                        4 * static_cast<std::uint64_t>(x > 0 ? x - 1
+                                                             : 0);
+                    const std::uint64_t xc =
+                        4 * static_cast<std::uint64_t>(x);
+                    const std::uint64_t xp =
+                        4 * static_cast<std::uint64_t>(
+                                x + 1 < w ? x + 1 : w - 1);
                     // Eight neighbour loads (centre unused by Sobel).
-                    for (long dy = -1; dy <= 1; ++dy) {
-                        for (long dx = -1; dx <= 1; ++dx) {
-                            if (dx == 0 && dy == 0)
-                                continue;
-                            out.push_back(
-                                MicroOp::load(px(xl + dx, yl + dy)));
-                        }
-                    }
+                    *p++ = MicroOp::load(row_m + xm);
+                    *p++ = MicroOp::load(row_m + xc);
+                    *p++ = MicroOp::load(row_m + xp);
+                    *p++ = MicroOp::load(row_c + xm);
+                    *p++ = MicroOp::load(row_c + xp);
+                    *p++ = MicroOp::load(row_p + xm);
+                    *p++ = MicroOp::load(row_p + xc);
+                    *p++ = MicroOp::load(row_p + xp);
                     // Gradient arithmetic: 10 adds/muls and the
                     // magnitude, then the loop branch.
                     for (int i = 0; i < 8; ++i)
-                        out.push_back(MicroOp::intAlu());
+                        *p++ = MicroOp::intAlu();
                     for (int i = 0; i < 3; ++i)
-                        out.push_back(MicroOp::fpAlu());
-                    out.push_back(MicroOp::branch());
-                    out.push_back(MicroOp::store(
-                        out_base + 4 * (y * w + x)));
+                        *p++ = MicroOp::fpAlu();
+                    *p++ = MicroOp::branch();
+                    *p++ = MicroOp::store(out_base + 4 * (y * w + x));
                 }
             });
     };

@@ -87,6 +87,7 @@ textureProgram(const TextureConfig &cfg)
             return std::make_unique<ChunkedOpStream>(
                 row1 - row0,
                 [=](std::size_t chunk, std::vector<MicroOp> &out) {
+                    out.clear();
                     const std::size_t y = row0 + chunk;
                     for (std::size_t x = 0; x < w; ++x) {
                         const std::uint64_t off = 4 * (y * w + x);
@@ -113,6 +114,7 @@ textureProgram(const TextureConfig &cfg)
             return std::make_unique<ChunkedOpStream>(
                 (h + 3) / 4,
                 [=](std::size_t chunk, std::vector<MicroOp> &out) {
+                    out.clear();
                     const std::size_t y = 4 * chunk;
                     // Row mean over a 1-in-8 sample.
                     for (std::size_t x = 0; x < w; x += 8) {

@@ -1,0 +1,437 @@
+/**
+ * @file
+ * Event-driven/reference parity: the skip-ahead scheduler with batched
+ * op streams (MachineLoop::EventDriven) must reproduce the retained
+ * cycle-by-cycle loop (MachineLoop::Reference) *exactly* — identical
+ * MachineStats (including bit-identical dynamic energy and wall-clock
+ * seconds), identical L2/memory counters, identical per-sample hook
+ * observations, and identical junction-temperature traces on coupled
+ * runs — across serial, static, and dynamic phases, PAUSE/lock-spin
+ * backoff, thread multiplexing, and mid-run control (consolidation,
+ * frequency throttling, energy-model swaps).
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "archsim/machine.hh"
+#include "archsim/program.hh"
+#include "sprint/experiment.hh"
+#include "workloads/workload.hh"
+
+namespace csprint {
+namespace {
+
+struct RunCapture
+{
+    MachineStats machine;
+    L2Stats l2;
+    MemoryStats memory;
+    std::vector<std::pair<Seconds, Joules>> samples;
+};
+
+/** Compare every statistic exactly (doubles bit-for-bit). */
+void
+expectIdentical(const RunCapture &ref, const RunCapture &ev)
+{
+    EXPECT_EQ(ref.machine.cycles, ev.machine.cycles);
+    EXPECT_EQ(ref.machine.seconds, ev.machine.seconds);
+    EXPECT_EQ(ref.machine.ops_retired, ev.machine.ops_retired);
+    EXPECT_EQ(ref.machine.ops_by_kind, ev.machine.ops_by_kind);
+    EXPECT_EQ(ref.machine.l1_hits, ev.machine.l1_hits);
+    EXPECT_EQ(ref.machine.l1_misses, ev.machine.l1_misses);
+    EXPECT_EQ(ref.machine.idle_cycles, ev.machine.idle_cycles);
+    EXPECT_EQ(ref.machine.sleep_cycles, ev.machine.sleep_cycles);
+    EXPECT_EQ(ref.machine.barrier_arrivals,
+              ev.machine.barrier_arrivals);
+    EXPECT_EQ(ref.machine.dynamic_energy, ev.machine.dynamic_energy);
+
+    EXPECT_EQ(ref.l2.hits, ev.l2.hits);
+    EXPECT_EQ(ref.l2.misses, ev.l2.misses);
+    EXPECT_EQ(ref.l2.invalidations_sent, ev.l2.invalidations_sent);
+    EXPECT_EQ(ref.l2.downgrades_sent, ev.l2.downgrades_sent);
+    EXPECT_EQ(ref.l2.inclusion_recalls, ev.l2.inclusion_recalls);
+    EXPECT_EQ(ref.l2.writebacks_received, ev.l2.writebacks_received);
+
+    EXPECT_EQ(ref.memory.reads, ev.memory.reads);
+    EXPECT_EQ(ref.memory.writebacks, ev.memory.writebacks);
+    EXPECT_EQ(ref.memory.queued_cycles, ev.memory.queued_cycles);
+
+    ASSERT_EQ(ref.samples.size(), ev.samples.size());
+    for (std::size_t i = 0; i < ref.samples.size(); ++i) {
+        EXPECT_EQ(ref.samples[i].first, ev.samples[i].first)
+            << "dt diverged at sample " << i;
+        EXPECT_EQ(ref.samples[i].second, ev.samples[i].second)
+            << "energy diverged at sample " << i;
+    }
+}
+
+using HookFactory =
+    std::function<Machine::SampleHook(RunCapture &capture)>;
+
+/** Record every per-sample observation. */
+Machine::SampleHook
+recordingHook(RunCapture &capture)
+{
+    return [&capture](Machine &, Seconds dt, Joules e) {
+        capture.samples.emplace_back(dt, e);
+    };
+}
+
+RunCapture
+runOnce(MachineLoop loop, const std::function<ParallelProgram()> &make,
+        MachineConfig cfg, const HookFactory &hook_factory)
+{
+    const ParallelProgram program = make();
+    cfg.loop = loop;
+    Machine machine(cfg, program);
+    RunCapture capture;
+    if (hook_factory)
+        machine.setSampleHook(hook_factory(capture), 1000);
+    machine.run();
+    capture.machine = machine.stats();
+    capture.l2 = machine.l2Stats();
+    capture.memory = machine.memoryStats();
+    return capture;
+}
+
+void
+expectLoopsAgree(const std::function<ParallelProgram()> &make,
+                 const MachineConfig &cfg,
+                 const HookFactory &hook_factory = nullptr)
+{
+    const RunCapture ref =
+        runOnce(MachineLoop::Reference, make, cfg, hook_factory);
+    const RunCapture ev =
+        runOnce(MachineLoop::EventDriven, make, cfg, hook_factory);
+    expectIdentical(ref, ev);
+}
+
+MachineConfig
+cfgOf(int cores, int threads)
+{
+    MachineConfig cfg;
+    cfg.num_cores = cores;
+    cfg.num_threads = threads;
+    return cfg;
+}
+
+Phase
+aluPhase(PhaseKind kind, std::size_t tasks, std::size_t n)
+{
+    Phase p;
+    p.kind = kind;
+    p.num_tasks = tasks;
+    p.make_task = [n](std::size_t) -> std::unique_ptr<OpStream> {
+        return std::make_unique<VectorOpStream>(
+            std::vector<MicroOp>(n, MicroOp::intAlu()));
+    };
+    return p;
+}
+
+TEST(MachineDeterminism, SerialAluAndMemoryMix)
+{
+    auto make = [] {
+        ParallelProgram prog("serial_mix");
+        Phase p;
+        p.kind = PhaseKind::Serial;
+        p.num_tasks = 3;
+        p.make_task = [](std::size_t t) -> std::unique_ptr<OpStream> {
+            std::vector<MicroOp> ops;
+            for (int i = 0; i < 4000; ++i) {
+                ops.push_back(MicroOp::load(
+                    0x1000 + 64 * ((t * 4000 + i) % 700)));
+                ops.push_back(MicroOp::intAlu());
+                ops.push_back(MicroOp::fpAlu());
+                if (i % 5 == 0)
+                    ops.push_back(
+                        MicroOp::store(0x80000 + 64 * (i % 300)));
+                ops.push_back(MicroOp::branch());
+            }
+            return std::make_unique<VectorOpStream>(std::move(ops));
+        };
+        prog.addPhase(std::move(p));
+        return prog;
+    };
+    expectLoopsAgree(make, cfgOf(1, 1), recordingHook);
+}
+
+TEST(MachineDeterminism, StaticPhaseSharedReadsPrivateWrites)
+{
+    // Cross-core read sharing plus store upgrades: coherence
+    // downgrades and invalidations interleave with stride commits.
+    auto make = [] {
+        ParallelProgram prog("static_shared");
+        Phase p;
+        p.kind = PhaseKind::ParallelStatic;
+        p.num_tasks = 16;
+        p.make_task = [](std::size_t t) -> std::unique_ptr<OpStream> {
+            std::vector<MicroOp> ops;
+            for (int i = 0; i < 3000; ++i) {
+                // Everyone reads the same table...
+                ops.push_back(MicroOp::load(0x2000 + 64 * (i % 97)));
+                ops.push_back(MicroOp::intAlu());
+                // ...and writes a private stripe.
+                ops.push_back(MicroOp::store(
+                    0x200000 + t * 0x10000 + 64 * (i % 120)));
+            }
+            return std::make_unique<VectorOpStream>(std::move(ops));
+        };
+        prog.addPhase(std::move(p));
+        return prog;
+    };
+    expectLoopsAgree(make, cfgOf(8, 8), recordingHook);
+}
+
+TEST(MachineDeterminism, CoherencePingPong)
+{
+    // The adversarial case for batched op streams: two cores
+    // alternately store to one line, so nearly every access carries a
+    // cross-core invalidation.
+    auto make = [] {
+        ParallelProgram prog("pingpong");
+        Phase p;
+        p.kind = PhaseKind::ParallelStatic;
+        p.num_tasks = 2;
+        p.make_task = [](std::size_t) -> std::unique_ptr<OpStream> {
+            std::vector<MicroOp> ops;
+            for (int i = 0; i < 4000; ++i) {
+                ops.push_back(MicroOp::store(0x1000));
+                ops.push_back(MicroOp::intAlu());
+            }
+            return std::make_unique<VectorOpStream>(std::move(ops));
+        };
+        prog.addPhase(std::move(p));
+        return prog;
+    };
+    expectLoopsAgree(make, cfgOf(2, 2), recordingHook);
+}
+
+TEST(MachineDeterminism, SharedLineRandomTrafficFuzz)
+{
+    // Randomized mixed loads/stores over a handful of shared lines:
+    // the regression net for within-cycle ordering between deferred
+    // stride commits and cross-core coherence actions (a lower-id
+    // core's op on the mutation cycle itself must replay against the
+    // pre-mutation state).
+    for (unsigned seed = 1; seed <= 20; ++seed) {
+        auto make = [seed] {
+            ParallelProgram prog("fuzz");
+            Phase p;
+            p.kind = PhaseKind::ParallelStatic;
+            p.num_tasks = 4;
+            p.make_task =
+                [seed](std::size_t t) -> std::unique_ptr<OpStream> {
+                std::mt19937 rng(seed * 97 + static_cast<unsigned>(t));
+                std::vector<MicroOp> ops;
+                for (int i = 0; i < 400; ++i) {
+                    if (rng() % 100 < 35) {
+                        const std::uint64_t a =
+                            0x1000 + 64 * (rng() % 4);
+                        ops.push_back(rng() % 3 == 0
+                                          ? MicroOp::store(a)
+                                          : MicroOp::load(a));
+                    } else {
+                        ops.push_back(MicroOp::intAlu());
+                    }
+                }
+                return std::make_unique<VectorOpStream>(
+                    std::move(ops));
+            };
+            prog.addPhase(std::move(p));
+            return prog;
+        };
+        SCOPED_TRACE(seed);
+        expectLoopsAgree(make, cfgOf(4, 4), recordingHook);
+    }
+}
+
+TEST(MachineDeterminism, DynamicPhaseDequeueContention)
+{
+    auto make = [] {
+        ParallelProgram prog("dequeue");
+        Phase p;
+        p.kind = PhaseKind::ParallelDynamic;
+        p.num_tasks = 600;
+        p.make_task = [](std::size_t t) -> std::unique_ptr<OpStream> {
+            return std::make_unique<VectorOpStream>(std::vector<MicroOp>(
+                20 + t % 13, MicroOp::intAlu()));
+        };
+        prog.addPhase(std::move(p));
+        return prog;
+    };
+    expectLoopsAgree(make, cfgOf(16, 16), recordingHook);
+}
+
+TEST(MachineDeterminism, LockSpinPauseBackoffOversubscribed)
+{
+    // 8 threads on 2 cores hammering one lock: spin, PAUSE backoff,
+    // sleeps, and quantum preemption all in play.
+    auto make = [] {
+        ParallelProgram prog("hammer");
+        Phase p;
+        p.kind = PhaseKind::ParallelStatic;
+        p.num_tasks = 8;
+        p.make_task = [](std::size_t) -> std::unique_ptr<OpStream> {
+            std::vector<MicroOp> ops;
+            for (int i = 0; i < 60; ++i) {
+                ops.push_back(MicroOp::lockAcquire(0));
+                for (int j = 0; j < 120; ++j)
+                    ops.push_back(MicroOp::intAlu());
+                ops.push_back(MicroOp::lockRelease(0));
+                ops.push_back(MicroOp::pause());
+            }
+            return std::make_unique<VectorOpStream>(std::move(ops));
+        };
+        prog.addPhase(std::move(p));
+        return prog;
+    };
+    expectLoopsAgree(make, cfgOf(2, 8), recordingHook);
+}
+
+TEST(MachineDeterminism, MultiplexedQuantumPreemption)
+{
+    auto make = [] {
+        ParallelProgram prog("mux");
+        prog.addPhase(aluPhase(PhaseKind::ParallelStatic, 6, 150000));
+        return prog;
+    };
+    MachineConfig cfg = cfgOf(2, 6);
+    cfg.thread_quantum = 7000;
+    expectLoopsAgree(make, cfg, recordingHook);
+}
+
+TEST(MachineDeterminism, MultiPhaseBarrierCrossings)
+{
+    auto make = [] {
+        ParallelProgram prog("phases");
+        prog.addPhase(aluPhase(PhaseKind::Serial, 2, 2000));
+        prog.addPhase(aluPhase(PhaseKind::ParallelStatic, 24, 900));
+        prog.addPhase(aluPhase(PhaseKind::ParallelDynamic, 40, 350));
+        prog.addPhase(aluPhase(PhaseKind::Serial, 1, 512));
+        return prog;
+    };
+    expectLoopsAgree(make, cfgOf(6, 6), recordingHook);
+}
+
+TEST(MachineDeterminism, ConsolidateToSingleCoreMidRun)
+{
+    auto make = [] {
+        ParallelProgram prog("consolidate");
+        prog.addPhase(aluPhase(PhaseKind::ParallelStatic, 16, 40000));
+        return prog;
+    };
+    HookFactory hook = [](RunCapture &capture) {
+        auto consolidated = std::make_shared<bool>(false);
+        return [&capture, consolidated](Machine &m, Seconds dt,
+                                        Joules e) {
+            capture.samples.emplace_back(dt, e);
+            if (!*consolidated && m.simTime() > 20e-6) {
+                *consolidated = true;
+                m.consolidateToSingleCore();
+            }
+        };
+    };
+    expectLoopsAgree(make, cfgOf(16, 16), hook);
+}
+
+TEST(MachineDeterminism, FrequencyThrottleAndEnergySwapMidRun)
+{
+    auto make = [] {
+        ParallelProgram prog("throttle");
+        prog.addPhase(aluPhase(PhaseKind::ParallelStatic, 4, 120000));
+        return prog;
+    };
+    HookFactory hook = [](RunCapture &capture) {
+        auto stage = std::make_shared<int>(0);
+        return [&capture, stage](Machine &m, Seconds dt, Joules e) {
+            capture.samples.emplace_back(dt, e);
+            if (*stage == 0 && m.stats().ops_retired > 100000) {
+                *stage = 1;
+                m.setFrequencyMult(0.5);
+                m.setEnergyModel(
+                    InstructionEnergyModel().boosted(1.5));
+            } else if (*stage == 1 &&
+                       m.stats().ops_retired > 300000) {
+                *stage = 2;
+                m.setFrequencyMult(1.0);
+                m.setEnergyModel(InstructionEnergyModel());
+            }
+        };
+    };
+    expectLoopsAgree(make, cfgOf(4, 4), hook);
+}
+
+TEST(MachineDeterminism, AbortStopsAtTheSameCycle)
+{
+    auto make = [] {
+        ParallelProgram prog("abort");
+        prog.addPhase(aluPhase(PhaseKind::Serial, 1, 4000000));
+        return prog;
+    };
+    HookFactory hook = [](RunCapture &capture) {
+        return [&capture](Machine &m, Seconds dt, Joules e) {
+            capture.samples.emplace_back(dt, e);
+            if (m.simTime() > 40e-6)
+                m.abort();
+        };
+    };
+    expectLoopsAgree(make, cfgOf(1, 1), hook);
+}
+
+TEST(MachineDeterminism, KernelProgramsMatchOnAllKernels)
+{
+    for (KernelId id : allKernels()) {
+        auto make = [id] {
+            return buildKernelProgram(id, InputSize::A, 42);
+        };
+        SCOPED_TRACE(kernelName(id));
+        expectLoopsAgree(make, cfgOf(16, 16), recordingHook);
+    }
+}
+
+TEST(MachineDeterminism, CoupledJunctionTraceIdentical)
+{
+    // The full coupled simulation of the paper's evaluation: the
+    // governor-driven sprint (exhaustion, consolidation, throttling)
+    // must produce the exact same junction-temperature trace and
+    // RunResult whichever scheduler loop runs the machine.
+    for (Grams pcm : {kSmallPcm, kFullPcm}) {
+        ExperimentSpec spec;
+        spec.kernel = KernelId::Sobel;
+        spec.size = InputSize::A;
+        spec.cores = 16;
+        spec.pcm_mass = pcm;
+
+        spec.loop = MachineLoop::Reference;
+        const RunResult ref = runParallelSprintExperiment(spec);
+        spec.loop = MachineLoop::EventDriven;
+        const RunResult ev = runParallelSprintExperiment(spec);
+
+        EXPECT_EQ(ref.machine.cycles, ev.machine.cycles);
+        EXPECT_EQ(ref.machine.ops_retired, ev.machine.ops_retired);
+        EXPECT_EQ(ref.machine.idle_cycles, ev.machine.idle_cycles);
+        EXPECT_EQ(ref.machine.sleep_cycles, ev.machine.sleep_cycles);
+        EXPECT_EQ(ref.machine.dynamic_energy,
+                  ev.machine.dynamic_energy);
+        EXPECT_EQ(ref.task_time, ev.task_time);
+        EXPECT_EQ(ref.peak_junction, ev.peak_junction);
+        EXPECT_EQ(ref.sprint_exhausted, ev.sprint_exhausted);
+        EXPECT_EQ(ref.hardware_throttled, ev.hardware_throttled);
+        ASSERT_EQ(ref.junction_trace.size(), ev.junction_trace.size());
+        for (std::size_t i = 0; i < ref.junction_trace.size(); ++i) {
+            ASSERT_EQ(ref.junction_trace.valueAt(i),
+                      ev.junction_trace.valueAt(i))
+                << "junction trace diverged at sample " << i
+                << " (pcm " << pcm << " g)";
+        }
+    }
+}
+
+} // namespace
+} // namespace csprint

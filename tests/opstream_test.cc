@@ -14,15 +14,15 @@ namespace {
 
 TEST(MicroOp, FactoryHelpers)
 {
-    EXPECT_EQ(MicroOp::intAlu().kind, OpKind::IntAlu);
-    EXPECT_EQ(MicroOp::fpAlu().kind, OpKind::FpAlu);
-    EXPECT_EQ(MicroOp::branch().kind, OpKind::Branch);
-    EXPECT_EQ(MicroOp::pause().kind, OpKind::Pause);
-    EXPECT_EQ(MicroOp::load(0x1234).kind, OpKind::Load);
-    EXPECT_EQ(MicroOp::load(0x1234).addr, 0x1234u);
-    EXPECT_EQ(MicroOp::store(0x99).addr, 0x99u);
-    EXPECT_EQ(MicroOp::lockAcquire(3).addr, 3u);
-    EXPECT_EQ(MicroOp::lockRelease(3).kind, OpKind::LockRelease);
+    EXPECT_EQ(MicroOp::intAlu().kind(), OpKind::IntAlu);
+    EXPECT_EQ(MicroOp::fpAlu().kind(), OpKind::FpAlu);
+    EXPECT_EQ(MicroOp::branch().kind(), OpKind::Branch);
+    EXPECT_EQ(MicroOp::pause().kind(), OpKind::Pause);
+    EXPECT_EQ(MicroOp::load(0x1234).kind(), OpKind::Load);
+    EXPECT_EQ(MicroOp::load(0x1234).addr(), 0x1234u);
+    EXPECT_EQ(MicroOp::store(0x99).addr(), 0x99u);
+    EXPECT_EQ(MicroOp::lockAcquire(3).addr(), 3u);
+    EXPECT_EQ(MicroOp::lockRelease(3).kind(), OpKind::LockRelease);
 }
 
 TEST(VectorOpStream, DrainsInOrder)
@@ -31,11 +31,11 @@ TEST(VectorOpStream, DrainsInOrder)
                       MicroOp::store(128)});
     MicroOp op;
     ASSERT_TRUE(s.next(op));
-    EXPECT_EQ(op.kind, OpKind::IntAlu);
+    EXPECT_EQ(op.kind(), OpKind::IntAlu);
     ASSERT_TRUE(s.next(op));
-    EXPECT_EQ(op.addr, 64u);
+    EXPECT_EQ(op.addr(), 64u);
     ASSERT_TRUE(s.next(op));
-    EXPECT_EQ(op.addr, 128u);
+    EXPECT_EQ(op.addr(), 128u);
     EXPECT_FALSE(s.next(op));
     EXPECT_FALSE(s.next(op));  // stays exhausted
 }
@@ -51,6 +51,7 @@ TEST(ChunkedOpStream, GeneratesAllChunks)
 {
     ChunkedOpStream s(4, [](std::size_t chunk,
                             std::vector<MicroOp> &out) {
+        out.clear();
         for (std::size_t i = 0; i <= chunk; ++i)
             out.push_back(MicroOp::load(chunk * 100 + i));
     });
@@ -59,7 +60,7 @@ TEST(ChunkedOpStream, GeneratesAllChunks)
     std::uint64_t last = 0;
     while (s.next(op)) {
         ++count;
-        last = op.addr;
+        last = op.addr();
     }
     EXPECT_EQ(count, 1u + 2u + 3u + 4u);
     EXPECT_EQ(last, 303u);
@@ -71,6 +72,7 @@ TEST(ChunkedOpStream, SkipsEmptyChunks)
     // terminate early.
     ChunkedOpStream s(4, [](std::size_t chunk,
                             std::vector<MicroOp> &out) {
+        out.clear();
         if (chunk % 2 == 1)
             out.push_back(MicroOp::intAlu());
     });
@@ -91,10 +93,94 @@ TEST(ChunkedOpStream, AllChunksEmpty)
 TEST(ChunkedOpStream, ZeroChunks)
 {
     ChunkedOpStream s(0, [](std::size_t, std::vector<MicroOp> &out) {
+        out.clear();
         out.push_back(MicroOp::intAlu());
     });
     MicroOp op;
     EXPECT_FALSE(s.next(op));
+}
+
+TEST(OpStreamFill, VectorBulkMatchesNextOrder)
+{
+    std::vector<MicroOp> ref;
+    for (int i = 0; i < 257; ++i)
+        ref.push_back(MicroOp::load(64 * i));
+    VectorOpStream a(ref);
+    VectorOpStream b(ref);
+    std::vector<MicroOp> got;
+    MicroOp buf[100];
+    std::size_t n;
+    while ((n = a.fill(buf, 100)) > 0)
+        got.insert(got.end(), buf, buf + n);
+    ASSERT_EQ(got.size(), ref.size());
+    MicroOp op;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+        ASSERT_TRUE(b.next(op));
+        EXPECT_EQ(got[i].bits, op.bits);
+    }
+    EXPECT_FALSE(b.next(op));
+    EXPECT_EQ(a.fill(buf, 100), 0u);  // stays exhausted
+}
+
+TEST(OpStreamFill, ChunkedBulkHandsOutWholeChunks)
+{
+    auto make = [] {
+        return ChunkedOpStream(
+            3, [](std::size_t chunk, std::vector<MicroOp> &out) {
+                out.clear();
+                for (std::size_t i = 0; i < 5 + chunk; ++i)
+                    out.push_back(MicroOp::load(chunk * 1000 + i));
+            });
+    };
+    // fill() never returns zero while ops remain, and preserves order.
+    ChunkedOpStream s = make();
+    ChunkedOpStream r = make();
+    MicroOp buf[4];
+    std::vector<MicroOp> got;
+    std::size_t n;
+    while ((n = s.fill(buf, 4)) > 0)
+        got.insert(got.end(), buf, buf + n);
+    MicroOp op;
+    std::size_t i = 0;
+    while (r.next(op)) {
+        ASSERT_LT(i, got.size());
+        EXPECT_EQ(got[i++].bits, op.bits);
+    }
+    EXPECT_EQ(i, got.size());
+
+    // fillInto() hands over whole chunks (possibly by swapping
+    // storage) and reports exhaustion with zero.
+    ChunkedOpStream s2 = make();
+    std::vector<MicroOp> window;
+    std::size_t total = 0;
+    while ((n = s2.fillInto(window)) > 0) {
+        ASSERT_GE(window.size(), n);
+        total += n;
+    }
+    EXPECT_EQ(total, 5u + 6u + 7u);
+}
+
+TEST(OpStreamFill, DefaultFillIntoUsesNext)
+{
+    // A stream that only implements next() still works through the
+    // bulk interface.
+    class CountingStream : public OpStream
+    {
+      public:
+        bool next(MicroOp &op) override
+        {
+            if (left == 0)
+                return false;
+            --left;
+            op = MicroOp::intAlu();
+            return true;
+        }
+        int left = 10;
+    };
+    CountingStream s;
+    std::vector<MicroOp> window;
+    EXPECT_EQ(s.fillInto(window), 10u);
+    EXPECT_EQ(s.fillInto(window), 0u);
 }
 
 TEST(AddressAllocator, DisjointLineAlignedRanges)

@@ -248,7 +248,7 @@ TEST(Programs, SobelOpMixMatchesStencil)
             auto s = phase.make_task(t);
             MicroOp op;
             while (s->next(op))
-                ++mix[op.kind];
+                ++mix[op.kind()];
         }
     }
     const std::uint64_t pixels = cfg.width * cfg.height;
@@ -272,8 +272,8 @@ TEST(Programs, KmeansHasLockProtectedReduction)
             auto s = phase.make_task(t);
             MicroOp op;
             while (s->next(op)) {
-                acquires += op.kind == OpKind::LockAcquire;
-                releases += op.kind == OpKind::LockRelease;
+                acquires += op.kind() == OpKind::LockAcquire;
+                releases += op.kind() == OpKind::LockRelease;
             }
         }
     }
