@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Machine-readable report for the Scenario engine, written to
+ * BENCH_scenarios.json (schema documented in PERF.md, "The scenario
+ * engine").
+ *
+ * Three sections, the first two of which are acceptance gates the
+ * tool enforces itself (non-zero exit on failure):
+ *
+ *  1. parity — a single back-to-back task under the greedy policy
+ *     must reproduce the direct runSprint() result *bit-for-bit* on
+ *     the fig07 configurations (16-core sobel-B, 1.5 mg and 150 mg
+ *     design points): every scalar, every stat, every trace sample.
+ *     The Scenario engine is the same prepareMachine/samplePump
+ *     composition runSprint uses, so any divergence is a bug.
+ *
+ *  2. bursty_showcase — a burst train on a mid-size PCM design point
+ *     must exhibit >= 2 distinct sprint/rest cycles with the PCM
+ *     melting during bursts and refreezing in the gaps (the paper's
+ *     Section 3 sprint-and-rest signature on the live coupled loop).
+ *
+ *  3. sweep — policy x arrival-pattern x PCM-mass grid reporting the
+ *     sustained-vs-burst tradeoff: utilization, p50/p95 task response
+ *     time, sprints granted/denied/exhausted, hardware throttles,
+ *     peak junction, melt cycles.
+ *
+ *   ./scenario_report [--out BENCH_scenarios.json] [--tasks N]
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/args.hh"
+#include "sprint/experiment.hh"
+#include "sprint/runner.hh"
+#include "sprint/scenario.hh"
+#include "workloads/workload.hh"
+
+using namespace csprint;
+
+namespace {
+
+/** Exact (bit-for-bit) equality of two coupled-run results. */
+bool
+exactSameRun(const RunResult &a, const RunResult &b, std::string &why)
+{
+    auto fail = [&why](const char *what) {
+        why = what;
+        return false;
+    };
+    if (a.machine.cycles != b.machine.cycles)
+        return fail("machine.cycles");
+    if (a.machine.ops_retired != b.machine.ops_retired)
+        return fail("machine.ops_retired");
+    if (a.machine.ops_by_kind != b.machine.ops_by_kind)
+        return fail("machine.ops_by_kind");
+    if (a.machine.idle_cycles != b.machine.idle_cycles)
+        return fail("machine.idle_cycles");
+    if (a.machine.sleep_cycles != b.machine.sleep_cycles)
+        return fail("machine.sleep_cycles");
+    if (a.machine.barrier_arrivals != b.machine.barrier_arrivals)
+        return fail("machine.barrier_arrivals");
+    if (a.machine.l1_hits != b.machine.l1_hits)
+        return fail("machine.l1_hits");
+    if (a.machine.l1_misses != b.machine.l1_misses)
+        return fail("machine.l1_misses");
+    if (a.machine.dynamic_energy != b.machine.dynamic_energy)
+        return fail("machine.dynamic_energy");
+    if (a.task_time != b.task_time)
+        return fail("task_time");
+    if (a.dynamic_energy != b.dynamic_energy)
+        return fail("dynamic_energy");
+    if (a.peak_junction != b.peak_junction)
+        return fail("peak_junction");
+    if (a.final_melt_fraction != b.final_melt_fraction)
+        return fail("final_melt_fraction");
+    if (a.sprint_exhausted != b.sprint_exhausted)
+        return fail("sprint_exhausted");
+    if (a.hardware_throttled != b.hardware_throttled)
+        return fail("hardware_throttled");
+    if (a.sprint_duration != b.sprint_duration)
+        return fail("sprint_duration");
+    if (a.sprint_energy != b.sprint_energy)
+        return fail("sprint_energy");
+    if (a.cooldown_estimate != b.cooldown_estimate)
+        return fail("cooldown_estimate");
+    if (a.avg_power != b.avg_power)
+        return fail("avg_power");
+    const TimeSeries *ta[] = {&a.junction_trace, &a.power_trace,
+                              &a.melt_trace};
+    const TimeSeries *tb[] = {&b.junction_trace, &b.power_trace,
+                              &b.melt_trace};
+    const char *names[] = {"junction_trace", "power_trace",
+                           "melt_trace"};
+    for (int k = 0; k < 3; ++k) {
+        if (ta[k]->size() != tb[k]->size())
+            return fail(names[k]);
+        for (std::size_t i = 0; i < ta[k]->size(); ++i) {
+            if (ta[k]->timeAt(i) != tb[k]->timeAt(i) ||
+                ta[k]->valueAt(i) != tb[k]->valueAt(i))
+                return fail(names[k]);
+        }
+    }
+    return true;
+}
+
+/** One parity point: greedy-through-scenario vs direct runSprint. */
+bool
+checkParityPoint(Grams pcm, std::string &why)
+{
+    ScenarioConfig scfg;
+    scfg.platform = SprintConfig::parallelSprint(16, pcm);
+    scfg.policy.kind = SprintPolicyKind::GreedyActivity;
+    scfg.pattern = ArrivalPattern::BackToBack;
+    scfg.num_tasks = 1;
+    scfg.kernel = KernelId::Sobel;
+    scfg.size = InputSize::B;
+    scfg.seed = 42;
+    const ScenarioResult s = runScenario(scfg);
+
+    const ParallelProgram prog =
+        buildKernelProgram(KernelId::Sobel, InputSize::B, 42);
+    const RunResult direct =
+        runSprint(prog, SprintConfig::parallelSprint(16, pcm));
+    return exactSameRun(s.tasks.at(0).run, direct, why);
+}
+
+/** The burst-train showcase: melt/refreeze cycles on a 15 mg point. */
+ScenarioResult
+runBurstyShowcase(int tasks)
+{
+    ScenarioConfig cfg;
+    cfg.platform = SprintConfig::parallelSprint(16, 0.015);
+    cfg.policy.kind = SprintPolicyKind::GreedyActivity;
+    cfg.pattern = ArrivalPattern::Bursty;
+    cfg.num_tasks = tasks;
+    cfg.burst_size = 2;
+    cfg.period = 3e-3;
+    cfg.kernel = KernelId::Sobel;
+    cfg.size = InputSize::B;
+    cfg.tail_rest = 3e-3;
+    return runScenario(cfg);
+}
+
+void
+emitScenario(std::ostream &out, const std::string &indent,
+             const ScenarioResult &s)
+{
+    out << indent << "\"tasks\": " << s.tasks.size() << ",\n"
+        << indent << "\"sprints_granted\": " << s.sprints_granted
+        << ",\n"
+        << indent << "\"sprints_denied\": " << s.sprints_denied << ",\n"
+        << indent << "\"sprints_exhausted\": " << s.sprints_exhausted
+        << ",\n"
+        << indent << "\"hardware_throttles\": " << s.hardware_throttles
+        << ",\n"
+        << indent << "\"utilization\": " << s.utilization << ",\n"
+        << indent << "\"p50_response_s\": " << s.p50_response << ",\n"
+        << indent << "\"p95_response_s\": " << s.p95_response << ",\n"
+        << indent << "\"makespan_s\": " << s.makespan << ",\n"
+        << indent << "\"peak_junction_c\": " << s.peak_junction << ",\n"
+        << indent << "\"total_energy_j\": " << s.total_energy << ",\n"
+        << indent << "\"sprint_time_s\": " << s.total_sprint_time
+        << ",\n"
+        << indent << "\"peak_melt_fraction\": "
+        << (s.melt_trace.empty() ? 0.0 : s.melt_trace.maxValue())
+        << ",\n"
+        << indent << "\"sprint_rest_cycles\": " << s.sprint_rest_cycles;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args(argc, argv, {"out", "tasks"});
+    const std::string out_path = args.get("out", "BENCH_scenarios.json");
+    const int tasks = static_cast<int>(args.getDouble("tasks", 6));
+
+    // --- Gate 1: greedy-through-scenario == runSprint, bit-for-bit.
+    bool parity_ok = true;
+    std::string parity_why;
+    for (Grams pcm : {kSmallPcm, kFullPcm}) {
+        std::string why;
+        if (!checkParityPoint(pcm, why)) {
+            parity_ok = false;
+            parity_why = why;
+            std::cerr << "parity MISMATCH at pcm " << pcm << " g: "
+                      << why << "\n";
+        }
+    }
+    std::cout << "greedy scenario vs runSprint parity: "
+              << (parity_ok ? "exact" : "MISMATCH") << "\n";
+
+    // --- Gate 2: bursty melt/refreeze cycles.
+    const ScenarioResult bursty = runBurstyShowcase(tasks);
+    std::cout << "bursty showcase: " << bursty.sprint_rest_cycles
+              << " sprint/rest cycles, peak melt "
+              << (bursty.melt_trace.empty()
+                      ? 0.0
+                      : bursty.melt_trace.maxValue())
+              << ", peak junction " << bursty.peak_junction << " C\n";
+
+    // --- Section 3: the policy x pattern x PCM sweep.
+    const std::vector<Grams> pcm_points = {kSmallPcm, kFullPcm};
+    const std::vector<ArrivalPattern> patterns = {
+        ArrivalPattern::Periodic,
+        ArrivalPattern::Bursty,
+        ArrivalPattern::BackToBack,
+    };
+    std::vector<ScenarioConfig> sweep;
+    for (SprintPolicyKind kind : allSprintPolicyKinds()) {
+        for (ArrivalPattern pattern : patterns) {
+            for (Grams pcm : pcm_points) {
+                ScenarioConfig cfg;
+                cfg.platform = SprintConfig::parallelSprint(16, pcm);
+                cfg.policy.kind = kind;
+                cfg.policy.pacing_period = 2.5e-3;
+                cfg.pattern = pattern;
+                cfg.num_tasks = tasks;
+                cfg.period = 2.5e-3;
+                cfg.burst_size = 2;
+                cfg.kernel = KernelId::Sobel;
+                cfg.size = InputSize::A;
+                sweep.push_back(cfg);
+            }
+        }
+    }
+    ExperimentRunner runner;
+    const std::vector<ScenarioResult> results =
+        runner.runScenarioBatch(sweep);
+
+    std::ofstream out(out_path);
+    if (!out) {
+        std::cerr << "FAIL: cannot open " << out_path
+                  << " for writing\n";
+        return 1;
+    }
+    out.precision(6);
+    out << "{\n"
+        << "  \"schema\": \"csprint-scenario-bench-v1\",\n"
+        << "  \"units\": {\"time\": \"time-scaled seconds (scale 7e-4, "
+           "see EXPERIMENTS.md)\"},\n"
+        << "  \"parity\": {\n"
+        << "    \"runs\": \"fig07 sobel-B 16-core, 1.5 mg and 150 mg "
+           "design points; single back-to-back task, greedy policy, "
+           "vs direct runSprint\",\n"
+        << "    \"exact\": " << (parity_ok ? "true" : "false");
+    if (!parity_ok)
+        out << ",\n    \"first_mismatch\": \"" << parity_why << "\"";
+    out << "\n  },\n"
+        << "  \"bursty_showcase\": {\n"
+        << "    \"config\": \"greedy policy, 15 mg PCM, sobel-B, "
+        << tasks << " tasks in bursts of 2 every 3 ms scaled\",\n";
+    emitScenario(out, "    ", bursty);
+    out << "\n  },\n"
+        << "  \"sweep\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const ScenarioConfig &cfg = sweep[i];
+        out << "    {\n"
+            << "      \"policy\": \""
+            << sprintPolicyKindName(cfg.policy.kind) << "\",\n"
+            << "      \"pattern\": \""
+            << arrivalPatternName(cfg.pattern) << "\",\n"
+            << "      \"pcm_mg\": "
+            << cfg.platform.package.pcm_mass * 1000.0 /
+                   kDefaultTimeScale
+            << ",\n";
+        emitScenario(out, "      ", results[i]);
+        out << "\n    }" << (i + 1 < results.size() ? "," : "")
+            << "\n";
+    }
+    out << "  ]\n"
+        << "}\n";
+
+    std::cout << "sweep: " << results.size()
+              << " scenarios; wrote " << out_path << "\n";
+
+    if (!parity_ok) {
+        std::cerr << "FAIL: scenario engine diverged from runSprint\n";
+        return 1;
+    }
+    if (bursty.sprint_rest_cycles < 2) {
+        std::cerr << "FAIL: bursty showcase produced "
+                  << bursty.sprint_rest_cycles
+                  << " sprint/rest cycles (need >= 2)\n";
+        return 1;
+    }
+    return 0;
+}

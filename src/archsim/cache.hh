@@ -174,6 +174,13 @@ class Cache
     /** Event counters. */
     const CacheStats &stats() const { return counters; }
 
+    /**
+     * Zero the event counters without touching contents or recency.
+     * Used by warm re-activation (Machine::warmStartFrom), where the
+     * adopting machine must account only its own task's events.
+     */
+    void resetStats() { counters = CacheStats(); }
+
   private:
     /**
      * Per-set packed metadata: `order` lists way indices as nibbles,

@@ -145,4 +145,18 @@ SharedL2::dropCore(int core, std::vector<Cache> &l1s)
     l1s[core].flush();
 }
 
+void
+SharedL2::adoptState(SharedL2 &&prev)
+{
+    SPRINT_ASSERT(cfg.size_bytes == prev.cfg.size_bytes &&
+                      cfg.assoc == prev.cfg.assoc &&
+                      cfg.line_bytes == prev.cfg.line_bytes,
+                  "L2 state adoption requires identical geometry");
+    tags = std::move(prev.tags);
+    tags.resetStats();
+    dir = std::move(prev.dir);
+    l1_mutations = 0;
+    counters = L2Stats();
+}
+
 } // namespace csprint

@@ -109,6 +109,15 @@ class SharedL2
     /** Configuration in use. */
     const L2Config &config() const { return cfg; }
 
+    /**
+     * Adopt the tag and directory state of @p prev (identical
+     * geometry required), modelling a re-activation where the LLC
+     * contents survived across tasks. This L2 keeps its own memory
+     * system binding and starts with fresh event counters and no
+     * pending L1 mutations; @p prev must not be used afterwards.
+     */
+    void adoptState(SharedL2 &&prev);
+
   private:
     struct DirEntry
     {

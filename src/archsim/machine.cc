@@ -911,6 +911,31 @@ Machine::runEventLoop()
 }
 
 void
+Machine::warmStartFrom(Machine &prev)
+{
+    SPRINT_ASSERT(cycle == 0 && totals.ops_retired == 0 &&
+                      totals.dynamic_energy == 0.0,
+                  "warm start must precede run()");
+    SPRINT_ASSERT(cfg.l1_bytes == prev.cfg.l1_bytes &&
+                      cfg.l1_assoc == prev.cfg.l1_assoc &&
+                      cfg.line_bytes == prev.cfg.line_bytes,
+                  "warm start requires identical L1 geometry");
+    // Narrowing re-activation: cores this machine does not have lose
+    // their L1 contents. Dropping them from the predecessor's
+    // directory first keeps the adopted directory consistent with the
+    // adopted L1 set (dropCore recalls dirty lines into the L2, so no
+    // data is lost to the model).
+    for (int c = cfg.num_cores; c < prev.cfg.num_cores; ++c)
+        prev.l2->dropCore(c, prev.l1s);
+    const int shared = std::min(cfg.num_cores, prev.cfg.num_cores);
+    for (int c = 0; c < shared; ++c) {
+        l1s[c] = std::move(prev.l1s[c]);
+        l1s[c].resetStats();
+    }
+    l2->adoptState(std::move(*prev.l2));
+}
+
+void
 Machine::consolidateToSingleCore()
 {
     if (active_cores == 1)

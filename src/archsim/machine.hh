@@ -117,6 +117,20 @@ class Machine
     /** Run until the program completes (or abort() is called). */
     void run();
 
+    /**
+     * Warm re-activation (Scenario engine): adopt the L1 and L2/
+     * directory contents of @p prev, a machine that finished an
+     * earlier task on the same cache geometry, instead of starting
+     * cold. Cores beyond this machine's width are dropped from the
+     * adopted directory (their lines recalled into the L2) so the
+     * directory exactly matches the adopted L1 set; cores this
+     * machine has beyond @p prev's width simply start with empty
+     * L1s. Event counters and energy accounting start fresh — only
+     * contents and recency carry over. Must be called before run();
+     * @p prev is left in a drained state and must not be run again.
+     */
+    void warmStartFrom(Machine &prev);
+
     /** True once every phase has finished. */
     bool finished() const;
 

@@ -31,7 +31,7 @@ struct ExperimentSpec
     InputSize size = InputSize::B;
     int cores = 16;                ///< sprint width (threads = cores)
     Grams pcm_mass = kFullPcm;     ///< paper-equivalent PCM mass
-    double time_scale = 7e-4;      ///< capacitance scaling (DESIGN.md)
+    double time_scale = kDefaultTimeScale; ///< capacitance scaling
     double bandwidth_mult = 1.0;   ///< memory-bandwidth multiplier
     /**
      * LLC capacity multiplier. The paper's megapixel frames dwarf the

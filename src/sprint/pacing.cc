@@ -1,10 +1,36 @@
 #include "sprint/pacing.hh"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/logging.hh"
 
 namespace csprint {
+
+namespace {
+
+/**
+ * Clamp an oversized integration step to its window: budget and
+ * over-temperature checks only happen at step boundaries, so a step
+ * coarser than the window it integrates over would jump past them.
+ * The first clamp per call site is reported, further ones are silent.
+ */
+Seconds
+clampedStep(Seconds step, Seconds window, const char *where,
+            std::atomic<bool> &warned)
+{
+    if (window > 0.0 && step > window) {
+        if (!warned.exchange(true)) {
+            SPRINT_WARN("pacing step ", step, " s exceeds the ", where,
+                        " window of ", window, " s; clamping (further "
+                        "clamps are silent)");
+        }
+        return window;
+    }
+    return step;
+}
+
+} // namespace
 
 double
 sustainableDutyCycle(const MobilePackageModel &package,
@@ -18,6 +44,8 @@ Joules
 budgetAfterRest(MobilePackageModel &package, Seconds rest, Seconds step)
 {
     SPRINT_ASSERT(step > 0.0, "bad step");
+    static std::atomic<bool> warned{false};
+    step = clampedStep(step, rest, "rest", warned);
     package.setDiePower(0.0);
     Seconds t = 0.0;
     while (t < rest) {
@@ -33,6 +61,9 @@ timeToBudgetFraction(MobilePackageModel &package, double fraction,
                      Seconds limit, Seconds step)
 {
     SPRINT_ASSERT(fraction > 0.0 && fraction <= 1.0, "bad fraction");
+    SPRINT_ASSERT(step > 0.0, "bad step");
+    static std::atomic<bool> warned{false};
+    step = clampedStep(step, limit, "recovery", warned);
     // Cold-start budget for reference.
     MobilePackageModel cold(package.params());
     const Joules target = fraction * cold.sprintEnergyBudget();
@@ -42,8 +73,9 @@ timeToBudgetFraction(MobilePackageModel &package, double fraction,
     while (t < limit) {
         if (package.sprintEnergyBudget() >= target)
             return t;
-        package.step(step);
-        t += step;
+        const Seconds h = std::min(step, limit - t);
+        package.step(h);
+        t += h;
     }
     return limit;
 }
@@ -55,6 +87,9 @@ runSprintTrain(MobilePackageModel &package, int count,
 {
     SPRINT_ASSERT(count >= 1 && want > 0.0 && interval >= want,
                   "bad sprint train shape");
+    SPRINT_ASSERT(step > 0.0, "bad step");
+    static std::atomic<bool> warned{false};
+    step = clampedStep(step, want, "sprint", warned);
     MobilePackageModel cold(package.params());
     const Joules full_budget = cold.sprintEnergyBudget();
     const Watts tdp = package.sustainableTdp();

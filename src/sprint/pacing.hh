@@ -32,7 +32,9 @@ double sustainableDutyCycle(const MobilePackageModel &package,
 /**
  * Let @p package cool (zero die power) for @p rest and report the
  * sprint budget available afterwards. The model is stepped, not
- * approximated, so PCM refreeze plateaus are captured.
+ * approximated, so PCM refreeze plateaus are captured. A @p step
+ * coarser than @p rest is clamped (and reported once) rather than
+ * skipping the cooldown window.
  */
 Joules budgetAfterRest(MobilePackageModel &package, Seconds rest,
                        Seconds step = 10e-3);
@@ -62,6 +64,9 @@ struct SprintWindow
  * package's live thermal state) is spent or @p want elapses; between
  * sprints the package cools. Captures the degradation the paper
  * warns about when users re-trigger sprints faster than the cooldown.
+ * A @p step coarser than the sprint window is clamped (and reported
+ * once): budget and over-temperature checks only happen at step
+ * boundaries, so a too-coarse step would silently overshoot them.
  */
 std::vector<SprintWindow>
 runSprintTrain(MobilePackageModel &package, int count,

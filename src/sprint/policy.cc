@@ -1,0 +1,167 @@
+#include "sprint/policy.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "sprint/pacing.hh"
+
+namespace csprint {
+
+const char *
+sprintPolicyKindName(SprintPolicyKind kind)
+{
+    switch (kind) {
+      case SprintPolicyKind::GreedyActivity:
+        return "greedy";
+      case SprintPolicyKind::Thermometer:
+        return "thermometer";
+      case SprintPolicyKind::DutyCycle:
+        return "duty-cycle";
+      case SprintPolicyKind::AdaptiveHeadroom:
+        return "adaptive-headroom";
+      case SprintPolicyKind::NeverSprint:
+        return "never";
+    }
+    SPRINT_PANIC("unknown policy kind");
+}
+
+const std::vector<SprintPolicyKind> &
+allSprintPolicyKinds()
+{
+    static const std::vector<SprintPolicyKind> kinds = {
+        SprintPolicyKind::GreedyActivity,
+        SprintPolicyKind::Thermometer,
+        SprintPolicyKind::DutyCycle,
+        SprintPolicyKind::AdaptiveHeadroom,
+        SprintPolicyKind::NeverSprint,
+    };
+    return kinds;
+}
+
+namespace {
+
+/** Governor config with the estimate mode pinned by the policy. */
+GovernorConfig
+withActivityEstimate(GovernorConfig cfg, bool activity)
+{
+    cfg.use_activity_estimate = activity;
+    return cfg;
+}
+
+} // namespace
+
+SprintDecision
+GovernorBackedPolicy::onSample(MobilePackageModel &package, Seconds dt,
+                               Joules energy)
+{
+    (void)package; // the governor holds the package reference
+    SPRINT_ASSERT(governor.has_value(),
+                  "onSample before beginTask armed the governor");
+    switch (governor->onSample(dt, energy)) {
+      case GovernorAction::Continue:
+        return SprintDecision::Continue;
+      case GovernorAction::TerminateSprint:
+        return SprintDecision::StopSprint;
+      case GovernorAction::Throttle:
+        return SprintDecision::Throttle;
+    }
+    SPRINT_PANIC("unknown governor action");
+}
+
+GreedyActivityPolicy::GreedyActivityPolicy(GovernorConfig cfg)
+    : GovernorBackedPolicy(withActivityEstimate(cfg, true))
+{
+}
+
+ThermometerPolicy::ThermometerPolicy(GovernorConfig cfg)
+    : GovernorBackedPolicy(withActivityEstimate(cfg, false))
+{
+}
+
+DutyCyclePolicy::DutyCyclePolicy(Seconds pacing_period, GovernorConfig cfg)
+    : GovernorBackedPolicy(withActivityEstimate(cfg, true)),
+      period(pacing_period)
+{
+    SPRINT_ASSERT(period > 0.0, "duty-cycle policy needs a period");
+}
+
+void
+DutyCyclePolicy::beginTask(MobilePackageModel &package)
+{
+    GovernorBackedPolicy::beginTask(package);
+    // The package can shed sustainable-TDP joules per second; one
+    // pacing period's worth is the above-envelope energy this task may
+    // spend without stealing from the next arrival (the
+    // energy-conservation argument behind sustainableDutyCycle()).
+    pacing_allowance = governor->sustainablePower() * period;
+    above_energy = 0.0;
+    above_time = 0.0;
+    duty_bound = 1.0;
+    paced_out = false;
+}
+
+SprintDecision
+DutyCyclePolicy::onSample(MobilePackageModel &package, Seconds dt,
+                          Joules energy)
+{
+    const SprintDecision safety =
+        GovernorBackedPolicy::onSample(package, dt, energy);
+
+    const Watts power = energy / dt;
+    if (power > governor->sustainablePower()) {
+        above_energy += energy;
+        above_time += dt;
+        duty_bound = sustainableDutyCycle(package, above_energy /
+                                                      above_time);
+    }
+
+    // The governor's thermal-safety decisions always win.
+    if (safety != SprintDecision::Continue)
+        return safety;
+    if (!paced_out && above_energy >= pacing_allowance) {
+        paced_out = true;
+        return SprintDecision::StopSprint;
+    }
+    return SprintDecision::Continue;
+}
+
+AdaptiveHeadroomPolicy::AdaptiveHeadroomPolicy(double fraction,
+                                               GovernorConfig cfg)
+    : GovernorBackedPolicy(withActivityEstimate(cfg, true)),
+      resume_fraction(fraction)
+{
+    SPRINT_ASSERT(resume_fraction > 0.0 && resume_fraction <= 1.0,
+                  "resume fraction must be in (0, 1]");
+}
+
+bool
+AdaptiveHeadroomPolicy::wantSprint(const MobilePackageModel &package)
+{
+    if (cold_budget < 0.0)
+        cold_budget =
+            MobilePackageModel(package.params()).sprintEnergyBudget();
+    return package.sprintEnergyBudget() >=
+           resume_fraction * cold_budget;
+}
+
+std::unique_ptr<SprintPolicy>
+makeSprintPolicy(const SprintPolicyParams &params)
+{
+    switch (params.kind) {
+      case SprintPolicyKind::GreedyActivity:
+        return std::make_unique<GreedyActivityPolicy>(params.governor);
+      case SprintPolicyKind::Thermometer:
+        return std::make_unique<ThermometerPolicy>(params.governor);
+      case SprintPolicyKind::DutyCycle:
+        return std::make_unique<DutyCyclePolicy>(params.pacing_period,
+                                                 params.governor);
+      case SprintPolicyKind::AdaptiveHeadroom:
+        return std::make_unique<AdaptiveHeadroomPolicy>(
+            params.resume_fraction, params.governor);
+      case SprintPolicyKind::NeverSprint:
+        return std::make_unique<NeverSprintPolicy>();
+    }
+    SPRINT_PANIC("unknown policy kind");
+}
+
+} // namespace csprint

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Pluggable sprint policies: the decision layer of the coupled
+ * simulation. A SprintPolicy owns every question the platform asks
+ * during a run — "should this task sprint at all?" and, per energy
+ * sample, "keep sprinting, stop, or throttle?" — so the engine
+ * (simulation.cc's samplePump and the Scenario engine) stays a pure
+ * mechanism that executes decisions.
+ *
+ * Contract: onSample() must advance the package thermal model by
+ * exactly @p dt at the sampled power (the governor-backed policies do
+ * this through SprintGovernor::onSample; others use the
+ * advancePackage() helper). The engine reads the package only after
+ * onSample() returns, so the policy is the single writer of thermal
+ * state during a task. Between tasks the Scenario engine cools the
+ * package itself; beginTask() is the policy's hook to re-anchor any
+ * budget snapshot against the live (possibly still-warm) package.
+ */
+
+#ifndef CSPRINT_SPRINT_POLICY_HH
+#define CSPRINT_SPRINT_POLICY_HH
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/units.hh"
+#include "sprint/governor.hh"
+#include "thermal/package.hh"
+
+namespace csprint {
+
+/** What the platform should do after one energy sample. */
+enum class SprintDecision
+{
+    Continue,   ///< keep the current configuration
+    StopSprint, ///< software: migrate to one core / drop the boost
+    Throttle,   ///< hardware: clamp frequency (software missed)
+};
+
+/** The concrete policies shipped with the library. */
+enum class SprintPolicyKind
+{
+    GreedyActivity,   ///< activity-budget governor (seed behaviour)
+    Thermometer,      ///< ground-truth junction-temperature governor
+    DutyCycle,        ///< sprint-and-rest paced (Section 3 live)
+    AdaptiveHeadroom, ///< re-sprint only after budget recovery
+    NeverSprint,      ///< non-sprinting baseline
+};
+
+/** Stable lowercase name for reports and bench JSON keys. */
+const char *sprintPolicyKindName(SprintPolicyKind kind);
+
+/** Factory knobs; unused fields are ignored by the selected kind. */
+struct SprintPolicyParams
+{
+    SprintPolicyKind kind = SprintPolicyKind::GreedyActivity;
+    /** Tuning for the governor behind every thermally-safe policy. */
+    GovernorConfig governor;
+    /**
+     * DutyCycle: the expected task inter-arrival period (in the same
+     * time-scaled seconds as the package) the pacing budget is
+     * amortized over. Must be positive for that kind.
+     */
+    Seconds pacing_period = 0.0;
+    /**
+     * AdaptiveHeadroom: fraction of the cold-start sprint budget that
+     * must have recovered (budgetAfterRest-style, read off the live
+     * package) before a new task is granted a sprint.
+     */
+    double resume_fraction = 0.5;
+};
+
+/**
+ * Decision logic for one platform. Policies are stateful per task;
+ * the Scenario engine reuses one policy instance across a whole task
+ * timeline (beginTask re-arms it), so cross-task state — duty-cycle
+ * pacing debt, headroom thresholds — lives here too.
+ */
+class SprintPolicy
+{
+  public:
+    virtual ~SprintPolicy() = default;
+
+    /** Stable name for reports. */
+    virtual const char *name() const = 0;
+
+    /**
+     * Scenario-engine hook, asked once per task arrival before the
+     * machine is configured: true grants the sprint configuration,
+     * false runs the task consolidated on one core.
+     */
+    virtual bool wantSprint(const MobilePackageModel &package)
+    {
+        (void)package;
+        return true;
+    }
+
+    /**
+     * Called once per task, after the activation ramp has been
+     * applied to @p package, before the first sample.
+     */
+    virtual void beginTask(MobilePackageModel &package) { (void)package; }
+
+    /**
+     * Fold one sample (energy @p energy over wall time @p dt) into
+     * the policy and decide. Must advance @p package by @p dt at the
+     * sampled power (see the file comment for the contract).
+     */
+    virtual SprintDecision onSample(MobilePackageModel &package,
+                                    Seconds dt, Joules energy) = 0;
+
+  protected:
+    /** Default thermal advance for policies without a governor. */
+    static void
+    advancePackage(MobilePackageModel &package, Seconds dt, Joules energy)
+    {
+        package.setDiePower(energy / dt);
+        package.step(dt);
+    }
+};
+
+/**
+ * Shared plumbing for policies that delegate thermal tracking and the
+ * grace-window -> hardware-throttle escalation to a SprintGovernor
+ * (re-armed against the live package at each beginTask).
+ */
+class GovernorBackedPolicy : public SprintPolicy
+{
+  public:
+    explicit GovernorBackedPolicy(const GovernorConfig &cfg)
+        : gov_cfg(cfg)
+    {
+    }
+
+    void beginTask(MobilePackageModel &package) override
+    {
+        governor.emplace(gov_cfg, package);
+    }
+
+    SprintDecision onSample(MobilePackageModel &package, Seconds dt,
+                            Joules energy) override;
+
+    /** The live governor; valid after beginTask(). */
+    const SprintGovernor &currentGovernor() const { return *governor; }
+
+  protected:
+    GovernorConfig gov_cfg;
+    std::optional<SprintGovernor> governor;
+};
+
+/**
+ * Today's hard-wired behaviour as a policy: sprint immediately, track
+ * the activity-based energy budget, stop at the margin, escalate to
+ * the throttle past the grace window. Bit-for-bit identical to the
+ * seed runSprint when driven through samplePump.
+ */
+class GreedyActivityPolicy : public GovernorBackedPolicy
+{
+  public:
+    explicit GreedyActivityPolicy(GovernorConfig cfg = GovernorConfig());
+
+    const char *name() const override { return "greedy"; }
+};
+
+/** Ground-truth variant: terminate on measured junction temperature. */
+class ThermometerPolicy : public GovernorBackedPolicy
+{
+  public:
+    explicit ThermometerPolicy(GovernorConfig cfg = GovernorConfig());
+
+    const char *name() const override { return "thermometer"; }
+};
+
+/**
+ * Sprint-and-rest pacing (paper Section 3) as a live policy: each
+ * task may spend above the sustainable envelope only the energy the
+ * package can shed over one pacing period — the energy-conservation
+ * argument behind sustainableDutyCycle() — so a burst train settles
+ * onto the analytical duty cycle instead of draining the full budget
+ * on the first task. The governor still runs underneath as the
+ * thermal-safety net (its stop and throttle take precedence).
+ */
+class DutyCyclePolicy : public GovernorBackedPolicy
+{
+  public:
+    DutyCyclePolicy(Seconds pacing_period, GovernorConfig cfg);
+
+    const char *name() const override { return "duty-cycle"; }
+
+    void beginTask(MobilePackageModel &package) override;
+    SprintDecision onSample(MobilePackageModel &package, Seconds dt,
+                            Joules energy) override;
+
+    /** Duty-cycle bound the current task is being paced against. */
+    double currentDutyCycle() const { return duty_bound; }
+
+  private:
+    Seconds period;
+    Joules pacing_allowance = 0.0; ///< above-TDP energy allowed per task
+    Joules above_energy = 0.0;     ///< above-TDP energy spent this task
+    Seconds above_time = 0.0;      ///< above-TDP time this task
+    double duty_bound = 1.0;       ///< sustainableDutyCycle of last sample
+    bool paced_out = false;        ///< latched StopSprint
+};
+
+/**
+ * Budget-recovery gate: a task is granted a sprint only when the live
+ * package's sprint budget (the budgetAfterRest() quantity, read off
+ * the real thermal state) has recovered past a fraction of the
+ * cold-start budget; granted sprints then run greedily.
+ */
+class AdaptiveHeadroomPolicy : public GovernorBackedPolicy
+{
+  public:
+    AdaptiveHeadroomPolicy(double resume_fraction, GovernorConfig cfg);
+
+    const char *name() const override { return "adaptive-headroom"; }
+
+    bool wantSprint(const MobilePackageModel &package) override;
+
+  private:
+    double resume_fraction;
+    Joules cold_budget = -1.0; ///< lazily computed from params
+};
+
+/** Non-sprinting baseline: every task runs consolidated. */
+class NeverSprintPolicy : public SprintPolicy
+{
+  public:
+    const char *name() const override { return "never"; }
+
+    bool wantSprint(const MobilePackageModel &package) override
+    {
+        (void)package;
+        return false;
+    }
+
+    SprintDecision onSample(MobilePackageModel &package, Seconds dt,
+                            Joules energy) override
+    {
+        advancePackage(package, dt, energy);
+        return SprintDecision::Continue;
+    }
+};
+
+/** Build the policy @p params describes. */
+std::unique_ptr<SprintPolicy>
+makeSprintPolicy(const SprintPolicyParams &params);
+
+/** All policy kinds, in report order. */
+const std::vector<SprintPolicyKind> &allSprintPolicyKinds();
+
+} // namespace csprint
+
+#endif // CSPRINT_SPRINT_POLICY_HH

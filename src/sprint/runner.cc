@@ -129,4 +129,14 @@ ExperimentRunner::runBatch(const std::vector<ExperimentRun> &batch)
     return map(jobs);
 }
 
+std::vector<ScenarioResult>
+ExperimentRunner::runScenarioBatch(const std::vector<ScenarioConfig> &batch)
+{
+    std::vector<std::function<ScenarioResult()>> jobs;
+    jobs.reserve(batch.size());
+    for (const ScenarioConfig &cfg : batch)
+        jobs.emplace_back([&cfg] { return runScenario(cfg); });
+    return map(jobs);
+}
+
 } // namespace csprint

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "sprint/experiment.hh"
+#include "sprint/scenario.hh"
 
 namespace csprint {
 
@@ -115,6 +116,15 @@ class ExperimentRunner
 
     /** Run a batch of experiments; results in submission order. */
     std::vector<RunResult> runBatch(const std::vector<ExperimentRun> &batch);
+
+    /**
+     * Run a batch of scenarios; results in submission order. Each
+     * scenario owns its package, policy, and machines, so scenarios
+     * fan out as freely as single experiments (the tasks *within* one
+     * scenario share thermal state and stay serial).
+     */
+    std::vector<ScenarioResult>
+    runScenarioBatch(const std::vector<ScenarioConfig> &batch);
 
   private:
     void workerLoop();

@@ -1,0 +1,263 @@
+#include "sprint/scenario.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace csprint {
+
+const char *
+arrivalPatternName(ArrivalPattern pattern)
+{
+    switch (pattern) {
+      case ArrivalPattern::Periodic:
+        return "periodic";
+      case ArrivalPattern::Bursty:
+        return "bursty";
+      case ArrivalPattern::Poisson:
+        return "poisson";
+      case ArrivalPattern::BackToBack:
+        return "back-to-back";
+    }
+    SPRINT_PANIC("unknown arrival pattern");
+}
+
+const std::vector<ArrivalPattern> &
+allArrivalPatterns()
+{
+    static const std::vector<ArrivalPattern> patterns = {
+        ArrivalPattern::Periodic,
+        ArrivalPattern::Bursty,
+        ArrivalPattern::Poisson,
+        ArrivalPattern::BackToBack,
+    };
+    return patterns;
+}
+
+std::vector<ScenarioTask>
+buildArrivals(const ScenarioConfig &cfg)
+{
+    SPRINT_ASSERT(cfg.num_tasks >= 1, "scenario needs at least one task");
+    SPRINT_ASSERT(cfg.pattern == ArrivalPattern::BackToBack ||
+                      cfg.period > 0.0,
+                  "arrival pattern needs a positive period");
+    SPRINT_ASSERT(cfg.burst_size >= 1, "bursts need at least one task");
+
+    std::vector<ScenarioTask> tasks(
+        static_cast<std::size_t>(cfg.num_tasks));
+    Rng rng(cfg.seed);
+    Seconds poisson_clock = 0.0;
+    for (int i = 0; i < cfg.num_tasks; ++i) {
+        ScenarioTask &task = tasks[static_cast<std::size_t>(i)];
+        task.kernel = cfg.kernel;
+        task.size = cfg.size;
+        task.seed = cfg.seed + static_cast<std::uint64_t>(i);
+        switch (cfg.pattern) {
+          case ArrivalPattern::Periodic:
+            task.arrival = static_cast<double>(i) * cfg.period;
+            break;
+          case ArrivalPattern::Bursty:
+            task.arrival =
+                static_cast<double>(i / cfg.burst_size) * cfg.period +
+                static_cast<double>(i % cfg.burst_size) *
+                    cfg.burst_spacing;
+            break;
+          case ArrivalPattern::Poisson:
+            // First arrival at t = 0; exponential gaps afterwards.
+            if (i > 0)
+                poisson_clock +=
+                    -std::log(1.0 - rng.uniform()) * cfg.period;
+            task.arrival = poisson_clock;
+            break;
+          case ArrivalPattern::BackToBack:
+            task.arrival = 0.0;
+            break;
+        }
+    }
+    return tasks;
+}
+
+int
+countMeltRefreezeCycles(const TimeSeries &melt, double rise, double fall)
+{
+    SPRINT_ASSERT(fall < rise, "hysteresis thresholds inverted");
+    int cycles = 0;
+    bool molten = false;
+    for (std::size_t i = 0; i < melt.size(); ++i) {
+        const double m = melt.valueAt(i);
+        if (!molten && m >= rise) {
+            molten = true;
+        } else if (molten && m <= fall) {
+            molten = false;
+            ++cycles;
+        }
+    }
+    return cycles;
+}
+
+namespace {
+
+/** The platform with the sprint configuration withheld. */
+SprintConfig
+consolidatedPlatform(SprintConfig cfg)
+{
+    if (cfg.dvfs_boost != 1.0) {
+        // Un-wire exactly what the dvfsSprint factory wired (and what
+        // samplePump's StopSprint path restores): nominal frequency
+        // and the nominal energy model. A non-boost custom energy
+        // model is left alone.
+        cfg.machine.freq_mult = 1.0;
+        cfg.machine.energy = InstructionEnergyModel();
+        cfg.dvfs_boost = 1.0;
+    }
+    cfg.sprint_cores = 1;
+    cfg.num_threads = 1;
+    cfg.activation_ramp = 0.0;  // nothing to power up
+    cfg.machine.num_cores = 1;
+    cfg.machine.num_threads = 1;
+    return cfg;
+}
+
+/** Cool the package at zero die power, recording the traces. */
+void
+coolPackage(MobilePackageModel &package, ScenarioResult &out,
+            Seconds from, Seconds duration, int samples)
+{
+    package.setDiePower(0.0);
+    const int n = std::max(1, samples);
+    const Seconds h = duration / n;
+    for (int i = 0; i < n; ++i) {
+        package.step(h);
+        const Seconds t = from + static_cast<double>(i + 1) * h;
+        out.junction_trace.add(t, package.junctionTemp());
+        out.power_trace.add(t, 0.0);
+        out.melt_trace.add(t, package.meltFraction());
+    }
+}
+
+void
+appendTrace(TimeSeries &dst, const TimeSeries &src)
+{
+    for (std::size_t i = 0; i < src.size(); ++i)
+        dst.add(src.timeAt(i), src.valueAt(i));
+}
+
+/** Nearest-rank quantile of an unsorted sample set. */
+Seconds
+quantile(std::vector<Seconds> sorted, double q)
+{
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t n = sorted.size();
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(n)));
+    return sorted[std::min(n - 1, rank > 0 ? rank - 1 : 0)];
+}
+
+} // namespace
+
+ScenarioResult
+runScenario(const ScenarioConfig &cfg)
+{
+    const std::vector<ScenarioTask> timeline = buildArrivals(cfg);
+    const std::unique_ptr<SprintPolicy> policy =
+        makeSprintPolicy(cfg.policy);
+    const SprintConfig denied_cfg = consolidatedPlatform(cfg.platform);
+
+    MobilePackageModel package(cfg.platform.package);
+    package.reset();
+
+    ScenarioResult out;
+    out.tasks.reserve(timeline.size());
+    Seconds now = 0.0;
+    Seconds busy = 0.0;
+
+    // Warm-restart chain: the previous task's machine (and the
+    // program it references) stay alive until the next machine has
+    // adopted their cache state.
+    std::unique_ptr<ParallelProgram> prev_program;
+    std::unique_ptr<Machine> prev_machine;
+
+    for (const ScenarioTask &task : timeline) {
+        if (task.arrival > now) {
+            coolPackage(package, out, now, task.arrival - now,
+                        cfg.idle_trace_samples);
+            now = task.arrival;
+        }
+
+        ScenarioTaskResult tr;
+        tr.arrival = task.arrival;
+        tr.start = now;
+        tr.melt_at_start = package.meltFraction();
+        tr.sprint_granted = policy->wantSprint(package);
+        ++(tr.sprint_granted ? out.sprints_granted
+                             : out.sprints_denied);
+
+        const SprintConfig &run_cfg =
+            tr.sprint_granted ? cfg.platform : denied_cfg;
+        auto program = std::make_unique<ParallelProgram>(
+            buildKernelProgram(task.kernel, task.size, task.seed));
+        std::unique_ptr<Machine> machine =
+            prepareMachine(*program, run_cfg);
+        if (cfg.warm_caches && prev_machine)
+            machine->warmStartFrom(*prev_machine);
+
+        // The ramp heats nothing (cores are still power-gated), even
+        // when no idle gap preceded this task and the package still
+        // carries the previous task's die power.
+        package.setDiePower(0.0);
+        package.step(run_cfg.activation_ramp);
+        policy->beginTask(package);
+        RunResult run =
+            samplePump(*machine, run_cfg, package, *policy, now);
+        run.program_name = program->name();
+
+        now += run.task_time;
+        busy += run.task_time;
+        tr.finish = now;
+        tr.response = tr.finish - task.arrival;
+        tr.melt_at_end = package.meltFraction();
+
+        if (tr.sprint_granted && run.sprint_exhausted)
+            ++out.sprints_exhausted;
+        if (run.hardware_throttled)
+            ++out.hardware_throttles;
+        out.total_energy += run.dynamic_energy;
+        out.total_sprint_time += run.sprint_duration;
+        out.total_sprint_energy += run.sprint_energy;
+        out.peak_junction = out.tasks.empty()
+                                ? run.peak_junction
+                                : std::max(out.peak_junction,
+                                           run.peak_junction);
+        appendTrace(out.junction_trace, run.junction_trace);
+        appendTrace(out.power_trace, run.power_trace);
+        appendTrace(out.melt_trace, run.melt_trace);
+
+        tr.run = std::move(run);
+        out.tasks.push_back(std::move(tr));
+
+        if (cfg.warm_caches) {
+            prev_machine = std::move(machine);
+            prev_program = std::move(program);
+        }
+    }
+
+    out.makespan = now;
+    out.utilization = now > 0.0 ? busy / now : 0.0;
+
+    if (cfg.tail_rest > 0.0)
+        coolPackage(package, out, now, cfg.tail_rest,
+                    cfg.idle_trace_samples);
+
+    std::vector<Seconds> responses;
+    responses.reserve(out.tasks.size());
+    for (const ScenarioTaskResult &tr : out.tasks)
+        responses.push_back(tr.response);
+    out.p50_response = quantile(responses, 0.50);
+    out.p95_response = quantile(responses, 0.95);
+    out.sprint_rest_cycles = countMeltRefreezeCycles(out.melt_trace);
+    return out;
+}
+
+} // namespace csprint

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The multi-sprint Scenario engine: a timeline of task arrivals run
+ * through one persistent MobilePackageModel, so PCM melt and refreeze
+ * state carries across sprints and rests — the paper's sprint-and-
+ * rest discipline (Section 3) and governor pacing (Section 7) driven
+ * by the real machine+thermal loop instead of the analytical pacing
+ * module.
+ *
+ * Tasks are served in arrival order by a single chip: a task starts
+ * at max(its arrival, the previous task's finish); between tasks the
+ * package cools at zero die power. At each task arrival the
+ * SprintPolicy decides whether the sprint configuration is granted
+ * (full width / boost) or the task runs consolidated on one core; the
+ * machine is re-invoked per task (prepareMachine + samplePump),
+ * optionally warm-starting L1/L2 contents from its predecessor
+ * (Machine::warmStartFrom).
+ *
+ * A single back-to-back task under the greedy policy is exactly
+ * runSprint(): same package lifecycle, same policy arithmetic, same
+ * sample pump — bench/scenario_report.cc gates that equivalence
+ * bit-for-bit on the fig07 configurations.
+ */
+
+#ifndef CSPRINT_SPRINT_SCENARIO_HH
+#define CSPRINT_SPRINT_SCENARIO_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sprint/policy.hh"
+#include "sprint/simulation.hh"
+#include "workloads/workload.hh"
+
+namespace csprint {
+
+/** How task arrivals are laid out on the timeline. */
+enum class ArrivalPattern
+{
+    Periodic,   ///< one task every `period`
+    Bursty,     ///< bursts of `burst_size` tasks every `period`
+    Poisson,    ///< exponential inter-arrivals with mean `period`
+    BackToBack, ///< all tasks queued at t = 0 (saturating train)
+};
+
+/** Stable lowercase name for reports and bench JSON keys. */
+const char *arrivalPatternName(ArrivalPattern pattern);
+
+/** All arrival patterns, in report order. */
+const std::vector<ArrivalPattern> &allArrivalPatterns();
+
+/** One entry of the arrival timeline. */
+struct ScenarioTask
+{
+    Seconds arrival = 0.0;
+    KernelId kernel = KernelId::Sobel;
+    InputSize size = InputSize::A;
+    std::uint64_t seed = 42;
+};
+
+/** A complete scenario description. */
+struct ScenarioConfig
+{
+    /**
+     * The sprint-mode platform (cores, package, machine template).
+     * Its `governor` member is unused here — the policy below carries
+     * the governor tuning.
+     */
+    SprintConfig platform;
+    SprintPolicyParams policy;
+
+    ArrivalPattern pattern = ArrivalPattern::Periodic;
+    int num_tasks = 4;
+    /**
+     * Timeline scale, in the same time-scaled seconds as the
+     * platform package: the inter-arrival period (Periodic), the
+     * burst-to-burst period (Bursty), or the mean inter-arrival
+     * (Poisson). Ignored by BackToBack.
+     */
+    Seconds period = 2.5e-3;
+    int burst_size = 2;          ///< Bursty: tasks per burst
+    Seconds burst_spacing = 0.0; ///< Bursty: gap inside a burst
+
+    KernelId kernel = KernelId::Sobel;
+    InputSize size = InputSize::A;
+    std::uint64_t seed = 42;   ///< arrival RNG + per-task input seeds
+
+    /** Carry L1/L2 contents across tasks (warm re-activation). */
+    bool warm_caches = false;
+
+    /** Extra cool-down recorded after the last task finishes. */
+    Seconds tail_rest = 0.0;
+
+    /** Trace samples recorded per idle gap between tasks. */
+    int idle_trace_samples = 64;
+};
+
+/** Per-task outcome on the scenario timeline. */
+struct ScenarioTaskResult
+{
+    Seconds arrival = 0.0;
+    Seconds start = 0.0;    ///< dispatch time (>= arrival when queued)
+    Seconds finish = 0.0;
+    Seconds response = 0.0; ///< finish - arrival (queueing included)
+    bool sprint_granted = false;
+    double melt_at_start = 0.0; ///< PCM melt fraction at dispatch
+    double melt_at_end = 0.0;
+    RunResult run;          ///< the full coupled-run result
+};
+
+/** Aggregate outcome of one scenario. */
+struct ScenarioResult
+{
+    std::vector<ScenarioTaskResult> tasks;
+
+    int sprints_granted = 0;
+    int sprints_denied = 0;   ///< tasks the policy ran consolidated
+    int sprints_exhausted = 0; ///< granted sprints ended by the policy
+    int hardware_throttles = 0;
+
+    Seconds makespan = 0.0;    ///< finish time of the last task
+    double utilization = 0.0;  ///< machine-busy fraction of makespan
+    Seconds p50_response = 0.0;
+    Seconds p95_response = 0.0;
+    Celsius peak_junction = 0.0;
+    Joules total_energy = 0.0;
+    Seconds total_sprint_time = 0.0; ///< sum of above-TDP time
+    Joules total_sprint_energy = 0.0; ///< sum of above-TDP energy
+    /**
+     * Distinct sprint/rest cycles: times the PCM melt fraction rose
+     * past the melt threshold and then refroze (fell below the
+     * refreeze threshold) — the paper's repeated-burst signature.
+     */
+    int sprint_rest_cycles = 0;
+
+    TimeSeries junction_trace; ///< full-timeline junction temperature
+    TimeSeries power_trace;    ///< full-timeline die power
+    TimeSeries melt_trace;     ///< full-timeline PCM melt fraction
+};
+
+/** Materialize @p cfg's arrival timeline (sorted by arrival). */
+std::vector<ScenarioTask> buildArrivals(const ScenarioConfig &cfg);
+
+/**
+ * Count melt/refreeze cycles in @p melt with hysteresis: a cycle
+ * completes when the series rises to >= @p rise and later falls to
+ * <= @p fall.
+ */
+int countMeltRefreezeCycles(const TimeSeries &melt, double rise = 0.25,
+                            double fall = 0.05);
+
+/** Run @p cfg's timeline to completion. */
+ScenarioResult runScenario(const ScenarioConfig &cfg);
+
+} // namespace csprint
+
+#endif // CSPRINT_SPRINT_SCENARIO_HH

@@ -75,39 +75,53 @@ SprintConfig::baseline()
     return cfg;
 }
 
-RunResult
-runSprint(const ParallelProgram &program, const SprintConfig &cfg)
+MachineConfig
+SprintConfig::machineConfig() const
 {
-    SPRINT_ASSERT(cfg.sprint_cores >= 1, "need at least one core");
-
-    MachineConfig mcfg = cfg.machine;
-    mcfg.num_cores = cfg.sprint_cores;
-    mcfg.num_threads = cfg.num_threads;
-    if (cfg.dvfs_boost != 1.0) {
-        mcfg.freq_mult = cfg.dvfs_boost;
-        mcfg.energy = InstructionEnergyModel().boosted(cfg.dvfs_boost);
+    SPRINT_ASSERT(sprint_cores >= 1, "need at least one core");
+    MachineConfig mcfg = machine;
+    mcfg.num_cores = sprint_cores;
+    mcfg.num_threads = num_threads;
+    if (dvfs_boost != 1.0) {
+        // The dvfsSprint factory wired the boost into the machine
+        // template; re-deriving it here would be a second source of
+        // truth, so verify instead. The boosted energy model scales
+        // its tech clock with the boost, which is the observable that
+        // distinguishes a boosted model from the nominal one.
+        SPRINT_ASSERT(mcfg.freq_mult == dvfs_boost,
+                      "dvfs_boost set but machine.freq_mult not wired "
+                      "by the config factory");
+        SPRINT_ASSERT(std::abs(mcfg.energy.tech().clock -
+                               dvfs_boost * mcfg.nominal_clock) <=
+                          1e-9 * mcfg.nominal_clock,
+                      "dvfs_boost set but machine.energy not boosted "
+                      "by the config factory");
     }
+    return mcfg;
+}
 
-    Machine machine(mcfg, program);
-    MobilePackageModel package(cfg.package);
-    package.reset();
+std::unique_ptr<Machine>
+prepareMachine(const ParallelProgram &program, const SprintConfig &cfg)
+{
+    return std::make_unique<Machine>(cfg.machineConfig(), program);
+}
 
-    // The activation ramp heats nothing appreciable (cores are still
-    // power-gated) but delays the start of useful computation.
-    package.step(cfg.activation_ramp);
-
-    SprintGovernor governor(cfg.governor, package);
-
+RunResult
+samplePump(Machine &machine, const SprintConfig &cfg,
+           MobilePackageModel &package, SprintPolicy &policy,
+           Seconds start_time)
+{
     RunResult result;
-    result.program_name = program.name();
     result.sprint_cores = cfg.sprint_cores;
     result.num_threads = cfg.num_threads;
     result.dvfs_boost = cfg.dvfs_boost;
 
-    const Watts sustainable = governor.sustainablePower();
-    Seconds elapsed = cfg.activation_ramp;
+    const Watts sustainable = package.sustainableTdp();
+    Seconds elapsed = start_time + cfg.activation_ramp;
     Seconds above_tdp_time = 0.0;
     Joules above_tdp_energy = 0.0;
+    Celsius peak_junction = package.junctionTemp();
+    bool policy_throttled = false;
     const bool is_sprinting_config =
         cfg.sprint_cores > 1 || cfg.dvfs_boost > 1.0;
 
@@ -115,20 +129,28 @@ runSprint(const ParallelProgram &program, const SprintConfig &cfg)
         [&](Machine &m, Seconds dt, Joules energy) {
             elapsed += dt;
             const Watts power = energy / dt;
+            // Traces record the pre-sample thermal state; the policy
+            // advances the package below (see policy.hh's contract).
             result.junction_trace.add(elapsed, package.junctionTemp());
             result.power_trace.add(elapsed, power);
+            result.melt_trace.add(elapsed, package.meltFraction());
             if (power > sustainable) {
                 above_tdp_time += dt;
                 above_tdp_energy += energy;
             }
 
-            const GovernorAction action = governor.onSample(dt, energy);
+            const SprintDecision decision =
+                policy.onSample(package, dt, energy);
+            peak_junction =
+                std::max(peak_junction, package.junctionTemp());
+            if (decision == SprintDecision::Throttle)
+                policy_throttled = true;
             if (!is_sprinting_config)
                 return;  // the baseline never reconfigures
-            switch (action) {
-              case GovernorAction::Continue:
+            switch (decision) {
+              case SprintDecision::Continue:
                 break;
-              case GovernorAction::TerminateSprint:
+              case SprintDecision::StopSprint:
                 result.sprint_exhausted = true;
                 if (cfg.software_migration_fails)
                     break;  // OS hung: leave it to the throttle
@@ -139,7 +161,7 @@ runSprint(const ParallelProgram &program, const SprintConfig &cfg)
                     m.consolidateToSingleCore();
                 }
                 break;
-              case GovernorAction::Throttle:
+              case SprintDecision::Throttle:
                 result.hardware_throttled = true;
                 // Throttle frequency by at least the number of active
                 // cores so dynamic power falls below TDP (Section 7).
@@ -157,9 +179,10 @@ runSprint(const ParallelProgram &program, const SprintConfig &cfg)
     result.task_time = cfg.activation_ramp + machine.simTime();
     result.machine = machine.stats();
     result.dynamic_energy = machine.stats().dynamic_energy;
-    result.peak_junction = governor.peakJunction();
+    result.peak_junction = peak_junction;
     result.final_melt_fraction = package.meltFraction();
     result.sprint_duration = above_tdp_time;
+    result.sprint_energy = above_tdp_energy;
     result.avg_power =
         result.task_time > 0.0 ? result.dynamic_energy / result.task_time
                                : 0.0;
@@ -168,7 +191,33 @@ runSprint(const ParallelProgram &program, const SprintConfig &cfg)
             above_tdp_time, above_tdp_energy / above_tdp_time);
     }
     result.hardware_throttled =
-        result.hardware_throttled || governor.throttled();
+        result.hardware_throttled || policy_throttled;
+    return result;
+}
+
+RunResult
+runSprint(const ParallelProgram &program, const SprintConfig &cfg)
+{
+    std::unique_ptr<Machine> machine = prepareMachine(program, cfg);
+    MobilePackageModel package(cfg.package);
+    package.reset();
+
+    // The activation ramp heats nothing appreciable (cores are still
+    // power-gated) but delays the start of useful computation.
+    package.step(cfg.activation_ramp);
+
+    // The seed decision logic as a policy: activity budget by
+    // default, thermometer ground truth when the governor config asks
+    // for it.
+    std::unique_ptr<SprintPolicy> policy;
+    if (cfg.governor.use_activity_estimate)
+        policy = std::make_unique<GreedyActivityPolicy>(cfg.governor);
+    else
+        policy = std::make_unique<ThermometerPolicy>(cfg.governor);
+    policy->beginTask(package);
+
+    RunResult result = samplePump(*machine, cfg, package, *policy);
+    result.program_name = program.name();
     return result;
 }
 

@@ -2,9 +2,16 @@
  * @file
  * The coupled sprint simulation (paper Section 8): the architectural
  * simulator's per-1000-cycle dynamic-energy samples drive the package
- * thermal model and the sprint governor; governor decisions feed back
- * into the machine (thread migration to a single core, or the
- * hardware frequency throttle).
+ * thermal model and a SprintPolicy; policy decisions feed back into
+ * the machine (thread migration to a single core, or the hardware
+ * frequency throttle).
+ *
+ * The run is decomposed into reusable pieces so the Scenario engine
+ * (sprint/scenario.hh) can re-invoke the machine per task against one
+ * persistent package: prepareMachine() builds the machine from the
+ * validated SprintConfig, samplePump() drives it to completion under a
+ * policy, and runSprint() is the classic one-shot composition (cold
+ * package, greedy/thermometer policy per the GovernorConfig).
  *
  * Sample boundaries are scheduler events of the machine's event-driven
  * loop (see PERF.md, "The machine hot path"): the machine stops at
@@ -16,6 +23,7 @@
 #ifndef CSPRINT_SPRINT_SIMULATION_HH
 #define CSPRINT_SPRINT_SIMULATION_HH
 
+#include <memory>
 #include <string>
 
 #include "archsim/machine.hh"
@@ -23,9 +31,17 @@
 #include "common/timeseries.hh"
 #include "common/units.hh"
 #include "sprint/governor.hh"
+#include "sprint/policy.hh"
 #include "thermal/package.hh"
 
 namespace csprint {
+
+/**
+ * Default capacitance time scaling matching the scaled-down workload
+ * inputs (see SprintConfig::scaledPackage and DESIGN.md,
+ * Substitutions).
+ */
+constexpr double kDefaultTimeScale = 7e-4;
 
 /** A complete sprint-platform configuration. */
 struct SprintConfig
@@ -51,15 +67,26 @@ struct SprintConfig
                                              double time_scale);
 
     /** Parallel sprint with @p cores cores (paper default 16). */
-    static SprintConfig parallelSprint(int cores, Grams pcm_mass,
-                                       double time_scale = 7e-4);
+    static SprintConfig parallelSprint(
+        int cores, Grams pcm_mass,
+        double time_scale = kDefaultTimeScale);
 
     /** Idealized single-core DVFS sprint with 16x power headroom. */
-    static SprintConfig dvfsSprint(double power_headroom, Grams pcm_mass,
-                                   double time_scale = 7e-4);
+    static SprintConfig dvfsSprint(
+        double power_headroom, Grams pcm_mass,
+        double time_scale = kDefaultTimeScale);
 
     /** Non-sprint single-core baseline (same TDP, LLC, memory). */
     static SprintConfig baseline();
+
+    /**
+     * The machine configuration this platform runs: the template with
+     * the core/thread counts applied. The factories above are the
+     * single source of truth for DVFS boost wiring (freq_mult and the
+     * boosted energy model); a boosted config that was not wired that
+     * way is an assertion failure, not silently re-derived.
+     */
+    MachineConfig machineConfig() const;
 };
 
 /** Outcome of one coupled run. */
@@ -74,26 +101,54 @@ struct RunResult
     Joules dynamic_energy = 0.0;   ///< total dynamic energy
     Celsius peak_junction = 0.0;   ///< max junction temperature
     double final_melt_fraction = 0.0;
-    bool sprint_exhausted = false; ///< governor ended the sprint early
+    bool sprint_exhausted = false; ///< policy ended the sprint early
     bool hardware_throttled = false;
     Seconds sprint_duration = 0.0; ///< time spent above nominal TDP
+    Joules sprint_energy = 0.0;    ///< energy spent above nominal TDP
     Seconds cooldown_estimate = 0.0; ///< Section 4.5 approximation
     Watts avg_power = 0.0;
 
     TimeSeries junction_trace;     ///< sampled junction temperature
     TimeSeries power_trace;        ///< sampled die power
+    TimeSeries melt_trace;         ///< sampled PCM melt fraction
     MachineStats machine;
 };
+
+/**
+ * Build the machine for @p cfg (validated via machineConfig()). The
+ * machine starts with cold L1/L2 state; a Scenario-engine caller may
+ * warm-start it from a predecessor via Machine::warmStartFrom().
+ */
+std::unique_ptr<Machine> prepareMachine(const ParallelProgram &program,
+                                        const SprintConfig &cfg);
+
+/**
+ * Drive @p machine to completion against @p package under @p policy:
+ * install the per-1000-cycle sample hook, record traces (sample times
+ * offset by @p start_time for multi-task timelines), and apply policy
+ * decisions to the machine (migration to core 0, boost drop, or the
+ * hardware frequency throttle; a fault-injected config leaves
+ * StopSprint unapplied so the throttle path is exercised).
+ *
+ * The caller owns the package lifecycle: apply the activation ramp
+ * (package.step(cfg.activation_ramp)) and policy.beginTask() before
+ * pumping. result.program_name is left empty for the caller.
+ */
+RunResult samplePump(Machine &machine, const SprintConfig &cfg,
+                     MobilePackageModel &package, SprintPolicy &policy,
+                     Seconds start_time = 0.0);
 
 /**
  * Run @p program on the platform described by @p cfg.
  *
  * The machine starts with cold L1s and with cores enabled only after
  * the activation ramp (its duration is added to the task time, per
- * paper Section 5.3). When the governor signals exhaustion, all
- * threads migrate to core 0 (or, for a DVFS sprint, the boost is
- * dropped); if configured to model a hung OS, the hardware throttle
- * path is exercised instead.
+ * paper Section 5.3). The package starts cold; the policy is the
+ * greedy activity-budget policy (or the thermometer ground truth when
+ * cfg.governor.use_activity_estimate is false), reproducing the seed
+ * behaviour: on exhaustion all threads migrate to core 0 (or, for a
+ * DVFS sprint, the boost is dropped); if configured to model a hung
+ * OS, the hardware throttle path is exercised instead.
  */
 RunResult runSprint(const ParallelProgram &program,
                     const SprintConfig &cfg);

@@ -146,6 +146,41 @@ TEST(Governor, EscalatesToThrottleWhenSoftwareHangs)
     EXPECT_TRUE(gov.throttled());
 }
 
+TEST(Governor, ThrottleWaitsOutTheFullGraceWindow)
+{
+    // Boundary behaviour of the grace window: sustained high power
+    // after the software signal produces no throttle while
+    // time-since-signal <= software_grace, then exactly one Throttle.
+    MobilePackageModel pkg(scaledParams());
+    GovernorConfig cfg;
+    cfg.software_grace = 50e-3;
+    SprintGovernor gov(cfg, pkg);
+    GovernorAction action = GovernorAction::Continue;
+    Seconds t = 0.0;
+    while (action == GovernorAction::Continue && t < 5.0) {
+        action = gov.onSample(1e-3, 16e-3);
+        t += 1e-3;
+    }
+    ASSERT_EQ(action, GovernorAction::TerminateSprint);
+
+    Seconds since_signal = 0.0;
+    int throttles = 0;
+    for (int i = 0; i < 200; ++i) {
+        const GovernorAction a = gov.onSample(1e-3, 16e-3);
+        since_signal += 1e-3;
+        if (a == GovernorAction::Throttle) {
+            ++throttles;
+            EXPECT_GT(since_signal, cfg.software_grace);
+        } else if (throttles == 0) {
+            // No premature escalation inside the window.
+            EXPECT_LE(since_signal,
+                      cfg.software_grace + 1e-3 + 1e-12);
+        }
+    }
+    EXPECT_EQ(throttles, 1);
+    EXPECT_TRUE(gov.throttled());
+}
+
 TEST(Governor, NoThrottleWhenSoftwareComplies)
 {
     MobilePackageModel pkg(scaledParams());
