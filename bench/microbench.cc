@@ -203,4 +203,62 @@ BM_MachineSobel(benchmark::State &state)
 BENCHMARK(BM_MachineSobel)->Arg(1)->Arg(16)->Unit(
     benchmark::kMillisecond);
 
+/**
+ * Long idle-gap cooling (full melt -> refreeze -> ambient, 64 sampled
+ * chunks over 1 s scaled): 0 = exact step() chunks, 1 = the quiescent
+ * super-stepper (advanceQuiescent) the scenario fast path uses.
+ */
+void
+BM_IdleCooling(benchmark::State &state)
+{
+    const bool quiescent = state.range(0) != 0;
+    const MobilePackageParams params =
+        SprintConfig::scaledPackage(0.15, 7e-4);
+    const QuiescentCooldownSpec spec;  // the canonical cooldown
+    const Seconds h = spec.gap / spec.samples;
+    for (auto _ : state) {
+        MobilePackageModel pkg(params);
+        meltThenIdle(pkg, spec);
+        for (int i = 0; i < spec.samples; ++i) {
+            if (quiescent)
+                pkg.stepQuiescent(h, spec.tol);
+            else
+                pkg.step(h);
+        }
+        benchmark::DoNotOptimize(pkg.junctionTemp());
+    }
+}
+BENCHMARK(BM_IdleCooling)->Arg(0)->Arg(1)->Unit(
+    benchmark::kMillisecond);
+
+/**
+ * Checkpoint-sharded scenario replay: a 6-task bursty timeline run as
+ * shards of N tasks (0 = unsharded runScenario) — measures the
+ * checkpoint save/rebuild overhead per shard boundary.
+ */
+void
+BM_ScenarioSharded(benchmark::State &state)
+{
+    const std::uint64_t shard =
+        static_cast<std::uint64_t>(state.range(0));
+    ScenarioConfig cfg;
+    cfg.platform = SprintConfig::parallelSprint(4, 0.015);
+    cfg.policy.kind = SprintPolicyKind::GreedyActivity;
+    cfg.pattern = ArrivalPattern::Bursty;
+    cfg.num_tasks = 6;
+    cfg.burst_size = 2;
+    cfg.period = 3e-3;
+    cfg.kernel = KernelId::Sobel;
+    cfg.size = InputSize::A;
+    cfg.idle_model = IdleModel::Quiescent;
+    for (auto _ : state) {
+        const ScenarioResult r =
+            shard == 0 ? runScenario(cfg)
+                       : runScenarioSharded(cfg, shard);
+        benchmark::DoNotOptimize(r.total_energy);
+    }
+}
+BENCHMARK(BM_ScenarioSharded)->Arg(0)->Arg(1)->Arg(3)->Unit(
+    benchmark::kMillisecond);
+
 } // namespace

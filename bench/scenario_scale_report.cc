@@ -1,0 +1,413 @@
+/**
+ * @file
+ * Machine-readable report for the long-horizon scenario fast path,
+ * written to BENCH_scale.json (schema documented in PERF.md,
+ * "Long-horizon scenarios").
+ *
+ * Four sections, every one an acceptance gate the tool enforces
+ * itself (non-zero exit on failure):
+ *
+ *  1. sparse_idle — a gap-dominated periodic timeline (long rests
+ *     between sprints, the paper's Section 3 regime) must run >= 10x
+ *     faster with the fast path (quiescent idle stepping + decimated
+ *     traces + streaming aggregates) than with the exact reference
+ *     engine.
+ *
+ *  2. idle_deviation — a full melt -> refreeze -> ambient cooldown
+ *     integrated by the quiescent super-stepper must stay within
+ *     0.05 °C of the reference (Heun step()) idle path at every
+ *     sampled point.
+ *
+ *  3. million_task — a 1,000,000-task back-to-back scenario (micro
+ *     per-task programs via the program factory, small machine
+ *     template) must complete in the bounded-memory trace mode:
+ *     traces within the configured capacity, no per-task results
+ *     retained, streaming quantiles for the response distribution.
+ *
+ *  4. shard_parity — replaying a timeline as a chain of checkpointed
+ *     shards (runScenarioSharded) must reproduce the unsharded run
+ *     bit-for-bit: every aggregate, every per-task machine stat,
+ *     every trace sample — in the exact engine and in the fast path,
+ *     including a warm-cache chain across shard boundaries.
+ *
+ *   ./scenario_scale_report [--out BENCH_scale.json]
+ *       [--sparse-tasks N] [--million-tasks N]
+ */
+
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "archsim/opstream.hh"
+#include "common/args.hh"
+#include "sprint/experiment.hh"
+#include "sprint/scenario.hh"
+#include "thermal/validation.hh"
+#include "workloads/workload.hh"
+
+using namespace csprint;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+elapsedMs(Clock::time_point a, Clock::time_point b)
+{
+    return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/** Peak resident set size in MB from /proc (-1 when unavailable). */
+double
+peakRssMb()
+{
+    std::ifstream status("/proc/self/status");
+    std::string key;
+    while (status >> key) {
+        if (key == "VmHWM:") {
+            double kb = 0.0;
+            status >> kb;
+            return kb / 1024.0;
+        }
+        status.ignore(4096, '\n');
+    }
+    return -1.0;
+}
+
+/** The gap-dominated periodic timeline of gate 1. */
+ScenarioConfig
+sparseIdleConfig(int tasks)
+{
+    ScenarioConfig cfg;
+    cfg.platform = SprintConfig::parallelSprint(16, 0.015);
+    cfg.policy.kind = SprintPolicyKind::GreedyActivity;
+    cfg.pattern = ArrivalPattern::Periodic;
+    cfg.num_tasks = tasks;
+    cfg.period = 1.0;  // rest >> sprint: >90% of wall time is idle
+    cfg.kernel = KernelId::Sobel;
+    cfg.size = InputSize::A;
+    return cfg;
+}
+
+/** Tiny per-task program for the million-task gate: ~2k ops. */
+ParallelProgram
+microProgram(const ScenarioTask &task)
+{
+    ParallelProgram prog("micro");
+    Phase phase;
+    phase.name = "work";
+    phase.kind = PhaseKind::ParallelStatic;
+    phase.num_tasks = 2;
+    const std::uint64_t seed = task.seed;
+    phase.make_task = [seed](std::size_t t) {
+        std::vector<MicroOp> ops;
+        ops.reserve(1024);
+        const std::uint64_t base =
+            0x10000000ULL + (seed % 64) * 4096 + t * 8192;
+        for (int i = 0; i < 1024; ++i) {
+            if (i % 4 == 0)
+                ops.push_back(MicroOp::load(base + (i % 32) * 64));
+            else
+                ops.push_back(MicroOp::intAlu());
+        }
+        return std::make_unique<VectorOpStream>(std::move(ops));
+    };
+    prog.addPhase(std::move(phase));
+    return prog;
+}
+
+/** Exact (bit-for-bit) equality of two scenario results. */
+bool
+exactSameScenario(const ScenarioResult &a, const ScenarioResult &b,
+                  std::string &why)
+{
+    auto fail = [&why](const char *what) {
+        why = what;
+        return false;
+    };
+    if (a.tasks_completed != b.tasks_completed)
+        return fail("tasks_completed");
+    if (a.sprints_granted != b.sprints_granted)
+        return fail("sprints_granted");
+    if (a.sprints_denied != b.sprints_denied)
+        return fail("sprints_denied");
+    if (a.sprints_exhausted != b.sprints_exhausted)
+        return fail("sprints_exhausted");
+    if (a.hardware_throttles != b.hardware_throttles)
+        return fail("hardware_throttles");
+    if (a.makespan != b.makespan)
+        return fail("makespan");
+    if (a.utilization != b.utilization)
+        return fail("utilization");
+    if (a.p50_response != b.p50_response)
+        return fail("p50_response");
+    if (a.p95_response != b.p95_response)
+        return fail("p95_response");
+    if (a.peak_junction != b.peak_junction)
+        return fail("peak_junction");
+    if (a.total_energy != b.total_energy)
+        return fail("total_energy");
+    if (a.total_sprint_time != b.total_sprint_time)
+        return fail("total_sprint_time");
+    if (a.total_sprint_energy != b.total_sprint_energy)
+        return fail("total_sprint_energy");
+    if (a.peak_melt_fraction != b.peak_melt_fraction)
+        return fail("peak_melt_fraction");
+    if (a.sprint_rest_cycles != b.sprint_rest_cycles)
+        return fail("sprint_rest_cycles");
+    if (a.tasks.size() != b.tasks.size())
+        return fail("tasks.size");
+    for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+        const ScenarioTaskResult &x = a.tasks[i];
+        const ScenarioTaskResult &y = b.tasks[i];
+        if (x.start != y.start || x.finish != y.finish ||
+            x.response != y.response ||
+            x.sprint_granted != y.sprint_granted ||
+            x.melt_at_start != y.melt_at_start ||
+            x.melt_at_end != y.melt_at_end)
+            return fail("task scalars");
+        if (x.run.machine.cycles != y.run.machine.cycles ||
+            x.run.machine.ops_retired != y.run.machine.ops_retired ||
+            x.run.machine.l1_hits != y.run.machine.l1_hits ||
+            x.run.machine.l1_misses != y.run.machine.l1_misses ||
+            x.run.dynamic_energy != y.run.dynamic_energy ||
+            x.run.task_time != y.run.task_time)
+            return fail("task machine stats");
+    }
+    const TimeSeries *ta[] = {&a.junction_trace, &a.power_trace,
+                              &a.melt_trace};
+    const TimeSeries *tb[] = {&b.junction_trace, &b.power_trace,
+                              &b.melt_trace};
+    const char *names[] = {"junction_trace", "power_trace",
+                           "melt_trace"};
+    for (int k = 0; k < 3; ++k) {
+        if (ta[k]->size() != tb[k]->size())
+            return fail(names[k]);
+        for (std::size_t i = 0; i < ta[k]->size(); ++i) {
+            if (ta[k]->timeAt(i) != tb[k]->timeAt(i) ||
+                ta[k]->valueAt(i) != tb[k]->valueAt(i))
+                return fail(names[k]);
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args(argc, argv,
+                   {"out", "sparse-tasks", "million-tasks"});
+    const std::string out_path = args.get("out", "BENCH_scale.json");
+    const int sparse_tasks =
+        static_cast<int>(args.getDouble("sparse-tasks", 8));
+    const int million_tasks =
+        static_cast<int>(args.getDouble("million-tasks", 1000000));
+
+    // --- Gate 1: sparse-idle timeline speedup >= 10x. ---------------
+    const ScenarioConfig ref_cfg = sparseIdleConfig(sparse_tasks);
+    ScenarioConfig fast_cfg = ref_cfg;
+    fast_cfg.idle_model = IdleModel::Quiescent;
+    fast_cfg.trace_mode = TraceMode::DecimatedRing;
+    fast_cfg.trace_capacity = 4096;
+    fast_cfg.keep_task_results = false;
+
+    const auto t0 = Clock::now();
+    const ScenarioResult ref = runScenario(ref_cfg);
+    const auto t1 = Clock::now();
+    const ScenarioResult fast = runScenario(fast_cfg);
+    const auto t2 = Clock::now();
+    const double ref_ms = elapsedMs(t0, t1);
+    const double fast_ms = elapsedMs(t1, t2);
+    const double speedup = ref_ms / fast_ms;
+    const bool sparse_ok = speedup >= 10.0;
+    std::cout << "sparse idle (" << sparse_tasks << " tasks, period "
+              << ref_cfg.period << "): reference " << ref_ms
+              << " ms, fast " << fast_ms << " ms, speedup " << speedup
+              << "x" << (sparse_ok ? "" : "  FAIL (< 10x)") << "\n";
+
+    // --- Gate 2: quiescent idle-path deviation <= 0.05 C. -----------
+    const QuiescentCooldownSpec cooldown;
+    const QuiescentCooldownParity parity = runQuiescentCooldownParity(
+        SprintConfig::scaledPackage(0.15, 7e-4), cooldown);
+    const double dev_budget = 0.05;
+    const bool dev_ok = parity.max_temp_dev <= dev_budget;
+    std::cout << "idle-path deviation (melt->refreeze cooldown, "
+              << cooldown.samples << " samples): "
+              << parity.max_temp_dev << " C"
+              << (dev_ok ? "" : "  FAIL (> 0.05 C)") << "\n";
+
+    // --- Gate 3: million-task bounded-memory run. -------------------
+    ScenarioConfig mcfg;
+    mcfg.platform = SprintConfig::parallelSprint(2, 0.015);
+    mcfg.platform.machine.l1_bytes = 8 * 1024;
+    mcfg.platform.machine.l2.size_bytes = 64 * 1024;
+    mcfg.policy.kind = SprintPolicyKind::GreedyActivity;
+    mcfg.pattern = ArrivalPattern::BackToBack;
+    mcfg.num_tasks = million_tasks;
+    mcfg.program_factory = microProgram;
+    mcfg.trace_mode = TraceMode::DecimatedRing;
+    mcfg.trace_capacity = 4096;
+    mcfg.keep_task_results = false;
+    mcfg.idle_model = IdleModel::Quiescent;
+
+    // VmHWM is a process-wide high-water mark, so record the baseline
+    // set by the earlier gates too: the million-task run is bounded
+    // iff the *growth* over that baseline stays small.
+    const double rss_before_mb = peakRssMb();
+    const auto m0 = Clock::now();
+    const ScenarioResult million = runScenario(mcfg);
+    const auto m1 = Clock::now();
+    const double million_s = elapsedMs(m0, m1) / 1000.0;
+    const double rss_mb = peakRssMb();
+    const bool million_ok =
+        million.tasks_completed ==
+            static_cast<std::uint64_t>(million_tasks) &&
+        million.tasks.empty() &&
+        million.junction_trace.size() <= mcfg.trace_capacity &&
+        million.power_trace.size() <= mcfg.trace_capacity &&
+        million.melt_trace.size() <= mcfg.trace_capacity;
+    std::cout << "million-task run: " << million.tasks_completed
+              << " tasks in " << million_s << " s ("
+              << static_cast<double>(million.tasks_completed) /
+                     million_s
+              << " tasks/s), traces "
+              << million.junction_trace.size() << " samples, peak RSS "
+              << rss_mb << " MB"
+              << (million_ok ? "" : "  FAIL (unbounded)") << "\n";
+
+    // --- Gate 4: sharded replay == unsharded, bit for bit. ----------
+    ScenarioConfig pcfg;
+    pcfg.platform = SprintConfig::parallelSprint(16, 0.015);
+    pcfg.policy.kind = SprintPolicyKind::GreedyActivity;
+    pcfg.pattern = ArrivalPattern::Bursty;
+    pcfg.num_tasks = 6;
+    pcfg.burst_size = 2;
+    pcfg.period = 3e-3;
+    pcfg.kernel = KernelId::Sobel;
+    pcfg.size = InputSize::A;
+    pcfg.warm_caches = true;  // the chain must survive shard handoff
+    pcfg.tail_rest = 3e-3;
+
+    bool parity_ok = true;
+    std::string parity_why;
+    {
+        const ScenarioResult unsharded = runScenario(pcfg);
+        for (std::uint64_t shard : {1, 2, 4}) {
+            const ScenarioResult sharded =
+                runScenarioSharded(pcfg, shard);
+            std::string why;
+            if (!exactSameScenario(unsharded, sharded, why)) {
+                parity_ok = false;
+                parity_why = "exact engine, shard " +
+                             std::to_string(shard) + ": " + why;
+                std::cerr << "shard parity MISMATCH (" << parity_why
+                          << ")\n";
+            }
+        }
+    }
+    {
+        ScenarioConfig fq = pcfg;
+        fq.warm_caches = false;
+        fq.idle_model = IdleModel::Quiescent;
+        fq.trace_mode = TraceMode::DecimatedRing;
+        fq.trace_capacity = 512;
+        const ScenarioResult unsharded = runScenario(fq);
+        const ScenarioResult sharded = runScenarioSharded(fq, 2);
+        std::string why;
+        if (!exactSameScenario(unsharded, sharded, why)) {
+            parity_ok = false;
+            parity_why = "fast path, shard 2: " + why;
+            std::cerr << "shard parity MISMATCH (" << parity_why
+                      << ")\n";
+        }
+    }
+    std::cout << "shard parity (exact + fast path): "
+              << (parity_ok ? "exact" : "MISMATCH") << "\n";
+
+    // --- Emit the report. -------------------------------------------
+    std::ofstream out(out_path);
+    if (!out) {
+        std::cerr << "FAIL: cannot open " << out_path
+                  << " for writing\n";
+        return 1;
+    }
+    out.precision(6);
+    out << "{\n"
+        << "  \"schema\": \"csprint-scale-bench-v1\",\n"
+        << "  \"units\": {\"time\": \"time-scaled seconds (scale 7e-4,"
+           " see EXPERIMENTS.md)\"},\n"
+        << "  \"sparse_idle\": {\n"
+        << "    \"config\": \"greedy, 15 mg PCM, sobel-A 16-core, "
+        << sparse_tasks << " tasks every 1 s scaled\",\n"
+        << "    \"reference_ms\": " << ref_ms << ",\n"
+        << "    \"fast_ms\": " << fast_ms << ",\n"
+        << "    \"speedup\": " << speedup << ",\n"
+        << "    \"budget_speedup\": 10.0,\n"
+        << "    \"reference_trace_samples\": "
+        << ref.junction_trace.size() << ",\n"
+        << "    \"fast_trace_samples\": " << fast.junction_trace.size()
+        << ",\n"
+        << "    \"pass\": " << (sparse_ok ? "true" : "false") << "\n"
+        << "  },\n"
+        << "  \"idle_deviation\": {\n"
+        << "    \"config\": \"150 mg scaled package, full melt -> "
+           "refreeze -> ambient, 64 sampled chunks over 1 s scaled\",\n"
+        << "    \"max_junction_deviation_c\": " << parity.max_temp_dev
+        << ",\n"
+        << "    \"max_melt_deviation\": " << parity.max_mf_dev << ",\n"
+        << "    \"budget_c\": " << dev_budget << ",\n"
+        << "    \"pass\": " << (dev_ok ? "true" : "false") << "\n"
+        << "  },\n"
+        << "  \"million_task\": {\n"
+        << "    \"config\": \"greedy, 2-core micro-programs (~2k ops),"
+           " back-to-back, decimated-ring traces, streaming stats\",\n"
+        << "    \"tasks\": " << million.tasks_completed << ",\n"
+        << "    \"wall_s\": " << million_s << ",\n"
+        << "    \"tasks_per_sec\": "
+        << static_cast<double>(million.tasks_completed) / million_s
+        << ",\n"
+        << "    \"trace_samples\": " << million.junction_trace.size()
+        << ",\n"
+        << "    \"trace_capacity\": " << mcfg.trace_capacity << ",\n"
+        << "    \"retained_task_results\": " << million.tasks.size()
+        << ",\n"
+        << "    \"rss_before_mb\": " << rss_before_mb << ",\n"
+        << "    \"peak_rss_mb\": " << rss_mb << ",\n"
+        << "    \"p50_response_s\": " << million.p50_response << ",\n"
+        << "    \"p95_response_s\": " << million.p95_response << ",\n"
+        << "    \"utilization\": " << million.utilization << ",\n"
+        << "    \"pass\": " << (million_ok ? "true" : "false") << "\n"
+        << "  },\n"
+        << "  \"shard_parity\": {\n"
+        << "    \"config\": \"bursty greedy 6 tasks, warm caches, "
+           "tail rest; shards of 1/2/4 (exact) and 2 (fast path)\",\n"
+        << "    \"exact\": " << (parity_ok ? "true" : "false");
+    if (!parity_ok)
+        out << ",\n    \"first_mismatch\": \"" << parity_why << "\"";
+    out << "\n  }\n"
+        << "}\n";
+    std::cout << "wrote " << out_path << "\n";
+
+    if (!sparse_ok) {
+        std::cerr << "FAIL: sparse-idle speedup below 10x\n";
+        return 1;
+    }
+    if (!dev_ok) {
+        std::cerr << "FAIL: idle-path deviation above budget\n";
+        return 1;
+    }
+    if (!million_ok) {
+        std::cerr << "FAIL: million-task run not bounded\n";
+        return 1;
+    }
+    if (!parity_ok) {
+        std::cerr << "FAIL: sharded replay diverged\n";
+        return 1;
+    }
+    return 0;
+}

@@ -1,6 +1,9 @@
 #include "common/stats.hh"
 
+#include <algorithm>
 #include <cmath>
+
+#include "common/logging.hh"
 
 namespace csprint {
 
@@ -30,6 +33,99 @@ double
 RunningStat::stddev() const
 {
     return std::sqrt(variance());
+}
+
+P2Quantile::P2Quantile(double q) : q_(q)
+{
+    SPRINT_ASSERT(q > 0.0 && q < 1.0, "quantile must be in (0, 1)");
+}
+
+void
+P2Quantile::add(double x)
+{
+    if (n < 5) {
+        // Bootstrap: collect the first five samples sorted.
+        height[n] = x;
+        ++n;
+        std::sort(height.begin(), height.begin() + n);
+        if (n == 5) {
+            for (int i = 0; i < 5; ++i)
+                pos[i] = static_cast<double>(i + 1);
+            desired[0] = 1.0;
+            desired[1] = 1.0 + 2.0 * q_;
+            desired[2] = 1.0 + 4.0 * q_;
+            desired[3] = 3.0 + 2.0 * q_;
+            desired[4] = 5.0;
+            rate[0] = 0.0;
+            rate[1] = q_ / 2.0;
+            rate[2] = q_;
+            rate[3] = (1.0 + q_) / 2.0;
+            rate[4] = 1.0;
+        }
+        return;
+    }
+    ++n;
+
+    // Find the cell the sample falls into; clamp the extreme markers.
+    int k;
+    if (x < height[0]) {
+        height[0] = x;
+        k = 0;
+    } else if (x >= height[4]) {
+        height[4] = x;
+        k = 3;
+    } else {
+        k = 0;
+        while (k < 3 && x >= height[k + 1])
+            ++k;
+    }
+    for (int i = k + 1; i < 5; ++i)
+        pos[i] += 1.0;
+    for (int i = 0; i < 5; ++i)
+        desired[i] += rate[i];
+
+    // Nudge the three interior markers toward their desired positions.
+    for (int i = 1; i <= 3; ++i) {
+        const double d = desired[i] - pos[i];
+        if ((d >= 1.0 && pos[i + 1] - pos[i] > 1.0) ||
+            (d <= -1.0 && pos[i - 1] - pos[i] < -1.0)) {
+            const double sign = d >= 1.0 ? 1.0 : -1.0;
+            // Piecewise-parabolic (P²) height update.
+            const double np = pos[i] + sign;
+            const double hp =
+                height[i] +
+                sign / (pos[i + 1] - pos[i - 1]) *
+                    ((pos[i] - pos[i - 1] + sign) *
+                         (height[i + 1] - height[i]) /
+                         (pos[i + 1] - pos[i]) +
+                     (pos[i + 1] - pos[i] - sign) *
+                         (height[i] - height[i - 1]) /
+                         (pos[i] - pos[i - 1]));
+            // Fall back to linear when the parabola leaves the bracket.
+            if (hp > height[i - 1] && hp < height[i + 1]) {
+                height[i] = hp;
+            } else {
+                const int j = sign > 0.0 ? i + 1 : i - 1;
+                height[i] += sign * (height[j] - height[i]) /
+                             (pos[j] - pos[i]);
+            }
+            pos[i] = np;
+        }
+    }
+}
+
+double
+P2Quantile::value() const
+{
+    if (n == 0)
+        return 0.0;
+    if (n <= 5) {
+        // Exact nearest-rank on the sorted bootstrap samples.
+        const std::size_t rank = static_cast<std::size_t>(
+            std::ceil(q_ * static_cast<double>(n)));
+        return height[std::min(n - 1, rank > 0 ? rank - 1 : 0)];
+    }
+    return height[2];
 }
 
 } // namespace csprint

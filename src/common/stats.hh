@@ -6,6 +6,7 @@
 #ifndef CSPRINT_COMMON_STATS_HH
 #define CSPRINT_COMMON_STATS_HH
 
+#include <array>
 #include <cstddef>
 #include <limits>
 
@@ -50,6 +51,42 @@ class RunningStat
     double lo = std::numeric_limits<double>::infinity();
     double hi = -std::numeric_limits<double>::infinity();
     double total = 0.0;
+};
+
+/**
+ * P-squared (P²) streaming quantile estimator (Jain & Chlamtac 1985):
+ * five markers track the running @p q quantile with O(1) memory and
+ * O(1) work per sample. Exact for the first five samples; thereafter
+ * the markers move by piecewise-parabolic interpolation.
+ *
+ * Value-semantic (plain doubles), so an estimator can be snapshotted
+ * into a checkpoint and resumed by copy.
+ */
+class P2Quantile
+{
+  public:
+    /** Track the @p q quantile, q in (0, 1). */
+    explicit P2Quantile(double q = 0.5);
+
+    /** Fold one sample into the estimate. */
+    void add(double x);
+
+    /** Current estimate (exact when five or fewer samples). */
+    double value() const;
+
+    /** Number of samples folded in so far. */
+    std::size_t count() const { return n; }
+
+    /** The quantile being tracked. */
+    double quantile() const { return q_; }
+
+  private:
+    double q_;
+    std::size_t n = 0;
+    std::array<double, 5> height{};   ///< marker heights (sorted)
+    std::array<double, 5> pos{};      ///< actual marker positions
+    std::array<double, 5> desired{};  ///< desired marker positions
+    std::array<double, 5> rate{};     ///< desired-position increments
 };
 
 } // namespace csprint

@@ -16,6 +16,24 @@ TimeSeries::add(double t, double v)
     values.push_back(v);
 }
 
+void
+TimeSeries::reserve(std::size_t n)
+{
+    times.reserve(n);
+    values.reserve(n);
+}
+
+void
+TimeSeries::append(const TimeSeries &src)
+{
+    if (src.times.empty())
+        return;
+    SPRINT_ASSERT(times.empty() || src.times.front() >= times.back(),
+                  "appended series starts before this one ends");
+    times.insert(times.end(), src.times.begin(), src.times.end());
+    values.insert(values.end(), src.values.begin(), src.values.end());
+}
+
 double
 TimeSeries::back() const
 {
@@ -131,6 +149,51 @@ TimeSeries::decimate(std::size_t max_points) const
         out.add(times[i], values[i]);
     if (out.times.back() != times.back())
         out.add(times.back(), values.back());
+    return out;
+}
+
+DecimatingTrace::DecimatingTrace(std::size_t capacity)
+    : cap(capacity < 2 ? 2 : capacity)
+{
+    // Storage is reserved on first use: default-constructed recorders
+    // (e.g. in a trace sink running in full-trace mode) cost nothing.
+}
+
+void
+DecimatingTrace::add(double t, double v)
+{
+    const std::size_t idx = offered_++;
+    if (idx != next_store_)
+        return;
+    if (ts.size() == 0)
+        ts.reserve(cap);
+    if (ts.size() == cap) {
+        // Compact: keep every other stored sample, so the retained
+        // samples stay on the uniform grid {0, s, 2s, ...} of the
+        // doubled stride s.
+        TimeSeries kept;
+        kept.reserve(cap);
+        for (std::size_t i = 0; i < ts.size(); i += 2)
+            kept.add(ts.timeAt(i), ts.valueAt(i));
+        const std::size_t kept_count = kept.size();
+        ts = std::move(kept);
+        stride_ *= 2;
+        next_store_ = stride_ * kept_count;
+        if (idx != next_store_)
+            return;
+    }
+    ts.add(t, v);
+    next_store_ = idx + stride_;
+}
+
+TimeSeries
+DecimatingTrace::take()
+{
+    TimeSeries out = std::move(ts);
+    ts = TimeSeries();
+    stride_ = 1;
+    next_store_ = 0;
+    offered_ = 0;
     return out;
 }
 

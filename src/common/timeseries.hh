@@ -21,6 +21,16 @@ class TimeSeries
     /** Append one sample; times must be non-decreasing. */
     void add(double t, double v);
 
+    /** Pre-size the storage for @p n total samples. */
+    void reserve(std::size_t n);
+
+    /**
+     * Bulk-append every sample of @p src; @p src's first time must not
+     * precede this series' last time. One ordering check at the seam
+     * replaces the per-sample check of repeated add() calls.
+     */
+    void append(const TimeSeries &src);
+
     /** Number of samples. */
     std::size_t size() const { return times.size(); }
 
@@ -79,6 +89,43 @@ class TimeSeries
   private:
     std::vector<double> times;
     std::vector<double> values;
+};
+
+/**
+ * A bounded-memory trace recorder: stores at most @p capacity samples
+ * however many are offered. When the buffer fills, every other stored
+ * sample is dropped and the recording stride doubles, so the retained
+ * samples always cover the whole offered timeline at uniform (power-of-
+ * two) decimation — a "decimated ring" rather than a most-recent ring.
+ * Memory is O(capacity) regardless of stream length.
+ */
+class DecimatingTrace
+{
+  public:
+    /** Record into a buffer of at most @p capacity samples (>= 2). */
+    explicit DecimatingTrace(std::size_t capacity = 4096);
+
+    /** Offer one sample; stored iff it lands on the current stride. */
+    void add(double t, double v);
+
+    /** Samples offered so far (stored or skipped). */
+    std::size_t offered() const { return offered_; }
+
+    /** Current decimation stride (1 until the first compaction). */
+    std::size_t stride() const { return stride_; }
+
+    /** The retained samples. */
+    const TimeSeries &series() const { return ts; }
+
+    /** Move the retained samples out; the recorder resets. */
+    TimeSeries take();
+
+  private:
+    TimeSeries ts;
+    std::size_t cap;
+    std::size_t stride_ = 1;
+    std::size_t next_store_ = 0; ///< absolute offered index stored next
+    std::size_t offered_ = 0;
 };
 
 } // namespace csprint

@@ -144,6 +144,20 @@ AdaptiveHeadroomPolicy::wantSprint(const MobilePackageModel &package)
            resume_fraction * cold_budget;
 }
 
+std::vector<double>
+AdaptiveHeadroomPolicy::saveState() const
+{
+    return {cold_budget};
+}
+
+void
+AdaptiveHeadroomPolicy::restoreState(const std::vector<double> &state)
+{
+    SPRINT_ASSERT(state.size() == 1,
+                  "adaptive-headroom state is one double");
+    cold_budget = state[0];
+}
+
 std::unique_ptr<SprintPolicy>
 makeSprintPolicy(const SprintPolicyParams &params)
 {

@@ -110,6 +110,37 @@ class SprintPolicy
     virtual SprintDecision onSample(MobilePackageModel &package,
                                     Seconds dt, Joules energy) = 0;
 
+    /**
+     * Cross-task state for checkpoint/restore (scenario sharding): a
+     * flat vector of doubles, empty when the policy carries no state
+     * across tasks. restoreState() must accept exactly what
+     * saveState() produced; per-task state (the governor, pacing
+     * debt) is re-armed by beginTask() and is never snapshotted —
+     * checkpoints are taken at task boundaries only.
+     */
+    virtual std::vector<double> saveState() const { return {}; }
+
+    /** Restore what saveState() produced (see above). */
+    virtual void restoreState(const std::vector<double> &state)
+    {
+        (void)state;
+    }
+
+    /**
+     * Idle-gap advance: zero die power through the quiescent
+     * super-stepper (ThermalNetwork::advanceQuiescent). The Scenario
+     * engine's fast idle path (coolPackage under
+     * IdleModel::Quiescent) routes through this; tolerance per
+     * PERF.md, "Long-horizon scenarios".
+     */
+    static void
+    advanceIdle(MobilePackageModel &package, Seconds dt,
+                Celsius tol = 0.01)
+    {
+        package.setDiePower(0.0);
+        package.stepQuiescent(dt, tol);
+    }
+
   protected:
     /** Default thermal advance for policies without a governor. */
     static void
@@ -218,6 +249,9 @@ class AdaptiveHeadroomPolicy : public GovernorBackedPolicy
     const char *name() const override { return "adaptive-headroom"; }
 
     bool wantSprint(const MobilePackageModel &package) override;
+
+    std::vector<double> saveState() const override;
+    void restoreState(const std::vector<double> &state) override;
 
   private:
     double resume_fraction;

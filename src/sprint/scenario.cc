@@ -4,7 +4,6 @@
 #include <cmath>
 
 #include "common/logging.hh"
-#include "common/rng.hh"
 
 namespace csprint {
 
@@ -36,65 +35,182 @@ allArrivalPatterns()
     return patterns;
 }
 
-std::vector<ScenarioTask>
-buildArrivals(const ScenarioConfig &cfg)
+namespace {
+
+/** The timeline preconditions shared by every scenario entry point. */
+void
+validateScenarioConfig(const ScenarioConfig &cfg)
 {
     SPRINT_ASSERT(cfg.num_tasks >= 1, "scenario needs at least one task");
     SPRINT_ASSERT(cfg.pattern == ArrivalPattern::BackToBack ||
                       cfg.period > 0.0,
                   "arrival pattern needs a positive period");
     SPRINT_ASSERT(cfg.burst_size >= 1, "bursts need at least one task");
+}
 
-    std::vector<ScenarioTask> tasks(
-        static_cast<std::size_t>(cfg.num_tasks));
-    Rng rng(cfg.seed);
-    Seconds poisson_clock = 0.0;
-    for (int i = 0; i < cfg.num_tasks; ++i) {
-        ScenarioTask &task = tasks[static_cast<std::size_t>(i)];
-        task.kernel = cfg.kernel;
-        task.size = cfg.size;
-        task.seed = cfg.seed + static_cast<std::uint64_t>(i);
-        switch (cfg.pattern) {
-          case ArrivalPattern::Periodic:
-            task.arrival = static_cast<double>(i) * cfg.period;
-            break;
-          case ArrivalPattern::Bursty:
-            task.arrival =
-                static_cast<double>(i / cfg.burst_size) * cfg.period +
-                static_cast<double>(i % cfg.burst_size) *
-                    cfg.burst_spacing;
-            break;
-          case ArrivalPattern::Poisson:
-            // First arrival at t = 0; exponential gaps afterwards.
-            if (i > 0)
-                poisson_clock +=
-                    -std::log(1.0 - rng.uniform()) * cfg.period;
-            task.arrival = poisson_clock;
-            break;
-          case ArrivalPattern::BackToBack:
-            task.arrival = 0.0;
-            break;
+} // namespace
+
+ScenarioTask
+nextArrival(const ScenarioConfig &cfg, ArrivalCursor &cursor)
+{
+    ScenarioTask task;
+    task.kernel = cfg.kernel;
+    task.size = cfg.size;
+    task.seed = cfg.seed + cursor.index;
+    const std::uint64_t i = cursor.index++;
+    const std::uint64_t burst =
+        static_cast<std::uint64_t>(cfg.burst_size);
+    switch (cfg.pattern) {
+      case ArrivalPattern::Periodic:
+        task.arrival = static_cast<double>(i) * cfg.period;
+        break;
+      case ArrivalPattern::Bursty:
+        task.arrival =
+            static_cast<double>(i / burst) * cfg.period +
+            static_cast<double>(i % burst) * cfg.burst_spacing;
+        break;
+      case ArrivalPattern::Poisson:
+        // First arrival at t = 0; exponential gaps afterwards.
+        // log1p keeps precision for small u, where log(1 - u) would
+        // round 1 - u first; uniform() is [0, 1) but the u == 1.0
+        // boundary is guarded anyway (it would make the gap infinite).
+        if (i > 0) {
+            double u = cursor.rng.uniform();
+            if (u >= 1.0)
+                u = std::nextafter(1.0, 0.0);
+            cursor.poisson_clock += -std::log1p(-u) * cfg.period;
         }
+        task.arrival = cursor.poisson_clock;
+        break;
+      case ArrivalPattern::BackToBack:
+        task.arrival = 0.0;
+        break;
     }
+    return task;
+}
+
+std::vector<ScenarioTask>
+buildArrivals(const ScenarioConfig &cfg)
+{
+    validateScenarioConfig(cfg);
+    std::vector<ScenarioTask> tasks;
+    tasks.reserve(static_cast<std::size_t>(cfg.num_tasks));
+    ArrivalCursor cursor(cfg);
+    for (int i = 0; i < cfg.num_tasks; ++i)
+        tasks.push_back(nextArrival(cfg, cursor));
     return tasks;
+}
+
+MeltCycleCounter::MeltCycleCounter(double rise, double fall)
+    : rise_(rise), fall_(fall)
+{
+    SPRINT_ASSERT(fall < rise, "hysteresis thresholds inverted");
+}
+
+void
+MeltCycleCounter::add(double melt)
+{
+    if (!molten_ && melt >= rise_) {
+        molten_ = true;
+    } else if (molten_ && melt <= fall_) {
+        molten_ = false;
+        ++cycles_;
+    }
 }
 
 int
 countMeltRefreezeCycles(const TimeSeries &melt, double rise, double fall)
 {
-    SPRINT_ASSERT(fall < rise, "hysteresis thresholds inverted");
-    int cycles = 0;
-    bool molten = false;
-    for (std::size_t i = 0; i < melt.size(); ++i) {
-        const double m = melt.valueAt(i);
-        if (!molten && m >= rise) {
-            molten = true;
-        } else if (molten && m <= fall) {
-            molten = false;
-            ++cycles;
-        }
+    MeltCycleCounter counter(rise, fall);
+    for (std::size_t i = 0; i < melt.size(); ++i)
+        counter.add(melt.valueAt(i));
+    return counter.cycles();
+}
+
+void
+ScenarioTraceSink::configure(TraceMode mode, std::size_t capacity)
+{
+    mode_ = mode;
+    if (mode_ == TraceMode::DecimatedRing) {
+        junction_ring_ = DecimatingTrace(capacity);
+        power_ring_ = DecimatingTrace(capacity);
+        melt_ring_ = DecimatingTrace(capacity);
     }
-    return cycles;
+}
+
+void
+ScenarioTraceSink::reserveMore(std::size_t n)
+{
+    if (mode_ != TraceMode::Full)
+        return;
+    junction_.reserve(junction_.size() + n);
+    power_.reserve(power_.size() + n);
+    melt_.reserve(melt_.size() + n);
+}
+
+void
+ScenarioTraceSink::add(double t, double junction, double power,
+                       double melt)
+{
+    switch (mode_) {
+      case TraceMode::Full:
+        junction_.add(t, junction);
+        power_.add(t, power);
+        melt_.add(t, melt);
+        break;
+      case TraceMode::DecimatedRing:
+        junction_ring_.add(t, junction);
+        power_ring_.add(t, power);
+        melt_ring_.add(t, melt);
+        break;
+      case TraceMode::Off:
+        break;
+    }
+}
+
+void
+ScenarioTraceSink::append(const TimeSeries &junction,
+                          const TimeSeries &power,
+                          const TimeSeries &melt)
+{
+    SPRINT_ASSERT(junction.size() == power.size() &&
+                      junction.size() == melt.size(),
+                  "per-task traces must be sampled in lockstep");
+    switch (mode_) {
+      case TraceMode::Full:
+        junction_.append(junction);
+        power_.append(power);
+        melt_.append(melt);
+        break;
+      case TraceMode::DecimatedRing:
+        for (std::size_t i = 0; i < junction.size(); ++i) {
+            junction_ring_.add(junction.timeAt(i), junction.valueAt(i));
+            power_ring_.add(power.timeAt(i), power.valueAt(i));
+            melt_ring_.add(melt.timeAt(i), melt.valueAt(i));
+        }
+        break;
+      case TraceMode::Off:
+        break;
+    }
+}
+
+void
+ScenarioTraceSink::exportTo(ScenarioResult &out)
+{
+    switch (mode_) {
+      case TraceMode::Full:
+        out.junction_trace = std::move(junction_);
+        out.power_trace = std::move(power_);
+        out.melt_trace = std::move(melt_);
+        break;
+      case TraceMode::DecimatedRing:
+        out.junction_trace = junction_ring_.take();
+        out.power_trace = power_ring_.take();
+        out.melt_trace = melt_ring_.take();
+        break;
+      case TraceMode::Off:
+        break;
+    }
 }
 
 namespace {
@@ -120,35 +236,37 @@ consolidatedPlatform(SprintConfig cfg)
     return cfg;
 }
 
-/** Cool the package at zero die power, recording the traces. */
+/**
+ * Cool the package at zero die power, recording idle trace samples
+ * and feeding the streaming aggregates. The idle model selects the
+ * exact step() chunks or the quiescent super-stepper.
+ */
 void
-coolPackage(MobilePackageModel &package, ScenarioResult &out,
-            Seconds from, Seconds duration, int samples)
+coolPackage(MobilePackageModel &package, ScenarioCheckpoint &ck,
+            const ScenarioConfig &cfg, Seconds from, Seconds duration)
 {
     package.setDiePower(0.0);
-    const int n = std::max(1, samples);
+    const int n = std::max(1, cfg.idle_trace_samples);
     const Seconds h = duration / n;
+    const bool quiescent = cfg.idle_model == IdleModel::Quiescent;
+    ck.traces.reserveMore(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) {
-        package.step(h);
+        if (quiescent)
+            SprintPolicy::advanceIdle(package, h, cfg.idle_tolerance);
+        else
+            package.step(h);
         const Seconds t = from + static_cast<double>(i + 1) * h;
-        out.junction_trace.add(t, package.junctionTemp());
-        out.power_trace.add(t, 0.0);
-        out.melt_trace.add(t, package.meltFraction());
+        const double melt = package.meltFraction();
+        ck.traces.add(t, package.junctionTemp(), 0.0, melt);
+        ck.melt_cycles.add(melt);
+        ck.peak_melt = std::max(ck.peak_melt, melt);
     }
 }
 
-void
-appendTrace(TimeSeries &dst, const TimeSeries &src)
-{
-    for (std::size_t i = 0; i < src.size(); ++i)
-        dst.add(src.timeAt(i), src.valueAt(i));
-}
-
-/** Nearest-rank quantile of an unsorted sample set. */
+/** Nearest-rank quantile of a sorted sample set. */
 Seconds
-quantile(std::vector<Seconds> sorted, double q)
+sortedQuantile(const std::vector<Seconds> &sorted, double q)
 {
-    std::sort(sorted.begin(), sorted.end());
     const std::size_t n = sorted.size();
     const std::size_t rank = static_cast<std::size_t>(
         std::ceil(q * static_cast<double>(n)));
@@ -157,47 +275,73 @@ quantile(std::vector<Seconds> sorted, double q)
 
 } // namespace
 
-ScenarioResult
-runScenario(const ScenarioConfig &cfg)
+ScenarioCheckpoint
+beginScenario(const ScenarioConfig &cfg)
 {
-    const std::vector<ScenarioTask> timeline = buildArrivals(cfg);
-    const std::unique_ptr<SprintPolicy> policy =
-        makeSprintPolicy(cfg.policy);
-    const SprintConfig denied_cfg = consolidatedPlatform(cfg.platform);
+    validateScenarioConfig(cfg);
+    ScenarioCheckpoint ck;
+    ck.arrivals = ArrivalCursor(cfg);
+    ck.traces.configure(cfg.trace_mode, cfg.trace_capacity);
+    if (cfg.keep_task_results)
+        ck.tasks.reserve(static_cast<std::size_t>(cfg.num_tasks));
 
     MobilePackageModel package(cfg.platform.package);
     package.reset();
+    ck.thermal = package.saveState();
+    return ck;
+}
 
-    ScenarioResult out;
-    out.tasks.reserve(timeline.size());
-    Seconds now = 0.0;
-    Seconds busy = 0.0;
+bool
+advanceScenario(const ScenarioConfig &cfg, ScenarioCheckpoint &ck,
+                std::uint64_t max_tasks)
+{
+    if (ck.done || max_tasks == 0)
+        return ck.done;
+
+    const std::uint64_t num_tasks =
+        static_cast<std::uint64_t>(cfg.num_tasks);
+    const std::unique_ptr<SprintPolicy> policy =
+        makeSprintPolicy(cfg.policy);
+    if (!ck.policy_state.empty())
+        policy->restoreState(ck.policy_state);
+    const SprintConfig denied_cfg = consolidatedPlatform(cfg.platform);
+
+    // The shard's package is rebuilt from the snapshot; step() output
+    // depends only on the restored state and the (deterministically
+    // rebuilt) topology, so resuming is bit-exact.
+    MobilePackageModel package(cfg.platform.package);
+    package.restoreState(ck.thermal);
 
     // Warm-restart chain: the previous task's machine (and the
     // program it references) stay alive until the next machine has
     // adopted their cache state.
-    std::unique_ptr<ParallelProgram> prev_program;
-    std::unique_ptr<Machine> prev_machine;
+    std::unique_ptr<ParallelProgram> prev_program =
+        std::move(ck.warm_program);
+    std::unique_ptr<Machine> prev_machine = std::move(ck.warm_machine);
 
-    for (const ScenarioTask &task : timeline) {
-        if (task.arrival > now) {
-            coolPackage(package, out, now, task.arrival - now,
-                        cfg.idle_trace_samples);
-            now = task.arrival;
+    for (std::uint64_t served = 0;
+         served < max_tasks && ck.arrivals.index < num_tasks;
+         ++served) {
+        const ScenarioTask task = nextArrival(cfg, ck.arrivals);
+        if (task.arrival > ck.now) {
+            coolPackage(package, ck, cfg, ck.now,
+                        task.arrival - ck.now);
+            ck.now = task.arrival;
         }
 
         ScenarioTaskResult tr;
         tr.arrival = task.arrival;
-        tr.start = now;
+        tr.start = ck.now;
         tr.melt_at_start = package.meltFraction();
         tr.sprint_granted = policy->wantSprint(package);
-        ++(tr.sprint_granted ? out.sprints_granted
-                             : out.sprints_denied);
+        ++(tr.sprint_granted ? ck.sprints_granted : ck.sprints_denied);
 
         const SprintConfig &run_cfg =
             tr.sprint_granted ? cfg.platform : denied_cfg;
         auto program = std::make_unique<ParallelProgram>(
-            buildKernelProgram(task.kernel, task.size, task.seed));
+            cfg.program_factory
+                ? cfg.program_factory(task)
+                : buildKernelProgram(task.kernel, task.size, task.seed));
         std::unique_ptr<Machine> machine =
             prepareMachine(*program, run_cfg);
         if (cfg.warm_caches && prev_machine)
@@ -210,54 +354,123 @@ runScenario(const ScenarioConfig &cfg)
         package.step(run_cfg.activation_ramp);
         policy->beginTask(package);
         RunResult run =
-            samplePump(*machine, run_cfg, package, *policy, now);
+            samplePump(*machine, run_cfg, package, *policy, ck.now);
         run.program_name = program->name();
 
-        now += run.task_time;
-        busy += run.task_time;
-        tr.finish = now;
+        ck.now += run.task_time;
+        ck.busy += run.task_time;
+        tr.finish = ck.now;
         tr.response = tr.finish - task.arrival;
         tr.melt_at_end = package.meltFraction();
 
         if (tr.sprint_granted && run.sprint_exhausted)
-            ++out.sprints_exhausted;
+            ++ck.sprints_exhausted;
         if (run.hardware_throttled)
-            ++out.hardware_throttles;
-        out.total_energy += run.dynamic_energy;
-        out.total_sprint_time += run.sprint_duration;
-        out.total_sprint_energy += run.sprint_energy;
-        out.peak_junction = out.tasks.empty()
-                                ? run.peak_junction
-                                : std::max(out.peak_junction,
-                                           run.peak_junction);
-        appendTrace(out.junction_trace, run.junction_trace);
-        appendTrace(out.power_trace, run.power_trace);
-        appendTrace(out.melt_trace, run.melt_trace);
+            ++ck.hardware_throttles;
+        ck.total_energy += run.dynamic_energy;
+        ck.total_sprint_time += run.sprint_duration;
+        ck.total_sprint_energy += run.sprint_energy;
+        ck.peak_junction = ck.tasks_completed == 0
+                               ? run.peak_junction
+                               : std::max(ck.peak_junction,
+                                          run.peak_junction);
+        ck.traces.append(run.junction_trace, run.power_trace,
+                         run.melt_trace);
+        for (std::size_t i = 0; i < run.melt_trace.size(); ++i) {
+            const double melt = run.melt_trace.valueAt(i);
+            ck.melt_cycles.add(melt);
+            ck.peak_melt = std::max(ck.peak_melt, melt);
+        }
+        ck.p50.add(tr.response);
+        ck.p95.add(tr.response);
+        ++ck.tasks_completed;
 
-        tr.run = std::move(run);
-        out.tasks.push_back(std::move(tr));
-
+        if (cfg.keep_task_results) {
+            tr.run = std::move(run);
+            ck.tasks.push_back(std::move(tr));
+        }
         if (cfg.warm_caches) {
             prev_machine = std::move(machine);
             prev_program = std::move(program);
         }
     }
 
-    out.makespan = now;
-    out.utilization = now > 0.0 ? busy / now : 0.0;
+    ck.thermal = package.saveState();
+    ck.policy_state = policy->saveState();
+    if (cfg.warm_caches) {
+        ck.warm_machine = std::move(prev_machine);
+        ck.warm_program = std::move(prev_program);
+    }
+    ck.done = ck.arrivals.index >= num_tasks;
+    return ck.done;
+}
 
-    if (cfg.tail_rest > 0.0)
-        coolPackage(package, out, now, cfg.tail_rest,
-                    cfg.idle_trace_samples);
+ScenarioResult
+finishScenario(const ScenarioConfig &cfg, ScenarioCheckpoint &&ck)
+{
+    SPRINT_ASSERT(ck.done, "finishScenario before the timeline finished");
 
-    std::vector<Seconds> responses;
-    responses.reserve(out.tasks.size());
-    for (const ScenarioTaskResult &tr : out.tasks)
-        responses.push_back(tr.response);
-    out.p50_response = quantile(responses, 0.50);
-    out.p95_response = quantile(responses, 0.95);
-    out.sprint_rest_cycles = countMeltRefreezeCycles(out.melt_trace);
+    ScenarioResult out;
+    out.makespan = ck.now;
+    out.utilization = ck.now > 0.0 ? ck.busy / ck.now : 0.0;
+
+    if (cfg.tail_rest > 0.0) {
+        MobilePackageModel package(cfg.platform.package);
+        package.restoreState(ck.thermal);
+        coolPackage(package, ck, cfg, ck.now, cfg.tail_rest);
+        ck.thermal = package.saveState();
+    }
+
+    out.tasks_completed = ck.tasks_completed;
+    out.sprints_granted = ck.sprints_granted;
+    out.sprints_denied = ck.sprints_denied;
+    out.sprints_exhausted = ck.sprints_exhausted;
+    out.hardware_throttles = ck.hardware_throttles;
+    out.peak_junction = ck.peak_junction;
+    out.total_energy = ck.total_energy;
+    out.total_sprint_time = ck.total_sprint_time;
+    out.total_sprint_energy = ck.total_sprint_energy;
+    out.peak_melt_fraction = ck.peak_melt;
+    out.sprint_rest_cycles = ck.melt_cycles.cycles();
+
+    if (cfg.keep_task_results) {
+        // Exact nearest-rank quantiles: one sort serves both ranks.
+        std::vector<Seconds> responses;
+        responses.reserve(ck.tasks.size());
+        for (const ScenarioTaskResult &tr : ck.tasks)
+            responses.push_back(tr.response);
+        std::sort(responses.begin(), responses.end());
+        if (!responses.empty()) {
+            out.p50_response = sortedQuantile(responses, 0.50);
+            out.p95_response = sortedQuantile(responses, 0.95);
+        }
+    } else {
+        out.p50_response = ck.p50.value();
+        out.p95_response = ck.p95.value();
+    }
+
+    ck.traces.exportTo(out);
+    out.tasks = std::move(ck.tasks);
     return out;
+}
+
+ScenarioResult
+runScenario(const ScenarioConfig &cfg)
+{
+    ScenarioCheckpoint ck = beginScenario(cfg);
+    advanceScenario(cfg, ck,
+                    static_cast<std::uint64_t>(cfg.num_tasks));
+    return finishScenario(cfg, std::move(ck));
+}
+
+ScenarioResult
+runScenarioSharded(const ScenarioConfig &cfg, std::uint64_t shard_tasks)
+{
+    SPRINT_ASSERT(shard_tasks >= 1, "shards need at least one task");
+    ScenarioCheckpoint ck = beginScenario(cfg);
+    while (!advanceScenario(cfg, ck, shard_tasks)) {
+    }
+    return finishScenario(cfg, std::move(ck));
 }
 
 } // namespace csprint

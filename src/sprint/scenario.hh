@@ -20,14 +20,29 @@
  * runSprint(): same package lifecycle, same policy arithmetic, same
  * sample pump — bench/scenario_report.cc gates that equivalence
  * bit-for-bit on the fig07 configurations.
+ *
+ * Long-horizon fast path (PERF.md, "Long-horizon scenarios"): idle
+ * gaps can route through the quiescent thermal super-stepper
+ * (IdleModel::Quiescent), traces can record into a bounded
+ * decimated ring or be dropped (TraceMode), per-task results can be
+ * folded into streaming aggregates instead of being retained
+ * (keep_task_results = false), and one very long timeline can be
+ * replayed as a chain of resumable shards (ScenarioCheckpoint /
+ * runScenarioSharded) with bit parity against the unsharded run. The
+ * defaults keep the engine bit-identical to the classic full-trace
+ * behaviour.
  */
 
 #ifndef CSPRINT_SPRINT_SCENARIO_HH
 #define CSPRINT_SPRINT_SCENARIO_HH
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
+#include "common/rng.hh"
+#include "common/stats.hh"
 #include "sprint/policy.hh"
 #include "sprint/simulation.hh"
 #include "workloads/workload.hh"
@@ -48,6 +63,21 @@ const char *arrivalPatternName(ArrivalPattern pattern);
 
 /** All arrival patterns, in report order. */
 const std::vector<ArrivalPattern> &allArrivalPatterns();
+
+/** How the full-timeline traces are recorded. */
+enum class TraceMode
+{
+    Full,          ///< every sample (bit-identical classic behaviour)
+    DecimatedRing, ///< bounded buffer, uniform power-of-two decimation
+    Off,           ///< no trace storage (streaming aggregates only)
+};
+
+/** How idle gaps between tasks advance the package. */
+enum class IdleModel
+{
+    Exact,     ///< plain step() chunks (bit-identical classic path)
+    Quiescent, ///< adaptive super-stepper (stepQuiescent fast path)
+};
 
 /** One entry of the arrival timeline. */
 struct ScenarioTask
@@ -85,6 +115,15 @@ struct ScenarioConfig
     InputSize size = InputSize::A;
     std::uint64_t seed = 42;   ///< arrival RNG + per-task input seeds
 
+    /**
+     * Custom per-task program builder; null uses
+     * buildKernelProgram(task.kernel, task.size, task.seed). Lets a
+     * scenario draw per-task workloads from any distribution (and the
+     * scale bench run micro-programs far smaller than the Table 1
+     * kernels).
+     */
+    std::function<ParallelProgram(const ScenarioTask &)> program_factory;
+
     /** Carry L1/L2 contents across tasks (warm re-activation). */
     bool warm_caches = false;
 
@@ -93,7 +132,83 @@ struct ScenarioConfig
 
     /** Trace samples recorded per idle gap between tasks. */
     int idle_trace_samples = 64;
+
+    // --- Long-horizon fast-path knobs (defaults = classic engine) ---
+
+    /** Trace storage policy for the full-timeline traces. */
+    TraceMode trace_mode = TraceMode::Full;
+
+    /** Per-trace sample budget in DecimatedRing mode. */
+    std::size_t trace_capacity = 4096;
+
+    /**
+     * Retain per-task ScenarioTaskResults (response quantiles are
+     * then exact). When false, tasks fold into O(1) streaming
+     * aggregates (P² quantiles) and ScenarioResult::tasks stays
+     * empty — memory is constant in task count.
+     */
+    bool keep_task_results = true;
+
+    /** Idle-gap integration path. */
+    IdleModel idle_model = IdleModel::Exact;
+
+    /** Endpoint tolerance of the quiescent idle path [°C]. */
+    Celsius idle_tolerance = 0.01;
 };
+
+/**
+ * Streaming generator of the arrival timeline: produces task i without
+ * materializing tasks 0..i-1, and is value-copyable, so a checkpoint
+ * can snapshot the RNG cursor mid-timeline. nextArrival(cfg, cursor)
+ * yields exactly the sequence buildArrivals(cfg) materializes.
+ */
+struct ArrivalCursor
+{
+    ArrivalCursor() : rng(42) {}
+    explicit ArrivalCursor(const ScenarioConfig &cfg) : rng(cfg.seed) {}
+
+    Rng rng;                    ///< Poisson gap stream
+    Seconds poisson_clock = 0.0;
+    std::uint64_t index = 0;    ///< next task index to generate
+};
+
+/** Generate the next task of @p cfg's timeline and advance @p cursor. */
+ScenarioTask nextArrival(const ScenarioConfig &cfg,
+                         ArrivalCursor &cursor);
+
+/** Materialize @p cfg's arrival timeline (sorted by arrival). */
+std::vector<ScenarioTask> buildArrivals(const ScenarioConfig &cfg);
+
+/**
+ * Streaming melt/refreeze hysteresis counter: a cycle completes when
+ * the melt fraction rises to >= rise and later falls to <= fall.
+ * Value-semantic, so it checkpoints by copy.
+ */
+class MeltCycleCounter
+{
+  public:
+    explicit MeltCycleCounter(double rise = 0.25, double fall = 0.05);
+
+    /** Fold one melt-fraction sample in. */
+    void add(double melt);
+
+    /** Completed cycles so far. */
+    int cycles() const { return cycles_; }
+
+  private:
+    double rise_;
+    double fall_;
+    bool molten_ = false;
+    int cycles_ = 0;
+};
+
+/**
+ * Count melt/refreeze cycles in @p melt with hysteresis: a cycle
+ * completes when the series rises to >= @p rise and later falls to
+ * <= @p fall.
+ */
+int countMeltRefreezeCycles(const TimeSeries &melt, double rise = 0.25,
+                            double fall = 0.05);
 
 /** Per-task outcome on the scenario timeline. */
 struct ScenarioTaskResult
@@ -111,7 +226,11 @@ struct ScenarioTaskResult
 /** Aggregate outcome of one scenario. */
 struct ScenarioResult
 {
+    /** Per-task results; empty when keep_task_results is false. */
     std::vector<ScenarioTaskResult> tasks;
+
+    /** Tasks served (counts even when per-task results are dropped). */
+    std::uint64_t tasks_completed = 0;
 
     int sprints_granted = 0;
     int sprints_denied = 0;   ///< tasks the policy ran consolidated
@@ -120,16 +239,23 @@ struct ScenarioResult
 
     Seconds makespan = 0.0;    ///< finish time of the last task
     double utilization = 0.0;  ///< machine-busy fraction of makespan
+    /**
+     * Response-time quantiles: exact (nearest-rank) when per-task
+     * results are kept, streaming P² estimates otherwise.
+     */
     Seconds p50_response = 0.0;
     Seconds p95_response = 0.0;
     Celsius peak_junction = 0.0;
     Joules total_energy = 0.0;
     Seconds total_sprint_time = 0.0; ///< sum of above-TDP time
     Joules total_sprint_energy = 0.0; ///< sum of above-TDP energy
+    /** Largest PCM melt fraction seen (tracked pre-decimation). */
+    double peak_melt_fraction = 0.0;
     /**
      * Distinct sprint/rest cycles: times the PCM melt fraction rose
      * past the melt threshold and then refroze (fell below the
      * refreeze threshold) — the paper's repeated-burst signature.
+     * Counted on the undecimated sample stream.
      */
     int sprint_rest_cycles = 0;
 
@@ -138,19 +264,111 @@ struct ScenarioResult
     TimeSeries melt_trace;     ///< full-timeline PCM melt fraction
 };
 
-/** Materialize @p cfg's arrival timeline (sorted by arrival). */
-std::vector<ScenarioTask> buildArrivals(const ScenarioConfig &cfg);
+/**
+ * The full-timeline trace recorder behind ScenarioConfig::trace_mode:
+ * Full appends every sample (bulk-appending whole per-task traces),
+ * DecimatedRing records into three bounded DecimatingTrace buffers,
+ * Off stores nothing.
+ */
+class ScenarioTraceSink
+{
+  public:
+    ScenarioTraceSink() = default;
+
+    /** Select the mode; must precede the first sample. */
+    void configure(TraceMode mode, std::size_t capacity);
+
+    /** Pre-size for @p n more samples (Full mode; no-op otherwise). */
+    void reserveMore(std::size_t n);
+
+    /** Record one (junction, power, melt) sample at time @p t. */
+    void add(double t, double junction, double power, double melt);
+
+    /** Bulk-append one task's traces (sizes must match). */
+    void append(const TimeSeries &junction, const TimeSeries &power,
+                const TimeSeries &melt);
+
+    /** Move the recorded traces into @p out. */
+    void exportTo(ScenarioResult &out);
+
+  private:
+    TraceMode mode_ = TraceMode::Full;
+    TimeSeries junction_, power_, melt_;           ///< Full
+    DecimatingTrace junction_ring_, power_ring_, melt_ring_;
+};
 
 /**
- * Count melt/refreeze cycles in @p melt with hysteresis: a cycle
- * completes when the series rises to >= @p rise and later falls to
- * <= @p fall.
+ * A resumable scenario position, taken at a task boundary. Snapshots
+ * the package thermal state (ThermalNetworkState: node temperatures,
+ * melt fractions, injected powers), the policy's cross-task state,
+ * the arrival RNG cursor, the timeline clock, and every streaming
+ * aggregate; optionally carries the warm machine's L1/L2 contents
+ * (live Machine, in-process only — a checkpoint without a warm chain
+ * is plain value state). Obtained from beginScenario(), advanced by
+ * advanceScenario(), consumed by finishScenario(); replaying a
+ * timeline through any shard sizes reproduces the unsharded run
+ * bit-for-bit (gated in bench/scenario_scale_report.cc).
  */
-int countMeltRefreezeCycles(const TimeSeries &melt, double rise = 0.25,
-                            double fall = 0.05);
+struct ScenarioCheckpoint
+{
+    bool done = false;            ///< every task has been dispatched
+    ArrivalCursor arrivals;       ///< RNG cursor into the timeline
+
+    ThermalNetworkState thermal;  ///< package snapshot at the boundary
+    std::vector<double> policy_state; ///< SprintPolicy::saveState()
+
+    // --- Streaming aggregates (all value-semantic) -----------------
+    Seconds now = 0.0;
+    Seconds busy = 0.0;
+    std::uint64_t tasks_completed = 0;
+    int sprints_granted = 0;
+    int sprints_denied = 0;
+    int sprints_exhausted = 0;
+    int hardware_throttles = 0;
+    Celsius peak_junction = 0.0;
+    Joules total_energy = 0.0;
+    Seconds total_sprint_time = 0.0;
+    Joules total_sprint_energy = 0.0;
+    double peak_melt = 0.0;
+    P2Quantile p50{0.50};
+    P2Quantile p95{0.95};
+    MeltCycleCounter melt_cycles;
+    ScenarioTraceSink traces;
+    std::vector<ScenarioTaskResult> tasks; ///< when keep_task_results
+
+    // --- Warm re-activation chain (in-process only) ----------------
+    std::unique_ptr<ParallelProgram> warm_program;
+    std::unique_ptr<Machine> warm_machine;
+};
+
+/** Validate @p cfg and open a checkpoint at the start of its timeline. */
+ScenarioCheckpoint beginScenario(const ScenarioConfig &cfg);
+
+/**
+ * Serve up to @p max_tasks further tasks of @p cfg's timeline from
+ * @p ck, leaving @p ck at a resumable task boundary. Returns true
+ * once every task has been dispatched (tail rest not yet applied).
+ */
+bool advanceScenario(const ScenarioConfig &cfg, ScenarioCheckpoint &ck,
+                     std::uint64_t max_tasks);
+
+/**
+ * Apply the tail rest and fold @p ck into the final ScenarioResult.
+ * Requires advanceScenario to have returned true.
+ */
+ScenarioResult finishScenario(const ScenarioConfig &cfg,
+                              ScenarioCheckpoint &&ck);
 
 /** Run @p cfg's timeline to completion. */
 ScenarioResult runScenario(const ScenarioConfig &cfg);
+
+/**
+ * Run @p cfg's timeline as a chain of resumable shards of
+ * @p shard_tasks tasks each — the checkpointed equivalent of
+ * runScenario(cfg), bit-for-bit.
+ */
+ScenarioResult runScenarioSharded(const ScenarioConfig &cfg,
+                                  std::uint64_t shard_tasks);
 
 } // namespace csprint
 

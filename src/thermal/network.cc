@@ -369,6 +369,314 @@ ThermalNetwork::step(Seconds dt)
     }
 }
 
+bool
+ThermalNetwork::quiescentSubstep(const double *t_in, const double *mf_in,
+                                 double *t_out, double *mf_out,
+                                 Seconds h) const
+{
+    const std::size_t n = temp_.size();
+    const double t_amb = ambient_temp;
+
+    // Partition the nodes: plateau nodes (PCM mid-transition) are
+    // pinned at their melt temperature for the whole substep; the
+    // rest evolve sensibly. When every sensible node's neighbors are
+    // all pinned, each sensible node sees a constant boundary and its
+    // trajectory is a closed-form exponential (exact); otherwise the
+    // coupled sensible set is advanced by one backward-Euler step
+    // (unconditionally stable, and — unlike a per-node frozen-
+    // neighbor decay — faithful to the emergent slow modes of stiffly
+    // coupled clusters, so the step-doubling error estimate above
+    // this routine measures a real, convergent local error).
+    bool coupled = false;
+    for (std::size_t i = 0; i < n; ++i) {
+        const bool plateau_i =
+            has_pcm_[i] && mf_in[i] > 0.0 && mf_in[i] < 1.0;
+        q_plateau_[i] = plateau_i ? 1 : 0;
+        if (plateau_i) {
+            t_out[i] = pcm_[i].melt_temp;
+            mf_out[i] = mf_in[i];  // integrated after the solve
+        }
+    }
+    for (std::size_t i = 0; i < n && !coupled; ++i) {
+        if (q_plateau_[i])
+            continue;
+        const std::size_t end = row_ptr_[i + 1];
+        for (std::size_t k = row_ptr_[i]; k < end; ++k) {
+            if (!q_plateau_[nbr_[k]]) {
+                coupled = true;
+                break;
+            }
+        }
+    }
+
+    if (!coupled) {
+        // Closed-form regime: every sensible node decays toward the
+        // fixed point set by its pinned neighbors and the ambient.
+        for (std::size_t i = 0; i < n; ++i) {
+            if (q_plateau_[i])
+                continue;
+            double drive = injected_[i] + g_amb_[i] * t_amb;
+            const std::size_t end = row_ptr_[i + 1];
+            for (std::size_t k = row_ptr_[i]; k < end; ++k)
+                drive += g_[k] * pcm_[nbr_[k]].melt_temp;
+            const double gs = g_sum_[i];
+            double t_new;
+            if (gs > 0.0) {
+                const double t_star = drive / gs;
+                t_new = t_star + (t_in[i] - t_star) *
+                                     std::exp(-h * gs / cap_[i]);
+            } else {
+                t_new = t_in[i] + h * drive / cap_[i];
+            }
+            t_out[i] = t_new;
+            mf_out[i] = has_pcm_[i] ? mf_in[i] : 0.0;
+        }
+    } else {
+        // Backward-Euler over the sensible set, plateau nodes as
+        // Dirichlet boundaries:
+        //   (C_i/h + g_sum_i) T_i' - sum_{j sensible} g_ij T_j' =
+        //       C_i/h T_i + inj_i + g_amb_i T_amb +
+        //       sum_{j plateau} g_ij melt_j
+        std::size_t m = 0;
+        for (std::size_t i = 0; i < n; ++i)
+            q_dense_index_[i] =
+                q_plateau_[i] ? static_cast<std::size_t>(-1) : m++;
+        if (m > 0) {
+            std::fill(q_mat_.begin(), q_mat_.begin() + m * m, 0.0);
+            for (std::size_t i = 0; i < n; ++i) {
+                const std::size_t r = q_dense_index_[i];
+                if (r == static_cast<std::size_t>(-1))
+                    continue;
+                const double ch = cap_[i] / h;
+                q_mat_[r * m + r] = ch + g_sum_[i];
+                double rhs = ch * t_in[i] + injected_[i] +
+                             g_amb_[i] * t_amb;
+                const std::size_t end = row_ptr_[i + 1];
+                for (std::size_t k = row_ptr_[i]; k < end; ++k) {
+                    const std::size_t j = nbr_[k];
+                    const std::size_t c = q_dense_index_[j];
+                    if (c == static_cast<std::size_t>(-1))
+                        rhs += g_[k] * pcm_[j].melt_temp;
+                    else
+                        q_mat_[r * m + c] -= g_[k];
+                }
+                q_rhs_[r] = rhs;
+            }
+            // Gaussian elimination with partial pivoting; the system
+            // is a strictly diagonally dominant M-matrix, so it is
+            // well conditioned at every h.
+            for (std::size_t col = 0; col < m; ++col) {
+                std::size_t piv = col;
+                for (std::size_t r = col + 1; r < m; ++r) {
+                    if (std::abs(q_mat_[r * m + col]) >
+                        std::abs(q_mat_[piv * m + col]))
+                        piv = r;
+                }
+                if (piv != col) {
+                    for (std::size_t c = col; c < m; ++c)
+                        std::swap(q_mat_[col * m + c],
+                                  q_mat_[piv * m + c]);
+                    std::swap(q_rhs_[col], q_rhs_[piv]);
+                }
+                const double d = q_mat_[col * m + col];
+                for (std::size_t r = col + 1; r < m; ++r) {
+                    const double f = q_mat_[r * m + col] / d;
+                    if (f == 0.0)
+                        continue;
+                    for (std::size_t c = col + 1; c < m; ++c)
+                        q_mat_[r * m + c] -= f * q_mat_[col * m + c];
+                    q_rhs_[r] -= f * q_rhs_[col];
+                }
+            }
+            for (std::size_t r = m; r-- > 0;) {
+                double acc = q_rhs_[r];
+                for (std::size_t c = r + 1; c < m; ++c)
+                    acc -= q_mat_[r * m + c] * q_rhs_[c];
+                q_rhs_[r] = acc / q_mat_[r * m + r];
+            }
+            for (std::size_t i = 0; i < n; ++i) {
+                const std::size_t r = q_dense_index_[i];
+                if (r == static_cast<std::size_t>(-1))
+                    continue;
+                t_out[i] = q_rhs_[r];
+                mf_out[i] = has_pcm_[i] ? mf_in[i] : 0.0;
+            }
+        }
+    }
+
+    // Reject steps that reach a plateau boundary: a sensible PCM node
+    // crossing its melt point, or a plateau node melting/freezing out.
+    // The caller falls back toward plain Heun substeps there.
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!has_pcm_[i])
+            continue;
+        const Celsius melt = pcm_[i].melt_temp;
+        if (q_plateau_[i]) {
+            // Endpoint (implicit) net inflow feeds the melt fraction.
+            double p_net = injected_[i] + g_amb_[i] * (t_amb - melt);
+            const std::size_t end = row_ptr_[i + 1];
+            for (std::size_t k = row_ptr_[i]; k < end; ++k)
+                p_net += g_[k] * (t_out[nbr_[k]] - melt);
+            const double mf_new =
+                mf_in[i] + h * p_net / pcm_[i].latent_heat;
+            if (mf_new <= 0.0 || mf_new >= 1.0)
+                return false;  // plateau exit within the step
+            mf_out[i] = mf_new;
+        } else if (mf_in[i] == 0.0 ? t_out[i] > melt
+                                   : t_out[i] < melt) {
+            return false;  // would enter the plateau
+        }
+    }
+    return true;
+}
+
+void
+ThermalNetwork::advanceQuiescent(Seconds dt, Celsius tol)
+{
+    SPRINT_ASSERT(dt >= 0.0, "negative time step");
+    SPRINT_ASSERT(tol > 0.0, "quiescent tolerance must be positive");
+    if (dt == 0.0 || temp_.empty())
+        return;
+    ensureTopology();
+
+    // Quiescent-only scratch (including the O(n^2) dense solver
+    // matrix) is sized here, not in ensureTopology, so networks that
+    // only ever step() never allocate it.
+    if (t_q1_.size() != temp_.size()) {
+        const std::size_t n = temp_.size();
+        t_q1_.assign(n, 0.0);
+        mf_q1_.assign(n, 0.0);
+        t_q2_.assign(n, 0.0);
+        mf_q2_.assign(n, 0.0);
+        t_q3_.assign(n, 0.0);
+        mf_q3_.assign(n, 0.0);
+        q_plateau_.assign(n, 0);
+        q_dense_index_.assign(n, 0);
+        q_mat_.assign(n * n, 0.0);
+        q_rhs_.assign(n, 0.0);
+    }
+
+    // The configured integrator's plain substep is both the starting
+    // step and the fallback unit near plateau boundaries, so corners
+    // are integrated exactly as step() would integrate them; an
+    // edge-free network has no stability bound and super-steps
+    // immediately.
+    const bool heun = scheme == ThermalIntegrator::Heun;
+    const Seconds h_plain =
+        inv_hmax_ > 0.0
+            ? (heun ? 1.0 / inv_hmax_
+                    : 1.0 / (inv_hmax_ * kHeunOverEuler))
+            : std::numeric_limits<double>::infinity();
+
+    const std::size_t n = temp_.size();
+    Seconds remaining = dt;
+    Seconds h = h_plain;
+    while (remaining > 0.0) {
+        const Seconds step = std::min(h, remaining);
+        if (step <= h_plain * (1.0 + 1e-12)) {
+            // At (or below) the plain substep: integrate with the
+            // configured scheme, exactly as step() would — this is
+            // the plateau-corner workhorse.
+            if (heun)
+                substepHeun(step);
+            else
+                substepEuler(step);
+            remaining -= step;
+            h = 2.0 * step;
+            continue;
+        }
+
+        // Trial: one full step vs two half steps (step doubling).
+        const bool ok =
+            quiescentSubstep(temp_.data(), melt_fraction_.data(),
+                             t_q1_.data(), mf_q1_.data(), step) &&
+            quiescentSubstep(temp_.data(), melt_fraction_.data(),
+                             t_q2_.data(), mf_q2_.data(), 0.5 * step) &&
+            quiescentSubstep(t_q2_.data(), mf_q2_.data(), t_q3_.data(),
+                             mf_q3_.data(), 0.5 * step);
+        if (!ok) {
+            h = 0.5 * step;  // bottoms out at the Heun fallback
+            continue;
+        }
+
+        // Local error estimate: temperature disagreement between the
+        // two resolutions, with melt-fraction disagreement converted
+        // to an equivalent sensible temperature via latent/C. The
+        // budget is tol per accepted step: the quiescent regime decays
+        // toward a fixed point, so local errors contract rather than
+        // accumulate (the parity tests hold the end-to-end deviation
+        // within a few multiples of tol).
+        double err = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            err = std::max(err, std::abs(t_q1_[i] - t_q3_[i]));
+            if (has_pcm_[i])
+                err = std::max(err,
+                               std::abs(mf_q1_[i] - mf_q3_[i]) *
+                                   pcm_[i].latent_heat / cap_[i]);
+        }
+        if (err > tol) {
+            h = std::max(0.5 * step, h_plain);
+            continue;
+        }
+
+        // Accept: Richardson-extrapolate the two resolutions
+        // (2*half - full cancels backward Euler's O(h) term) unless
+        // the extrapolated state strays onto a plateau boundary, in
+        // which case the plain two-half-step result is kept. Grow the
+        // step by the usual proportional rule, capped at doubling so
+        // one lucky step cannot overshoot.
+        bool extrapolate = true;
+        for (std::size_t i = 0; i < n && extrapolate; ++i) {
+            const double te = 2.0 * t_q3_[i] - t_q1_[i];
+            if (!has_pcm_[i])
+                continue;
+            const double mfe = 2.0 * mf_q3_[i] - mf_q1_[i];
+            if (mf_q3_[i] > 0.0 && mf_q3_[i] < 1.0) {
+                if (mfe <= 0.0 || mfe >= 1.0)
+                    extrapolate = false;
+            } else if (mf_q3_[i] == 0.0 ? te > pcm_[i].melt_temp
+                                        : te < pcm_[i].melt_temp) {
+                extrapolate = false;
+            }
+        }
+        if (extrapolate) {
+            for (std::size_t i = 0; i < n; ++i) {
+                t_q3_[i] = 2.0 * t_q3_[i] - t_q1_[i];
+                if (has_pcm_[i] && mf_q3_[i] > 0.0 && mf_q3_[i] < 1.0)
+                    mf_q3_[i] = 2.0 * mf_q3_[i] - mf_q1_[i];
+            }
+        }
+        std::swap(temp_, t_q3_);
+        std::swap(melt_fraction_, mf_q3_);
+        remaining -= step;
+        const double grow =
+            err > 0.0 ? std::min(2.0, 0.9 * std::sqrt(tol / err)) : 2.0;
+        h = std::max(step * std::max(grow, 1.0), h_plain);
+    }
+}
+
+ThermalNetworkState
+ThermalNetwork::saveState() const
+{
+    ThermalNetworkState s;
+    s.temps = temp_;
+    s.melt_fractions = melt_fraction_;
+    s.injected = injected_;
+    return s;
+}
+
+void
+ThermalNetwork::restoreState(const ThermalNetworkState &state)
+{
+    SPRINT_ASSERT(state.temps.size() == temp_.size() &&
+                      state.melt_fractions.size() == temp_.size() &&
+                      state.injected.size() == temp_.size(),
+                  "thermal snapshot does not match network topology");
+    temp_ = state.temps;
+    melt_fraction_ = state.melt_fractions;
+    injected_ = state.injected;
+}
+
 Joules
 ThermalNetwork::storedEnergy() const
 {

@@ -58,6 +58,21 @@ enum class ThermalIntegrator
 };
 
 /**
+ * A value-semantic snapshot of a network's mutable state (node
+ * temperatures, PCM melt fractions, injected powers). Restoring it
+ * into a network with the same topology reproduces the thermal state
+ * bit-for-bit; the cached topology and integrator scratch are derived
+ * data and are rebuilt deterministically. Plain vectors of doubles, so
+ * a snapshot is trivially serializable.
+ */
+struct ThermalNetworkState
+{
+    std::vector<double> temps;
+    std::vector<double> melt_fractions;
+    std::vector<double> injected;
+};
+
+/**
  * An RC thermal network with optional PCM nodes.
  *
  * Usage: add nodes and resistive edges, set per-node injected power,
@@ -107,6 +122,39 @@ class ThermalNetwork
 
     /** Advance the network by @p dt, sub-stepping as needed. */
     void step(Seconds dt);
+
+    /**
+     * Advance the network by @p dt through the quiescent super-stepper:
+     * an adaptive scheme for the constant-power (typically zero-power
+     * idle) regime that starts at the plain Heun substep and grows the
+     * step (up to doubling per acceptance, step-doubling error
+     * control at local tolerance @p tol) while the trajectory stays
+     * far from any PCM melt/freeze plateau boundary. Plateau nodes
+     * are pinned at their melt point with the melt fraction
+     * integrating the net inflow; where the topology permits (every
+     * sensible node's neighbors pinned) each node follows its exact
+     * closed-form exponential decay, and otherwise the coupled
+     * sensible set takes one backward-Euler step per substep
+     * (unconditionally stable, so steps can exceed the explicit
+     * stability bound by orders of magnitude). Near a plateau
+     * boundary the stepper falls back to plain Heun substeps, so
+     * melt/freeze corners are integrated exactly as step() would.
+     *
+     * Injected powers are held constant for the whole span (the caller
+     * must not change them mid-advance — that is what "quiescent"
+     * means). step() and advanceQuiescent() may be freely interleaved.
+     */
+    void advanceQuiescent(Seconds dt, Celsius tol = 0.01);
+
+    /** Snapshot the mutable state (see ThermalNetworkState). */
+    ThermalNetworkState saveState() const;
+
+    /**
+     * Restore a snapshot taken from a network with identical topology
+     * (node count asserted). Derived caches are rebuilt lazily, so a
+     * restored network steps bit-identically to the snapshotted one.
+     */
+    void restoreState(const ThermalNetworkState &state);
 
     /** Temperature of @p node. */
     Celsius temperature(ThermalNodeId node) const;
@@ -179,6 +227,18 @@ class ThermalNetwork
     /** One second-order Heun substep of length @p h. */
     void substepHeun(Seconds h);
 
+    /**
+     * One quiescent trial substep of length @p h from (@p t_in,
+     * @p mf_in) into (@p t_out, @p mf_out): exponential decay toward
+     * the frozen-neighbor fixed point for sensible nodes, direct
+     * latent-inflow integration on a plateau. Returns false when the
+     * step would cross a PCM plateau boundary (melt-point crossing,
+     * full melt, or full refreeze) — the caller must fall back to Heun.
+     */
+    bool quiescentSubstep(const double *t_in, const double *mf_in,
+                          double *t_out, double *mf_out,
+                          Seconds h) const;
+
     Celsius ambient_temp;
     ThermalIntegrator scheme = ThermalIntegrator::Heun;
 
@@ -210,6 +270,18 @@ class ThermalNetwork
     mutable std::vector<double> p2_;      ///< stage-2 net power [W]
     mutable std::vector<double> t_pred_;  ///< predictor temperatures
     mutable std::vector<double> mf_pred_; ///< predictor melt fractions
+    // Quiescent-stepper trial state (one full step vs two half steps)
+    // and backward-Euler solver scratch.
+    mutable std::vector<double> t_q1_;
+    mutable std::vector<double> mf_q1_;
+    mutable std::vector<double> t_q2_;
+    mutable std::vector<double> mf_q2_;
+    mutable std::vector<double> t_q3_;
+    mutable std::vector<double> mf_q3_;
+    mutable std::vector<std::uint8_t> q_plateau_;
+    mutable std::vector<std::size_t> q_dense_index_;
+    mutable std::vector<double> q_mat_;  ///< dense BE system, m*m
+    mutable std::vector<double> q_rhs_;
 };
 
 } // namespace csprint

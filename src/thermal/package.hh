@@ -82,6 +82,27 @@ class MobilePackageModel
     /** Advance time. */
     void step(Seconds dt) { net.step(dt); }
 
+    /**
+     * Advance time through the quiescent super-stepper (idle / rest
+     * gaps where the die power is constant — typically zero). Orders
+     * of magnitude fewer substeps than step() over long gaps; the
+     * endpoint stays within ~@p tol of the step() trajectory (see
+     * ThermalNetwork::advanceQuiescent).
+     */
+    void stepQuiescent(Seconds dt, Celsius tol = 0.01)
+    {
+        net.advanceQuiescent(dt, tol);
+    }
+
+    /** Snapshot the package thermal state (temps, melt, powers). */
+    ThermalNetworkState saveState() const { return net.saveState(); }
+
+    /** Restore a snapshot taken from an identically-built package. */
+    void restoreState(const ThermalNetworkState &state)
+    {
+        net.restoreState(state);
+    }
+
     /** Junction temperature. */
     Celsius junctionTemp() const { return net.temperature(junction_id); }
 

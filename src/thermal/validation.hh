@@ -84,6 +84,74 @@ runMeltFreezeParity(int sprint_steps, int cooldown_steps)
     return out;
 }
 
+/**
+ * The canonical quiescent-idle cooldown scenario: melt the PCM at
+ * @p heat_power, cut the power, and cool through refreeze to ambient
+ * over @p gap in @p samples sampled chunks. One definition shared by
+ * gate 2 of BENCH_scale.json (bench/scenario_scale_report.cc),
+ * BM_IdleCooling (bench/microbench.cc), and the quiescent parity test
+ * (tests/thermal_quiescent_test.cc), so all three measure the same
+ * thing.
+ */
+struct QuiescentCooldownSpec
+{
+    Watts heat_power = 14.0;   ///< melts the scaled 150 mg PCM fully
+    Seconds heat_time = 2e-3;
+    Seconds gap = 1.0;         ///< long idle rest (time-scaled seconds)
+    int samples = 64;          ///< sampled chunks across the gap
+    Celsius tol = 0.01;        ///< quiescent-stepper local tolerance
+};
+
+/** Heat @p pkg per @p spec, then cut the die power for the cooldown. */
+inline void
+meltThenIdle(MobilePackageModel &pkg,
+             const QuiescentCooldownSpec &spec = {})
+{
+    pkg.reset();
+    pkg.setDiePower(spec.heat_power);
+    pkg.step(spec.heat_time);
+    pkg.setDiePower(0.0);
+}
+
+/** Worst per-sample divergence, quiescent path vs exact step(). */
+struct QuiescentCooldownParity
+{
+    double max_temp_dev = 0.0; ///< max |T_exact - T_quiescent| [C]
+    double max_mf_dev = 0.0;   ///< max melt-fraction deviation
+    Celsius final_junction = 0.0; ///< quiescent endpoint
+    double final_melt = 0.0;      ///< quiescent endpoint
+};
+
+/**
+ * Run the canonical cooldown on @p params through both idle paths,
+ * comparing at every sampled chunk boundary.
+ */
+inline QuiescentCooldownParity
+runQuiescentCooldownParity(const MobilePackageParams &params,
+                           const QuiescentCooldownSpec &spec = {})
+{
+    MobilePackageModel exact(params), fast(params);
+    meltThenIdle(exact, spec);
+    meltThenIdle(fast, spec);
+
+    QuiescentCooldownParity out;
+    const Seconds h = spec.gap / spec.samples;
+    for (int i = 0; i < spec.samples; ++i) {
+        exact.step(h);
+        fast.stepQuiescent(h, spec.tol);
+        out.max_temp_dev =
+            std::max(out.max_temp_dev,
+                     std::fabs(exact.junctionTemp() -
+                               fast.junctionTemp()));
+        out.max_mf_dev = std::max(out.max_mf_dev,
+                                  std::fabs(exact.meltFraction() -
+                                            fast.meltFraction()));
+    }
+    out.final_junction = fast.junctionTemp();
+    out.final_melt = fast.meltFraction();
+    return out;
+}
+
 } // namespace csprint
 
 #endif // CSPRINT_THERMAL_VALIDATION_HH

@@ -127,6 +127,123 @@ TEST(TimeSeries, DecimateKeepsEndpoints)
     EXPECT_DOUBLE_EQ(d.timeAt(d.size() - 1), 1000.0);
 }
 
+TEST(TimeSeries, BulkAppendMatchesPerSampleAdds)
+{
+    TimeSeries a, b, chunk;
+    for (int i = 0; i < 10; ++i) {
+        a.add(i, 2.0 * i);
+        b.add(i, 2.0 * i);
+    }
+    for (int i = 10; i < 25; ++i) {
+        chunk.add(i, 2.0 * i);
+        b.add(i, 2.0 * i);
+    }
+    a.reserve(a.size() + chunk.size());
+    a.append(chunk);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.timeAt(i), b.timeAt(i));
+        EXPECT_DOUBLE_EQ(a.valueAt(i), b.valueAt(i));
+    }
+    // Appending an empty series is a no-op.
+    a.append(TimeSeries());
+    EXPECT_EQ(a.size(), b.size());
+    // Appending into an empty series copies it.
+    TimeSeries c;
+    c.append(chunk);
+    EXPECT_EQ(c.size(), chunk.size());
+}
+
+TEST(DecimatingTrace, StoresEverythingUnderCapacity)
+{
+    DecimatingTrace rec(16);
+    for (int i = 0; i < 16; ++i)
+        rec.add(i, 3.0 * i);
+    EXPECT_EQ(rec.series().size(), 16u);
+    EXPECT_EQ(rec.stride(), 1u);
+    EXPECT_EQ(rec.offered(), 16u);
+}
+
+TEST(DecimatingTrace, CompactsToUniformGrid)
+{
+    // 1000 samples through a 16-slot recorder: the retained samples
+    // sit on a power-of-two stride covering the whole stream, always
+    // within capacity.
+    DecimatingTrace rec(16);
+    for (int i = 0; i < 1000; ++i)
+        rec.add(i, 1.0 * i);
+    const TimeSeries &ts = rec.series();
+    EXPECT_LE(ts.size(), 16u);
+    EXPECT_GE(ts.size(), 8u);  // never compacts below half
+    const std::size_t stride = rec.stride();
+    EXPECT_EQ(stride & (stride - 1), 0u);  // power of two
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+        EXPECT_DOUBLE_EQ(ts.timeAt(i),
+                         static_cast<double>(i * stride));
+        EXPECT_DOUBLE_EQ(ts.valueAt(i),
+                         static_cast<double>(i * stride));
+    }
+    // First sample always survives every compaction.
+    EXPECT_DOUBLE_EQ(ts.timeAt(0), 0.0);
+}
+
+TEST(DecimatingTrace, TakeResetsTheRecorder)
+{
+    DecimatingTrace rec(8);
+    for (int i = 0; i < 100; ++i)
+        rec.add(i, i);
+    const TimeSeries first = rec.take();
+    EXPECT_GT(first.size(), 0u);
+    EXPECT_EQ(rec.series().size(), 0u);
+    EXPECT_EQ(rec.offered(), 0u);
+    rec.add(0.0, 42.0);
+    EXPECT_EQ(rec.series().size(), 1u);
+    EXPECT_DOUBLE_EQ(rec.series().valueAt(0), 42.0);
+}
+
+TEST(P2Quantile, ExactForFirstFiveSamples)
+{
+    P2Quantile q(0.5);
+    q.add(5.0);
+    EXPECT_DOUBLE_EQ(q.value(), 5.0);
+    q.add(1.0);
+    q.add(9.0);
+    // Nearest-rank median of {1, 5, 9}.
+    EXPECT_DOUBLE_EQ(q.value(), 5.0);
+    q.add(3.0);
+    q.add(7.0);
+    EXPECT_DOUBLE_EQ(q.value(), 5.0);
+    EXPECT_EQ(q.count(), 5u);
+}
+
+TEST(P2Quantile, TracksUniformStreamMedianAndTail)
+{
+    // A deterministic shuffled uniform stream: the P² estimates must
+    // land close to the true quantiles.
+    Rng rng(7);
+    P2Quantile p50(0.5), p95(0.95);
+    for (int i = 0; i < 20000; ++i) {
+        const double x = rng.uniform();
+        p50.add(x);
+        p95.add(x);
+    }
+    EXPECT_NEAR(p50.value(), 0.5, 0.02);
+    EXPECT_NEAR(p95.value(), 0.95, 0.02);
+}
+
+TEST(P2Quantile, MonotoneRampStaysOrdered)
+{
+    // The back-to-back response pattern: linearly growing samples.
+    P2Quantile p50(0.5), p95(0.95);
+    for (int i = 1; i <= 1000; ++i) {
+        p50.add(static_cast<double>(i));
+        p95.add(static_cast<double>(i));
+    }
+    EXPECT_NEAR(p50.value(), 500.0, 25.0);
+    EXPECT_NEAR(p95.value(), 950.0, 25.0);
+    EXPECT_LT(p50.value(), p95.value());
+}
+
 TEST(Table, AlignsAndCounts)
 {
     Table t("demo");

@@ -299,6 +299,252 @@ TEST(ScenarioProperty, DutyCycleBoundsSaturatingBurstTrain)
                   0.10 * pkg.sprintEnergyBudget());
 }
 
+TEST(Arrivals, PoissonGapsArePinned)
+{
+    // Determinism anchor for the log1p-based exponential gaps (seed
+    // 42, mean 2.5e-3): pins the exact first arrivals so an RNG or
+    // formula change cannot slip in silently.
+    ScenarioConfig cfg =
+        smallScenario(SprintPolicyKind::GreedyActivity,
+                      ArrivalPattern::Poisson, 5);
+    const auto tasks = buildArrivals(cfg);
+    ASSERT_EQ(tasks.size(), 5u);
+    EXPECT_DOUBLE_EQ(tasks[0].arrival, 0.0);
+    EXPECT_DOUBLE_EQ(tasks[1].arrival, 0.00021897332645854392);
+    EXPECT_DOUBLE_EQ(tasks[2].arrival, 0.001409954314155475);
+    EXPECT_DOUBLE_EQ(tasks[3].arrival, 0.0042588791937901689);
+    EXPECT_DOUBLE_EQ(tasks[4].arrival, 0.010724332846257276);
+}
+
+TEST(Arrivals, CursorMatchesMaterializedTimeline)
+{
+    for (ArrivalPattern pattern : allArrivalPatterns()) {
+        ScenarioConfig cfg =
+            smallScenario(SprintPolicyKind::GreedyActivity, pattern,
+                          40);
+        cfg.burst_size = 3;
+        cfg.burst_spacing = 1e-4;
+        const auto all = buildArrivals(cfg);
+        ArrivalCursor cursor(cfg);
+        for (std::size_t i = 0; i < all.size(); ++i) {
+            const ScenarioTask task = nextArrival(cfg, cursor);
+            ASSERT_DOUBLE_EQ(task.arrival, all[i].arrival);
+            ASSERT_EQ(task.seed, all[i].seed);
+        }
+    }
+}
+
+TEST(MeltCycles, EmptySeriesHasNoCycles)
+{
+    EXPECT_EQ(countMeltRefreezeCycles(TimeSeries()), 0);
+}
+
+TEST(MeltCycles, SeriesStartingMolten)
+{
+    // A series that opens above the rise threshold arms the counter
+    // on its first sample; the first refreeze completes a cycle.
+    TimeSeries melt;
+    melt.add(0.0, 1.0);
+    melt.add(1.0, 0.5);
+    melt.add(2.0, 0.01);
+    EXPECT_EQ(countMeltRefreezeCycles(melt), 1);
+
+    // Starting molten and never refreezing is zero cycles.
+    TimeSeries stuck;
+    stuck.add(0.0, 1.0);
+    stuck.add(1.0, 0.9);
+    EXPECT_EQ(countMeltRefreezeCycles(stuck), 0);
+
+    // Starting exactly at the fall threshold while armed refreezes
+    // immediately on the next below-threshold sample.
+    TimeSeries edge;
+    edge.add(0.0, 0.25);
+    edge.add(1.0, 0.05);
+    EXPECT_EQ(countMeltRefreezeCycles(edge), 1);
+}
+
+TEST(Scenario, TraceModesPreserveAggregates)
+{
+    // The bounded-memory modes must reproduce every scalar aggregate
+    // of the full-trace run exactly (same physics, same per-task
+    // runs); only the trace storage differs.
+    ScenarioConfig full =
+        smallScenario(SprintPolicyKind::GreedyActivity,
+                      ArrivalPattern::Bursty, 6);
+    full.tail_rest = 1e-3;
+    ScenarioConfig ring = full;
+    ring.trace_mode = TraceMode::DecimatedRing;
+    ring.trace_capacity = 64;
+    ScenarioConfig off = full;
+    off.trace_mode = TraceMode::Off;
+
+    const ScenarioResult rf = runScenario(full);
+    const ScenarioResult rr = runScenario(ring);
+    const ScenarioResult ro = runScenario(off);
+
+    for (const ScenarioResult *r : {&rr, &ro}) {
+        EXPECT_EQ(r->tasks_completed, rf.tasks_completed);
+        EXPECT_EQ(r->sprints_granted, rf.sprints_granted);
+        EXPECT_EQ(r->sprint_rest_cycles, rf.sprint_rest_cycles);
+        EXPECT_DOUBLE_EQ(r->makespan, rf.makespan);
+        EXPECT_DOUBLE_EQ(r->total_energy, rf.total_energy);
+        EXPECT_DOUBLE_EQ(r->peak_junction, rf.peak_junction);
+        EXPECT_DOUBLE_EQ(r->peak_melt_fraction, rf.peak_melt_fraction);
+        EXPECT_DOUBLE_EQ(r->p50_response, rf.p50_response);
+        EXPECT_DOUBLE_EQ(r->p95_response, rf.p95_response);
+    }
+    EXPECT_LE(rr.junction_trace.size(), 64u);
+    EXPECT_GT(rr.junction_trace.size(), 0u);
+    EXPECT_TRUE(ro.junction_trace.empty());
+    // The ring keeps a uniformly decimated subsequence of the full
+    // trace: every retained sample appears in the full trace.
+    for (std::size_t i = 0, j = 0; i < rr.junction_trace.size(); ++i) {
+        while (j < rf.junction_trace.size() &&
+               (rf.junction_trace.timeAt(j) !=
+                    rr.junction_trace.timeAt(i) ||
+                rf.junction_trace.valueAt(j) !=
+                    rr.junction_trace.valueAt(i)))
+            ++j;
+        ASSERT_LT(j, rf.junction_trace.size())
+            << "ring sample " << i << " not found in full trace";
+    }
+}
+
+TEST(Scenario, StreamingResultDropsTasksButKeepsStats)
+{
+    ScenarioConfig cfg =
+        smallScenario(SprintPolicyKind::GreedyActivity,
+                      ArrivalPattern::BackToBack, 8);
+    ScenarioConfig streaming = cfg;
+    streaming.keep_task_results = false;
+    streaming.trace_mode = TraceMode::Off;
+    const ScenarioResult rk = runScenario(cfg);
+    const ScenarioResult rs = runScenario(streaming);
+    EXPECT_TRUE(rs.tasks.empty());
+    EXPECT_EQ(rs.tasks_completed, 8u);
+    EXPECT_DOUBLE_EQ(rs.makespan, rk.makespan);
+    EXPECT_DOUBLE_EQ(rs.total_energy, rk.total_energy);
+    // P² is exact through five samples and a tight estimate beyond;
+    // on eight samples both quantiles must land within the sample
+    // range and near the exact values.
+    EXPECT_GT(rs.p50_response, 0.0);
+    EXPECT_NEAR(rs.p50_response, rk.p50_response,
+                0.25 * rk.p50_response + 1e-12);
+    EXPECT_GE(rs.p95_response, rs.p50_response);
+}
+
+TEST(Scenario, ShardedRunMatchesUnshardedBitForBit)
+{
+    // The checkpoint acceptance gate in miniature (the scale bench
+    // checks a bigger configuration): replaying the timeline in
+    // shards of 1, 2, and 4 tasks must reproduce the unsharded run
+    // exactly — every aggregate, every per-task machine stat, every
+    // trace sample — including across warm-cache chains.
+    ScenarioConfig cfg =
+        smallScenario(SprintPolicyKind::AdaptiveHeadroom,
+                      ArrivalPattern::Bursty, 6);
+    cfg.policy.resume_fraction = 0.8;
+    cfg.warm_caches = true;
+    cfg.tail_rest = 1e-3;
+    const ScenarioResult u = runScenario(cfg);
+    for (std::uint64_t shard : {1u, 2u, 4u}) {
+        const ScenarioResult s = runScenarioSharded(cfg, shard);
+        ASSERT_EQ(s.tasks.size(), u.tasks.size());
+        EXPECT_DOUBLE_EQ(s.makespan, u.makespan);
+        EXPECT_DOUBLE_EQ(s.total_energy, u.total_energy);
+        EXPECT_DOUBLE_EQ(s.peak_junction, u.peak_junction);
+        EXPECT_DOUBLE_EQ(s.p50_response, u.p50_response);
+        EXPECT_DOUBLE_EQ(s.p95_response, u.p95_response);
+        EXPECT_EQ(s.sprint_rest_cycles, u.sprint_rest_cycles);
+        EXPECT_EQ(s.sprints_granted, u.sprints_granted);
+        EXPECT_EQ(s.sprints_denied, u.sprints_denied);
+        for (std::size_t i = 0; i < u.tasks.size(); ++i) {
+            ASSERT_EQ(s.tasks[i].run.machine.cycles,
+                      u.tasks[i].run.machine.cycles);
+            ASSERT_EQ(s.tasks[i].run.machine.l1_misses,
+                      u.tasks[i].run.machine.l1_misses);
+            ASSERT_EQ(s.tasks[i].run.dynamic_energy,
+                      u.tasks[i].run.dynamic_energy);
+            ASSERT_DOUBLE_EQ(s.tasks[i].response,
+                             u.tasks[i].response);
+        }
+        ASSERT_EQ(s.junction_trace.size(), u.junction_trace.size());
+        for (std::size_t i = 0; i < u.junction_trace.size(); ++i) {
+            ASSERT_EQ(s.junction_trace.timeAt(i),
+                      u.junction_trace.timeAt(i));
+            ASSERT_EQ(s.junction_trace.valueAt(i),
+                      u.junction_trace.valueAt(i));
+        }
+    }
+}
+
+TEST(Scenario, CheckpointResumesMidTimeline)
+{
+    // Driving the checkpoint API by hand: advance 2 of 5 tasks, then
+    // finish from the checkpoint; the result equals one-shot.
+    ScenarioConfig cfg =
+        smallScenario(SprintPolicyKind::GreedyActivity,
+                      ArrivalPattern::Periodic, 5);
+    const ScenarioResult whole = runScenario(cfg);
+
+    ScenarioCheckpoint ck = beginScenario(cfg);
+    EXPECT_FALSE(advanceScenario(cfg, ck, 2));
+    EXPECT_EQ(ck.tasks_completed, 2u);
+    EXPECT_TRUE(advanceScenario(cfg, ck, 1000));
+    const ScenarioResult resumed = finishScenario(cfg, std::move(ck));
+    EXPECT_DOUBLE_EQ(resumed.makespan, whole.makespan);
+    EXPECT_DOUBLE_EQ(resumed.total_energy, whole.total_energy);
+    ASSERT_EQ(resumed.junction_trace.size(),
+              whole.junction_trace.size());
+}
+
+TEST(Scenario, QuiescentIdleStaysNearExactIdle)
+{
+    // The fast idle model changes only the idle integration; the
+    // junction trace stays within the documented tolerance band of
+    // the exact path on a gap-dominated timeline, and the task
+    // outcomes (grants, counts) are unchanged.
+    ScenarioConfig exact =
+        smallScenario(SprintPolicyKind::GreedyActivity,
+                      ArrivalPattern::Periodic, 4);
+    exact.period = 20e-3;  // long gaps: the PCM refreezes in between
+    exact.tail_rest = 10e-3;
+    ScenarioConfig fast = exact;
+    fast.idle_model = IdleModel::Quiescent;
+    const ScenarioResult re = runScenario(exact);
+    const ScenarioResult rf = runScenario(fast);
+    EXPECT_EQ(rf.tasks_completed, re.tasks_completed);
+    EXPECT_EQ(rf.sprints_granted, re.sprints_granted);
+    EXPECT_EQ(rf.sprint_rest_cycles, re.sprint_rest_cycles);
+    ASSERT_EQ(rf.junction_trace.size(), re.junction_trace.size());
+    double max_dev = 0.0;
+    for (std::size_t i = 0; i < re.junction_trace.size(); ++i)
+        max_dev = std::max(max_dev,
+                           std::abs(re.junction_trace.valueAt(i) -
+                                    rf.junction_trace.valueAt(i)));
+    EXPECT_LT(max_dev, 0.05);
+}
+
+TEST(Scenario, ProgramFactoryOverridesKernelPrograms)
+{
+    // A custom per-task program flows through dispatch untouched;
+    // task metadata still comes from the timeline.
+    int calls = 0;
+    ScenarioConfig cfg =
+        smallScenario(SprintPolicyKind::NeverSprint,
+                      ArrivalPattern::BackToBack, 3);
+    cfg.program_factory = [&calls](const ScenarioTask &task) {
+        ++calls;
+        return buildKernelProgram(KernelId::Kmeans, InputSize::A,
+                                  task.seed);
+    };
+    const ScenarioResult r = runScenario(cfg);
+    EXPECT_EQ(calls, 3);
+    ASSERT_EQ(r.tasks.size(), 3u);
+    for (const auto &tr : r.tasks)
+        EXPECT_EQ(tr.run.program_name, "kmeans");
+}
+
 TEST(ScenarioProperty, PacedPolicyHoldsDutyTighterThanGreedy)
 {
     // The duty-cycle policy exists to keep the long-run duty near the
