@@ -261,4 +261,39 @@ BM_ScenarioSharded(benchmark::State &state)
 BENCHMARK(BM_ScenarioSharded)->Arg(0)->Arg(1)->Arg(3)->Unit(
     benchmark::kMillisecond);
 
+/**
+ * Machine suspend/resume round-trips: one coupled sobel-A task pumped
+ * with a forced suspension every N samples (0 = uninterrupted) —
+ * measures the per-preemption cost of exiting and re-entering the
+ * event loop (hook re-install, sample re-arm, loop warm-up).
+ */
+void
+BM_PreemptResume(benchmark::State &state)
+{
+    const int every = static_cast<int>(state.range(0));
+    const SprintConfig cfg = SprintConfig::parallelSprint(16, 0.15);
+    const ParallelProgram prog =
+        buildKernelProgram(KernelId::Sobel, InputSize::A, 42);
+    for (auto _ : state) {
+        std::unique_ptr<Machine> machine = prepareMachine(prog, cfg);
+        MobilePackageModel package(cfg.package);
+        package.reset();
+        package.step(cfg.activation_ramp);
+        GreedyActivityPolicy policy(cfg.governor);
+        policy.beginTask(package);
+        int samples = 0;
+        const PumpObserver suspender =
+            every == 0 ? PumpObserver()
+                       : PumpObserver([&](Seconds, Celsius, Watts,
+                                          double) {
+                             return ++samples % every == 0;
+                         });
+        const RunResult r = samplePumpObserved(*machine, cfg, package,
+                                               policy, suspender);
+        benchmark::DoNotOptimize(r.task_time);
+    }
+}
+BENCHMARK(BM_PreemptResume)->Arg(0)->Arg(8)->Arg(1)->Unit(
+    benchmark::kMillisecond);
+
 } // namespace

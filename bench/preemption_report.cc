@@ -1,0 +1,387 @@
+/**
+ * @file
+ * Machine-readable report for the preemption subsystem, written to
+ * BENCH_preempt.json (schema documented in PERF.md, "Preemption &
+ * differential testing").
+ *
+ * Three gates the tool enforces itself (non-zero exit on failure),
+ * then a sweep:
+ *
+ *  1. suspend_resume_parity — a fig07-style coupled task driven
+ *     through pumpTaskSlice with forced suspensions every k samples
+ *     must reproduce the uninterrupted samplePump run *bit-for-bit*:
+ *     every machine stat, every scalar, every trace sample.
+ *
+ *  2. no_preempt_parity — the preemptive engine with a policy that
+ *     never fires (QoS with no deadlines) must be bit-identical to
+ *     the classic queueing engine (greedy) on the same mixed-size
+ *     bursty timeline: mid-task arrival delivery alone must not
+ *     perturb the physics.
+ *
+ *  3. p95_gate — on the deadline-heavy bursty train (bursts led by a
+ *     heavy low-priority job trailed by short high-priority tasks
+ *     with tight deadlines), the QoS and model-predictive policies
+ *     must strictly beat the no-preempt baseline's p95 response and
+ *     actually preempt.
+ *
+ *   ./preemption_report [--out BENCH_preempt.json] [--tasks N]
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/args.hh"
+#include "common/logging.hh"
+#include "sprint/experiment.hh"
+#include "sprint/scenario.hh"
+#include "workloads/workload.hh"
+
+using namespace csprint;
+
+namespace {
+
+/** Exact (bit-for-bit) equality of two coupled-run results. */
+bool
+exactSameRun(const RunResult &a, const RunResult &b, std::string &why)
+{
+    auto fail = [&why](const char *what) {
+        why = what;
+        return false;
+    };
+    if (a.machine.cycles != b.machine.cycles)
+        return fail("machine.cycles");
+    if (a.machine.ops_retired != b.machine.ops_retired)
+        return fail("machine.ops_retired");
+    if (a.machine.ops_by_kind != b.machine.ops_by_kind)
+        return fail("machine.ops_by_kind");
+    if (a.machine.idle_cycles != b.machine.idle_cycles)
+        return fail("machine.idle_cycles");
+    if (a.machine.l1_hits != b.machine.l1_hits)
+        return fail("machine.l1_hits");
+    if (a.machine.l1_misses != b.machine.l1_misses)
+        return fail("machine.l1_misses");
+    if (a.machine.dynamic_energy != b.machine.dynamic_energy)
+        return fail("machine.dynamic_energy");
+    if (a.task_time != b.task_time)
+        return fail("task_time");
+    if (a.dynamic_energy != b.dynamic_energy)
+        return fail("dynamic_energy");
+    if (a.peak_junction != b.peak_junction)
+        return fail("peak_junction");
+    if (a.final_melt_fraction != b.final_melt_fraction)
+        return fail("final_melt_fraction");
+    if (a.sprint_duration != b.sprint_duration)
+        return fail("sprint_duration");
+    if (a.sprint_energy != b.sprint_energy)
+        return fail("sprint_energy");
+    if (a.cooldown_estimate != b.cooldown_estimate)
+        return fail("cooldown_estimate");
+    const TimeSeries *ta[] = {&a.junction_trace, &a.power_trace,
+                              &a.melt_trace};
+    const TimeSeries *tb[] = {&b.junction_trace, &b.power_trace,
+                              &b.melt_trace};
+    const char *names[] = {"junction_trace", "power_trace",
+                           "melt_trace"};
+    for (int k = 0; k < 3; ++k) {
+        if (ta[k]->size() != tb[k]->size())
+            return fail(names[k]);
+        for (std::size_t i = 0; i < ta[k]->size(); ++i) {
+            if (ta[k]->timeAt(i) != tb[k]->timeAt(i) ||
+                ta[k]->valueAt(i) != tb[k]->valueAt(i))
+                return fail(names[k]);
+        }
+    }
+    return true;
+}
+
+/** One pump run, optionally suspended/resumed every k samples. */
+RunResult
+pumpOnce(int suspend_every)
+{
+    const SprintConfig cfg = SprintConfig::parallelSprint(16, kFullPcm);
+    const ParallelProgram prog =
+        buildKernelProgram(KernelId::Sobel, InputSize::B, 42);
+    std::unique_ptr<Machine> machine = prepareMachine(prog, cfg);
+    MobilePackageModel package(cfg.package);
+    package.reset();
+    package.step(cfg.activation_ramp);
+    GreedyActivityPolicy policy(cfg.governor);
+    policy.beginTask(package);
+    if (suspend_every <= 0)
+        return samplePump(*machine, cfg, package, policy);
+    int samples = 0;
+    return samplePumpObserved(*machine, cfg, package, policy,
+                              [&](Seconds, Celsius, Watts, double) {
+                                  return ++samples % suspend_every ==
+                                         0;
+                              });
+}
+
+/**
+ * The deadline-heavy train: each burst opens with one heavy
+ * low-priority job; short high-priority tasks trail it inside the
+ * burst and arrive while it runs.
+ */
+ScenarioConfig
+deadlineTrain(SprintPolicyKind kind, ArrivalPattern pattern, int tasks,
+              Seconds deadline)
+{
+    ScenarioConfig cfg;
+    cfg.platform = SprintConfig::parallelSprint(16, kFullPcm);
+    cfg.policy.kind = kind;
+    cfg.policy.qos_slack = 1.5;
+    cfg.policy.service_prior = 5e-4;
+    cfg.pattern = pattern;
+    cfg.num_tasks = tasks;
+    cfg.kernel = KernelId::Sobel;
+    cfg.seed = 42;
+    if (pattern == ArrivalPattern::Bursty) {
+        cfg.burst_size = 10;
+        cfg.period = 4e-3;
+        cfg.burst_spacing = 5e-5;
+        // Two heavy jobs across the train (5% of 40 tasks): bursts 0
+        // and 2 open with one. Everything else is a short
+        // high-priority task with the sweep's deadline.
+        cfg.task_tuner = [seed = cfg.seed, deadline](ScenarioTask &t) {
+            const std::uint64_t index = t.seed - seed;
+            if (index % 20 == 0) {
+                t.priority = 0;
+                t.size = InputSize::C;
+                t.deadline = 0.0;
+            } else {
+                t.priority = 1;
+                t.size = InputSize::A;
+                t.deadline = deadline;
+            }
+        };
+    } else {
+        // Poisson: classes drawn by the per-task hash; heavies are
+        // the low-priority minority.
+        cfg.period = 3e-4;
+        cfg.hi_priority_fraction = 0.8;
+        cfg.deadline_hi = deadline;
+        cfg.task_tuner = [](ScenarioTask &t) {
+            t.size = t.priority > 0 ? InputSize::A : InputSize::C;
+        };
+    }
+    return cfg;
+}
+
+void
+emitRow(std::ostream &out, const char *policy, const char *pattern,
+        const char *tightness, const ScenarioResult &s, bool last)
+{
+    out << "    {\"policy\": \"" << policy << "\", \"pattern\": \""
+        << pattern << "\", \"deadlines\": \"" << tightness << "\",\n"
+        << "     \"tasks\": " << s.tasks_completed
+        << ", \"preemptions\": " << s.preemptions
+        << ", \"dropped\": " << s.tasks_dropped
+        << ", \"deadlines_met\": " << s.deadlines_met
+        << ", \"deadlines_missed\": " << s.deadlines_missed << ",\n"
+        << "     \"p50_response_s\": " << s.p50_response
+        << ", \"p95_response_s\": " << s.p95_response
+        << ", \"makespan_s\": " << s.makespan
+        << ", \"utilization\": " << s.utilization << ",\n"
+        << "     \"sprints_granted\": " << s.sprints_granted
+        << ", \"sprints_exhausted\": " << s.sprints_exhausted
+        << ", \"hardware_throttles\": " << s.hardware_throttles
+        << ", \"peak_junction_c\": " << s.peak_junction
+        << ", \"total_energy_j\": " << s.total_energy << "}"
+        << (last ? "" : ",") << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args(argc, argv, {"out", "tasks"});
+    const std::string out_path = args.get("out", "BENCH_preempt.json");
+    const int tasks = static_cast<int>(args.getDouble("tasks", 40));
+
+    // --- Gate 1: suspend/resume is bit-identical to uninterrupted.
+    const RunResult whole = pumpOnce(0);
+    bool parity_ok = true;
+    std::string parity_why;
+    for (int every : {5, 16, 63}) {
+        const RunResult sliced = pumpOnce(every);
+        std::string why;
+        if (!exactSameRun(sliced, whole, why)) {
+            parity_ok = false;
+            parity_why = "suspend every " + std::to_string(every) +
+                         " samples: " + why;
+            std::cerr << "suspend/resume MISMATCH: " << parity_why
+                      << "\n";
+        }
+    }
+    std::cout << "suspend/resume parity: "
+              << (parity_ok ? "exact" : "MISMATCH") << "\n";
+
+    // --- Gate 2: mid-task delivery with no preemption fired changes
+    // nothing: QoS on a uniform-priority, deadline-free version of
+    // the train (its onArrival always queues, its pickNext degrades
+    // to FIFO) == the classic greedy engine on the same timeline.
+    ScenarioConfig quiet = deadlineTrain(
+        SprintPolicyKind::Qos, ArrivalPattern::Bursty, tasks, 0.0);
+    quiet.task_tuner = [seed = quiet.seed](ScenarioTask &t) {
+        // Same size mix as the train, but one priority class and no
+        // deadlines, so the QoS policy never reorders or preempts.
+        t.size = (t.seed - seed) % 20 == 0 ? InputSize::C
+                                           : InputSize::A;
+    };
+    ScenarioConfig classic = quiet;
+    classic.policy.kind = SprintPolicyKind::GreedyActivity;
+    const ScenarioResult rq = runScenario(quiet);
+    const ScenarioResult rc = runScenario(classic);
+    bool engine_ok = rq.preemptions == 0 &&
+                     rq.makespan == rc.makespan &&
+                     rq.total_energy == rc.total_energy &&
+                     rq.peak_junction == rc.peak_junction &&
+                     rq.p95_response == rc.p95_response &&
+                     rq.junction_trace.size() == rc.junction_trace.size();
+    for (std::size_t i = 0;
+         engine_ok && i < rq.junction_trace.size(); ++i) {
+        engine_ok = rq.junction_trace.timeAt(i) ==
+                        rc.junction_trace.timeAt(i) &&
+                    rq.junction_trace.valueAt(i) ==
+                        rc.junction_trace.valueAt(i);
+    }
+    std::cout << "no-preempt engine parity: "
+              << (engine_ok ? "exact" : "MISMATCH") << "\n";
+
+    // --- Sweep: policy x pattern x deadline tightness.
+    const Seconds tight = 4e-4;
+    const Seconds loose = 4e-3;
+    struct Row
+    {
+        SprintPolicyKind kind;
+        const char *policy;
+        ArrivalPattern pattern;
+        const char *pattern_name;
+        Seconds deadline;
+        const char *tightness;
+        ScenarioResult result;
+    };
+    const std::pair<SprintPolicyKind, const char *> policies[] = {
+        {SprintPolicyKind::GreedyActivity, "no-preempt"},
+        {SprintPolicyKind::Qos, "qos"},
+        {SprintPolicyKind::ModelPredictive, "model-predictive"},
+    };
+    const std::pair<ArrivalPattern, const char *> patterns[] = {
+        {ArrivalPattern::Bursty, "bursty"},
+        {ArrivalPattern::Poisson, "poisson"},
+    };
+    const std::pair<Seconds, const char *> tightnesses[] = {
+        {tight, "tight"},
+        {loose, "loose"},
+    };
+    std::vector<Row> rows;
+    for (const auto &[kind, pname] : policies) {
+        for (const auto &[pattern, patname] : patterns) {
+            for (const auto &[deadline, tname] : tightnesses) {
+                Row row{kind,     pname, pattern, patname,
+                        deadline, tname, {}};
+                row.result = runScenario(
+                    deadlineTrain(kind, pattern, tasks, deadline));
+                rows.push_back(std::move(row));
+            }
+        }
+    }
+
+    auto find = [&rows](const char *policy, const char *pattern,
+                        const char *tightness) -> const ScenarioResult & {
+        for (const Row &row : rows) {
+            if (std::string(row.policy) == policy &&
+                std::string(row.pattern_name) == pattern &&
+                std::string(row.tightness) == tightness)
+                return row.result;
+        }
+        SPRINT_PANIC("sweep row missing");
+    };
+
+    // --- Gate 3: preemption strictly improves p95 on the
+    // deadline-heavy bursty train.
+    const ScenarioResult &base = find("no-preempt", "bursty", "tight");
+    const ScenarioResult &qos = find("qos", "bursty", "tight");
+    const ScenarioResult &mpc =
+        find("model-predictive", "bursty", "tight");
+    const bool p95_ok = qos.p95_response < base.p95_response &&
+                        mpc.p95_response < base.p95_response &&
+                        qos.preemptions > 0 && mpc.preemptions > 0;
+    std::cout << "p95 (bursty, tight): no-preempt " << base.p95_response
+              << " s, qos " << qos.p95_response << " s ("
+              << qos.preemptions << " preemptions), model-predictive "
+              << mpc.p95_response << " s (" << mpc.preemptions
+              << " preemptions): "
+              << (p95_ok ? "improved" : "NOT IMPROVED") << "\n";
+    std::cout << "deadlines met (of " << base.deadlines_met +
+                     base.deadlines_missed
+              << "): no-preempt " << base.deadlines_met << ", qos "
+              << qos.deadlines_met << ", model-predictive "
+              << mpc.deadlines_met << "\n";
+
+    std::ofstream out(out_path);
+    if (!out) {
+        std::cerr << "FAIL: cannot open " << out_path
+                  << " for writing\n";
+        return 1;
+    }
+    out.precision(6);
+    out << "{\n"
+        << "  \"schema\": \"csprint-preempt-bench-v1\",\n"
+        << "  \"units\": {\"time\": \"time-scaled seconds (scale 7e-4, "
+           "see EXPERIMENTS.md)\"},\n"
+        << "  \"suspend_resume_parity\": {\n"
+        << "    \"runs\": \"fig07-style sobel-B 16-core coupled task; "
+           "forced suspend/resume every 5/16/63 samples vs "
+           "uninterrupted\",\n"
+        << "    \"exact\": " << (parity_ok ? "true" : "false");
+    if (!parity_ok)
+        out << ",\n    \"first_mismatch\": \"" << parity_why << "\"";
+    out << "\n  },\n"
+        << "  \"no_preempt_engine_parity\": {\n"
+        << "    \"runs\": \"qos with no deadlines (mid-task delivery, "
+           "zero preemptions) vs classic greedy engine on the bursty "
+           "train\",\n"
+        << "    \"exact\": " << (engine_ok ? "true" : "false")
+        << "\n  },\n"
+        << "  \"p95_gate\": {\n"
+        << "    \"config\": \"bursty deadline-heavy train, " << tasks
+        << " tasks, bursts of 10 led by a heavy low-priority job, "
+           "tight deadlines\",\n"
+        << "    \"no_preempt_p95_s\": " << base.p95_response << ",\n"
+        << "    \"qos_p95_s\": " << qos.p95_response << ",\n"
+        << "    \"model_predictive_p95_s\": " << mpc.p95_response
+        << ",\n"
+        << "    \"improved\": " << (p95_ok ? "true" : "false")
+        << "\n  },\n"
+        << "  \"sweep\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        emitRow(out, rows[i].policy, rows[i].pattern_name,
+                rows[i].tightness, rows[i].result,
+                i + 1 == rows.size());
+    }
+    out << "  ]\n"
+        << "}\n";
+    std::cout << "sweep: " << rows.size() << " scenarios; wrote "
+              << out_path << "\n";
+
+    if (!parity_ok) {
+        std::cerr << "FAIL: suspend/resume diverged from the "
+                     "uninterrupted run\n";
+        return 1;
+    }
+    if (!engine_ok) {
+        std::cerr << "FAIL: preemptive engine diverged from the "
+                     "classic engine with no preemptions fired\n";
+        return 1;
+    }
+    if (!p95_ok) {
+        std::cerr << "FAIL: preemption did not improve p95 response "
+                     "on the deadline-heavy bursty train\n";
+        return 1;
+    }
+    return 0;
+}

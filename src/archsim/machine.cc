@@ -692,13 +692,26 @@ Machine::fireSampleHook()
 void
 Machine::run()
 {
+    suspend_pending = false;
+    was_suspended = false;
     next_sample_at =
         hook ? (cycle / sample_quantum + 1) * sample_quantum : kNever;
     if (cfg.loop == MachineLoop::Reference)
         runReference();
     else
         runEventLoop();
+    // A suspend() that raced the final sample is moot: the program is
+    // done and there is nothing to resume.
+    was_suspended = suspend_pending && !finished();
+    suspend_pending = false;
     finishRun();
+}
+
+void
+Machine::resume()
+{
+    SPRINT_ASSERT(was_suspended, "resume() without a prior suspend()");
+    run();
 }
 
 void
@@ -718,7 +731,7 @@ void
 Machine::runReference()
 {
     constexpr Cycles kMaxCycles = 200ULL * 1000 * 1000 * 1000;
-    while (!finished() && !aborted) {
+    while (!finished() && !aborted && !suspend_pending) {
         for (auto &core : cores) {
             if (core.active && cycle >= core.busy_until)
                 tickCore(core, cycle);
@@ -785,7 +798,7 @@ Machine::runEventLoop()
 {
     constexpr Cycles kMaxCycles = 200ULL * 1000 * 1000 * 1000;
     const std::size_t ncores = cores.size();
-    while (!finished() && !aborted) {
+    while (!finished() && !aborted && !suspend_pending) {
         // Find the earliest cycle at which anything non-local can
         // happen: a core's first op that is not a verified one-cycle
         // local op (L2-reaching access, lock, PAUSE, refill), a

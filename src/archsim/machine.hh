@@ -114,8 +114,34 @@ class Machine
     /** Install the per-quantum observer. */
     void setSampleHook(SampleHook hook, Cycles quantum = 1000);
 
-    /** Run until the program completes (or abort() is called). */
+    /** Run until the program completes (or abort()/suspend() fires). */
     void run();
+
+    /**
+     * Preemption (Scenario engine): request, from inside the sample
+     * hook, that run() return at the current sample boundary instead
+     * of continuing. The machine object itself is the checkpoint —
+     * per-core progress, op-stream cursors, and L1/L2/directory
+     * contents stay live — and at a sample boundary every deferred
+     * stride run is committed and every energy tally priced, so
+     * resume() continues bit-identically to an uninterrupted run.
+     * A suspended machine is also a valid warmStartFrom() source (an
+     * aborted task's caches can seed its re-run).
+     */
+    void suspend() { suspend_pending = true; }
+
+    /** True when the last run() returned because of suspend(). */
+    bool suspended() const { return was_suspended; }
+
+    /**
+     * Continue a suspended run (bit-identical to never pausing).
+     * The sample hook installed for the interrupted run may have
+     * captured state that died with it (pumpTaskSlice clears the
+     * hook on suspension for exactly that reason) — re-install the
+     * hook before resuming, or resume through pumpTaskSlice, which
+     * always does.
+     */
+    void resume();
 
     /**
      * Warm re-activation (Scenario engine): adopt the L1 and L2/
@@ -335,6 +361,8 @@ class Machine
     MachineStats totals;
     EnergyTally tally;
     bool aborted = false;
+    bool suspend_pending = false;  ///< suspend() called this run
+    bool was_suspended = false;    ///< last run() exited via suspend()
 };
 
 } // namespace csprint

@@ -20,6 +20,7 @@
 #ifndef CSPRINT_SPRINT_POLICY_HH
 #define CSPRINT_SPRINT_POLICY_HH
 
+#include <limits>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -29,6 +30,32 @@
 #include "thermal/package.hh"
 
 namespace csprint {
+
+/** Absolute-deadline sentinel: the task has no deadline. */
+constexpr Seconds kNoDeadline =
+    std::numeric_limits<double>::infinity();
+
+/**
+ * What a policy sees about a timeline task when making scheduling
+ * decisions (mid-task arrivals, ready-queue ordering).
+ */
+struct TaskSnapshot
+{
+    Seconds arrival = 0.0;
+    Seconds deadline = kNoDeadline; ///< absolute; kNoDeadline when none
+    int priority = 0;               ///< larger = more important
+    Seconds service = 0.0;          ///< machine time already spent
+    bool started = false;           ///< dispatched at least once
+    bool sprint_granted = false;    ///< valid once started
+};
+
+/** What the engine should do with a task that arrives mid-task. */
+enum class ArrivalDecision
+{
+    Queue,   ///< let the running task continue; newcomer waits
+    Preempt, ///< suspend the running task at this sample boundary
+    Drop,    ///< reject the newcomer outright (counted, never run)
+};
 
 /** What the platform should do after one energy sample. */
 enum class SprintDecision
@@ -46,6 +73,8 @@ enum class SprintPolicyKind
     DutyCycle,        ///< sprint-and-rest paced (Section 3 live)
     AdaptiveHeadroom, ///< re-sprint only after budget recovery
     NeverSprint,      ///< non-sprinting baseline
+    Qos,              ///< deadline-driven priority preemption
+    ModelPredictive,  ///< forecast-based preempt-vs-finish decisions
 };
 
 /** Stable lowercase name for reports and bench JSON keys. */
@@ -66,9 +95,123 @@ struct SprintPolicyParams
     /**
      * AdaptiveHeadroom: fraction of the cold-start sprint budget that
      * must have recovered (budgetAfterRest-style, read off the live
-     * package) before a new task is granted a sprint.
+     * package) before a new task is granted a sprint. ModelPredictive
+     * reuses it as the budget-recovery fraction its forecasts treat
+     * as "a fresh sprint grant is available again".
      */
     double resume_fraction = 0.5;
+    /**
+     * Qos: safety factor on the deadline-risk forecast — preempt when
+     * now + qos_slack * (runner's remaining work + the newcomer's own
+     * work) overshoots the newcomer's deadline.
+     */
+    double qos_slack = 1.0;
+    /**
+     * Qos/ModelPredictive: prior service-time estimate used until the
+     * policy has observed completed tasks (0 = no prior; the policies
+     * then queue conservatively until they have learned one).
+     */
+    Seconds service_prior = 0.0;
+};
+
+/**
+ * Streaming service-time means the preemptive policies learn from
+ * completed tasks, bucketed by (priority class, sprinted) — the
+ * class split keeps a burst of short interactive tasks from
+ * poisoning the remaining-work estimate of a long batch task. An
+ * unobserved cell falls back to the same class's other sprint state,
+ * then to the configured prior, then to cross-class data: a prior
+ * outranks cross-class observations, so it keeps authority over a
+ * class until that class itself has been seen. Value semantics
+ * (checkpoints as eight doubles).
+ */
+class ServiceEstimator
+{
+  public:
+    /** Number of checkpointed doubles (save()/restore()). */
+    static constexpr std::size_t kStateSize = 8;
+
+    explicit ServiceEstimator(Seconds prior = 0.0) : prior_(prior) {}
+
+    /** Fold one completed task's observed service time in. */
+    void
+    add(const TaskSnapshot &task, Seconds service)
+    {
+        Cell &cell = cells[clsOf(task)][task.sprint_granted ? 1 : 0];
+        cell.sum += service;
+        cell.n += 1.0;
+    }
+
+    /** Expected service of @p task's class if (not) sprinted. */
+    Seconds
+    estimateIf(const TaskSnapshot &task, bool sprinted) const
+    {
+        const int cls = clsOf(task);
+        const int spr = sprinted ? 1 : 0;
+        if (cells[cls][spr].n > 0.0)
+            return cells[cls][spr].mean();
+        if (cells[cls][1 - spr].n > 0.0)
+            return cells[cls][1 - spr].mean();
+        if (prior_ > 0.0)
+            return prior_;
+        if (cells[1 - cls][spr].n > 0.0)
+            return cells[1 - cls][spr].mean();
+        if (cells[1 - cls][1 - spr].n > 0.0)
+            return cells[1 - cls][1 - spr].mean();
+        return 0.0;
+    }
+
+    /** Expected total service of @p task as it is (or would be) run. */
+    Seconds
+    estimate(const TaskSnapshot &task) const
+    {
+        return estimateIf(task, !task.started || task.sprint_granted);
+    }
+
+    /** Expected service still owed to @p task (never negative). */
+    Seconds
+    remaining(const TaskSnapshot &task) const
+    {
+        const Seconds rem = estimate(task) - task.service;
+        return rem > 0.0 ? rem : 0.0;
+    }
+
+    /** Flat checkpoint state (restore() accepts exactly this). */
+    std::vector<double>
+    save() const
+    {
+        return {cells[0][0].sum, cells[0][0].n, cells[0][1].sum,
+                cells[0][1].n, cells[1][0].sum, cells[1][0].n,
+                cells[1][1].sum, cells[1][1].n};
+    }
+
+    /** Restore what save() produced (kStateSize doubles). */
+    void
+    restore(const double *state)
+    {
+        for (int cls = 0; cls < 2; ++cls) {
+            for (int spr = 0; spr < 2; ++spr) {
+                cells[cls][spr].sum = *state++;
+                cells[cls][spr].n = *state++;
+            }
+        }
+    }
+
+  private:
+    struct Cell
+    {
+        double sum = 0.0;
+        double n = 0.0;
+        Seconds mean() const { return sum / n; }
+    };
+
+    static int clsOf(const TaskSnapshot &task)
+    {
+        return task.priority > 0 ? 1 : 0;
+    }
+
+    Cell cells[2][2];
+    Seconds prior_;
 };
 
 /**
@@ -109,6 +252,64 @@ class SprintPolicy
      */
     virtual SprintDecision onSample(MobilePackageModel &package,
                                     Seconds dt, Joules energy) = 0;
+
+    /**
+     * Declares that this policy may preempt, drop, or reorder queued
+     * work (onArrival / pickNext are non-default). The engine skips
+     * mid-task arrival delivery entirely for non-preemptive policies
+     * — observationally identical for Queue-only behaviour, since a
+     * queued mid-task arrival and a dispatch-time arrival dispatch at
+     * the same instant — which keeps million-task saturating
+     * timelines from materializing their whole queue.
+     */
+    virtual bool preemptive() const { return false; }
+
+    /**
+     * Mid-task arrival (Scenario engine, preemptive() policies only):
+     * @p incoming arrived at timeline time @p now while @p running is
+     * on the machine. Queue keeps the classic run-to-completion
+     * behaviour (the default), Preempt suspends the runner at this
+     * sample boundary (it resumes later from its live machine state),
+     * Drop rejects the newcomer.
+     */
+    virtual ArrivalDecision
+    onArrival(const MobilePackageModel &package, Seconds now,
+              const TaskSnapshot &running, const TaskSnapshot &incoming)
+    {
+        (void)package;
+        (void)now;
+        (void)running;
+        (void)incoming;
+        return ArrivalDecision::Queue;
+    }
+
+    /**
+     * Choose the next ready task to dispatch. @p ready is in stable
+     * arrival order (preempted tasks after the queue position they
+     * re-entered at); the default is FIFO. Must return an index into
+     * @p ready.
+     */
+    virtual std::size_t
+    pickNext(const MobilePackageModel &package, Seconds now,
+             const std::vector<TaskSnapshot> &ready)
+    {
+        (void)package;
+        (void)now;
+        (void)ready;
+        return 0;
+    }
+
+    /**
+     * A timeline task finished after @p service seconds of machine
+     * time (ramps included, suspended waiting excluded); feedback for
+     * service-time learners.
+     */
+    virtual void
+    onTaskComplete(const TaskSnapshot &task, Seconds service)
+    {
+        (void)task;
+        (void)service;
+    }
 
     /**
      * Cross-task state for checkpoint/restore (scenario sharding): a
@@ -256,6 +457,79 @@ class AdaptiveHeadroomPolicy : public GovernorBackedPolicy
   private:
     double resume_fraction;
     Joules cold_budget = -1.0; ///< lazily computed from params
+};
+
+/**
+ * QoS-aware preemption (the paper's Section 5 responsiveness
+ * discussion made operational): deadline-driven grants that preempt
+ * low-priority work when a newcomer's deadline is at risk. The risk
+ * forecast is the learned service-time estimate — waiting behind the
+ * runner's remaining work plus the newcomer's own work must still
+ * meet the deadline, or the runner is suspended. Dispatch order is
+ * priority-major, earliest-deadline-first within a priority class.
+ * Thermal safety still comes from the governor underneath.
+ */
+class QosPolicy : public GovernorBackedPolicy
+{
+  public:
+    QosPolicy(double slack, Seconds service_prior, GovernorConfig cfg);
+
+    const char *name() const override { return "qos"; }
+    bool preemptive() const override { return true; }
+
+    ArrivalDecision onArrival(const MobilePackageModel &package,
+                              Seconds now, const TaskSnapshot &running,
+                              const TaskSnapshot &incoming) override;
+    std::size_t pickNext(const MobilePackageModel &package, Seconds now,
+                         const std::vector<TaskSnapshot> &ready) override;
+    void onTaskComplete(const TaskSnapshot &task,
+                        Seconds service) override;
+
+    std::vector<double> saveState() const override;
+    void restoreState(const std::vector<double> &state) override;
+
+  private:
+    double slack;
+    ServiceEstimator est;
+};
+
+/**
+ * Model-predictive preemption: on each mid-task arrival, forecast the
+ * completion times of both serving orders (finish-the-runner-first vs
+ * preempt-now) from the learned service estimates and the package's
+ * thermal forecasts — approxCooldown() seeds the search horizon and
+ * timeToBudgetFraction() (on a scratch copy of the live state) prices
+ * whether the second-served task will still get a sprint grant or run
+ * at the consolidated estimate — then picks the order that meets more
+ * deadlines (summed tardiness breaks ties; a full tie queues).
+ */
+class ModelPredictivePolicy : public GovernorBackedPolicy
+{
+  public:
+    ModelPredictivePolicy(double grant_fraction, Seconds service_prior,
+                          GovernorConfig cfg);
+
+    const char *name() const override { return "model-predictive"; }
+    bool preemptive() const override { return true; }
+
+    ArrivalDecision onArrival(const MobilePackageModel &package,
+                              Seconds now, const TaskSnapshot &running,
+                              const TaskSnapshot &incoming) override;
+    std::size_t pickNext(const MobilePackageModel &package, Seconds now,
+                         const std::vector<TaskSnapshot> &ready) override;
+    void onTaskComplete(const TaskSnapshot &task,
+                        Seconds service) override;
+
+    std::vector<double> saveState() const override;
+    void restoreState(const std::vector<double> &state) override;
+
+  private:
+    /** Forecast delay until a fresh sprint grant is possible. */
+    Seconds regrantDelay(const MobilePackageModel &package) const;
+
+    double grant_fraction;
+    ServiceEstimator est;
+    mutable Joules cold_budget = -1.0; ///< lazily computed from params
 };
 
 /** Non-sprinting baseline: every task runs consolidated. */

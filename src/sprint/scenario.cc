@@ -86,6 +86,19 @@ nextArrival(const ScenarioConfig &cfg, ArrivalCursor &cursor)
         task.arrival = 0.0;
         break;
     }
+    if (cfg.hi_priority_fraction > 0.0) {
+        // Per-task class draw: a hash of the task seed rather than the
+        // arrival RNG, so the priority stream neither perturbs the
+        // existing gap sequence nor needs checkpoint state.
+        SplitMix64 h(task.seed ^ 0x7072696f72697479ULL); // "priority"
+        const double u =
+            static_cast<double>(h.next() >> 11) * 0x1.0p-53;
+        task.priority = u < cfg.hi_priority_fraction ? 1 : 0;
+    }
+    task.deadline =
+        task.priority > 0 ? cfg.deadline_hi : cfg.deadline_lo;
+    if (cfg.task_tuner)
+        cfg.task_tuner(task);
     return task;
 }
 
@@ -99,6 +112,33 @@ buildArrivals(const ScenarioConfig &cfg)
     for (int i = 0; i < cfg.num_tasks; ++i)
         tasks.push_back(nextArrival(cfg, cursor));
     return tasks;
+}
+
+std::function<ParallelProgram(const ScenarioTask &)>
+makeWorkloadMixFactory(std::vector<WorkloadMixEntry> mix)
+{
+    SPRINT_ASSERT(!mix.empty(), "workload mix needs at least one entry");
+    double total = 0.0;
+    for (const WorkloadMixEntry &entry : mix) {
+        SPRINT_ASSERT(entry.weight > 0.0,
+                      "workload mix weights must be positive");
+        total += entry.weight;
+    }
+    return [mix = std::move(mix), total](const ScenarioTask &task) {
+        // Same idiom as the priority draw: a per-task hash keeps the
+        // mix independent of delivery order and checkpoint-free.
+        SplitMix64 h(task.seed ^ 0x776f726b6c6f6164ULL); // "workload"
+        double u = static_cast<double>(h.next() >> 11) * 0x1.0p-53 *
+                   total;
+        std::size_t pick = 0;
+        for (; pick + 1 < mix.size(); ++pick) {
+            u -= mix[pick].weight;
+            if (u < 0.0)
+                break;
+        }
+        return buildKernelProgram(mix[pick].kernel, mix[pick].size,
+                                  task.seed);
+    };
 }
 
 MeltCycleCounter::MeltCycleCounter(double rise, double fall)
@@ -291,6 +331,68 @@ beginScenario(const ScenarioConfig &cfg)
     return ck;
 }
 
+namespace {
+
+/**
+ * The next undelivered arrival, generated lazily into the checkpoint
+ * (the one-task lookahead is what lets the engine spot an arrival
+ * landing mid-task); null once the timeline is exhausted.
+ */
+const ScenarioTask *
+peekArrival(const ScenarioConfig &cfg, ScenarioCheckpoint &ck)
+{
+    if (!ck.have_peek) {
+        if (ck.arrivals.index >=
+            static_cast<std::uint64_t>(cfg.num_tasks))
+            return nullptr;
+        ck.peek = nextArrival(cfg, ck.arrivals);
+        ck.have_peek = true;
+    }
+    return &ck.peek;
+}
+
+/** Consume the peeked arrival. */
+ScenarioTask
+takePeek(ScenarioCheckpoint &ck)
+{
+    ck.have_peek = false;
+    return ck.peek;
+}
+
+/** Policy view of a not-yet-started task. */
+TaskSnapshot
+snapshotOfTask(const ScenarioTask &task)
+{
+    TaskSnapshot s;
+    s.arrival = task.arrival;
+    s.deadline = task.deadline > 0.0 ? task.arrival + task.deadline
+                                     : kNoDeadline;
+    s.priority = task.priority;
+    return s;
+}
+
+/** Policy view of a (possibly in-flight) execution. */
+TaskSnapshot
+snapshotOf(const ScenarioTaskExecution &ex)
+{
+    TaskSnapshot s = snapshotOfTask(ex.task);
+    s.started = ex.started;
+    s.sprint_granted = ex.sprint_granted;
+    if (ex.machine)
+        s.service = ex.pump.ramp_time + ex.machine->simTime();
+    return s;
+}
+
+std::unique_ptr<ScenarioTaskExecution>
+makeExecution(const ScenarioTask &task)
+{
+    auto ex = std::make_unique<ScenarioTaskExecution>();
+    ex->task = task;
+    return ex;
+}
+
+} // namespace
+
 bool
 advanceScenario(const ScenarioConfig &cfg, ScenarioCheckpoint &ck,
                 std::uint64_t max_tasks)
@@ -298,13 +400,17 @@ advanceScenario(const ScenarioConfig &cfg, ScenarioCheckpoint &ck,
     if (ck.done || max_tasks == 0)
         return ck.done;
 
-    const std::uint64_t num_tasks =
-        static_cast<std::uint64_t>(cfg.num_tasks);
     const std::unique_ptr<SprintPolicy> policy =
-        makeSprintPolicy(cfg.policy);
+        cfg.policy_factory ? cfg.policy_factory()
+                           : makeSprintPolicy(cfg.policy);
     if (!ck.policy_state.empty())
         policy->restoreState(ck.policy_state);
     const SprintConfig denied_cfg = consolidatedPlatform(cfg.platform);
+    // Queue-only policies keep the classic lazy flow: one arrival
+    // materialized per dispatch, no mid-task delivery — so saturating
+    // million-task timelines never build a queue (see
+    // SprintPolicy::preemptive).
+    const bool preemptive = policy->preemptive();
 
     // The shard's package is rebuilt from the snapshot; step() output
     // depends only on the restored state and the (deterministically
@@ -319,51 +425,152 @@ advanceScenario(const ScenarioConfig &cfg, ScenarioCheckpoint &ck,
         std::move(ck.warm_program);
     std::unique_ptr<Machine> prev_machine = std::move(ck.warm_machine);
 
-    for (std::uint64_t served = 0;
-         served < max_tasks && ck.arrivals.index < num_tasks;
-         ++served) {
-        const ScenarioTask task = nextArrival(cfg, ck.arrivals);
-        if (task.arrival > ck.now) {
-            coolPackage(package, ck, cfg, ck.now,
-                        task.arrival - ck.now);
-            ck.now = task.arrival;
+    // Scheduler state: arrivals delivered but not finished (value
+    // entries or suspended live machines), plus the task on the
+    // machine right now. `ready` stays in arrival order so the
+    // default FIFO pickNext reproduces the classic engine.
+    std::vector<std::unique_ptr<ScenarioTaskExecution>> ready =
+        std::move(ck.ready);
+    std::unique_ptr<ScenarioTaskExecution> current;
+
+    for (std::uint64_t completed = 0; completed < max_tasks;) {
+        if (!current) {
+            if (ready.empty()) {
+                const ScenarioTask *next = peekArrival(cfg, ck);
+                if (!next)
+                    break;  // timeline exhausted, nothing in flight
+                if (next->arrival > ck.now) {
+                    coolPackage(package, ck, cfg, ck.now,
+                                next->arrival - ck.now);
+                    ck.now = next->arrival;
+                }
+                ready.push_back(makeExecution(takePeek(ck)));
+            }
+            // A preemptive policy ranks the whole eligible set:
+            // deliver everything due by now, including arrivals that
+            // landed in the finished predecessor's final sub-quantum
+            // tail (after its last sample, before its completion),
+            // which the pump observer never saw.
+            while (preemptive) {
+                const ScenarioTask *due = peekArrival(cfg, ck);
+                if (!due || due->arrival > ck.now)
+                    break;
+                ready.push_back(makeExecution(takePeek(ck)));
+            }
+            std::size_t pick = 0;
+            if (ready.size() > 1) {
+                std::vector<TaskSnapshot> snaps;
+                snaps.reserve(ready.size());
+                for (const auto &ex : ready)
+                    snaps.push_back(snapshotOf(*ex));
+                pick = policy->pickNext(package, ck.now, snaps);
+                SPRINT_ASSERT(pick < ready.size(),
+                              "pickNext index out of range");
+            }
+            current = std::move(ready[pick]);
+            ready.erase(ready.begin() +
+                        static_cast<std::ptrdiff_t>(pick));
+
+            if (!current->started) {
+                current->first_start = ck.now;
+                current->melt_at_start = package.meltFraction();
+                current->sprint_granted = policy->wantSprint(package);
+                ++(current->sprint_granted ? ck.sprints_granted
+                                           : ck.sprints_denied);
+                current->run_cfg = current->sprint_granted
+                                       ? cfg.platform
+                                       : denied_cfg;
+                current->program = std::make_unique<ParallelProgram>(
+                    cfg.program_factory
+                        ? cfg.program_factory(current->task)
+                        : buildKernelProgram(current->task.kernel,
+                                             current->task.size,
+                                             current->task.seed));
+                current->machine =
+                    prepareMachine(*current->program, current->run_cfg);
+                if (cfg.warm_caches && prev_machine)
+                    current->machine->warmStartFrom(*prev_machine);
+                current->started = true;
+            }
+            // The (re-)activation ramp heats nothing (cores are still
+            // power-gated), even when no idle gap preceded this
+            // dispatch and the package still carries the previous
+            // task's die power. A resumed task pays it again: its
+            // cores were surrendered to the preemptor.
+            package.setDiePower(0.0);
+            package.step(current->run_cfg.activation_ramp);
+            ck.now += current->run_cfg.activation_ramp;
+            ck.busy += current->run_cfg.activation_ramp;
+            current->pump.ramp_time += current->run_cfg.activation_ramp;
+            current->pump.elapsed = ck.now;
+            current->pump.peak_junction =
+                current->pump.junction_trace.empty()
+                    ? package.junctionTemp()
+                    : std::max(current->pump.peak_junction,
+                               package.junctionTemp());
+            // A resumed task re-arms the policy like a fresh task:
+            // budgets re-anchor to the live thermal state.
+            policy->beginTask(package);
         }
 
-        ScenarioTaskResult tr;
-        tr.arrival = task.arrival;
-        tr.start = ck.now;
-        tr.melt_at_start = package.meltFraction();
-        tr.sprint_granted = policy->wantSprint(package);
-        ++(tr.sprint_granted ? ck.sprints_granted : ck.sprints_denied);
+        // Pump until the task completes or the policy preempts it at
+        // a sample boundary for a mid-task arrival.
+        bool preempt_req = false;
+        const PumpObserver observer = [&](Seconds t, Celsius junction,
+                                          Watts power,
+                                          double melt) -> bool {
+            ck.traces.add(t, junction, power, melt);
+            ck.melt_cycles.add(melt);
+            if (melt > ck.peak_melt)
+                ck.peak_melt = melt;
+            while (preemptive) {
+                const ScenarioTask *due = peekArrival(cfg, ck);
+                if (!due || due->arrival > t)
+                    break;
+                const ScenarioTask task = takePeek(ck);
+                switch (policy->onArrival(package, t,
+                                          snapshotOf(*current),
+                                          snapshotOfTask(task))) {
+                  case ArrivalDecision::Drop:
+                    ++ck.tasks_dropped;
+                    if (task.deadline > 0.0)
+                        ++ck.deadlines_missed;
+                    break;
+                  case ArrivalDecision::Preempt:
+                    preempt_req = true;
+                    ready.push_back(makeExecution(task));
+                    break;
+                  case ArrivalDecision::Queue:
+                    ready.push_back(makeExecution(task));
+                    break;
+                }
+            }
+            return preempt_req;
+        };
 
-        const SprintConfig &run_cfg =
-            tr.sprint_granted ? cfg.platform : denied_cfg;
-        auto program = std::make_unique<ParallelProgram>(
-            cfg.program_factory
-                ? cfg.program_factory(task)
-                : buildKernelProgram(task.kernel, task.size, task.seed));
-        std::unique_ptr<Machine> machine =
-            prepareMachine(*program, run_cfg);
-        if (cfg.warm_caches && prev_machine)
-            machine->warmStartFrom(*prev_machine);
+        const Seconds sim_mark = current->machine->simTime();
+        pumpTaskSlice(*current->machine, current->run_cfg, package,
+                      *policy, current->pump, observer);
+        const Seconds ran = current->machine->simTime() - sim_mark;
+        ck.now += ran;
+        ck.busy += ran;
 
-        // The ramp heats nothing (cores are still power-gated), even
-        // when no idle gap preceded this task and the package still
-        // carries the previous task's die power.
-        package.setDiePower(0.0);
-        package.step(run_cfg.activation_ramp);
-        policy->beginTask(package);
-        RunResult run =
-            samplePump(*machine, run_cfg, package, *policy, ck.now);
-        run.program_name = program->name();
+        if (!current->machine->finished()) {
+            // Preempted: park the live execution back in the queue.
+            ++current->preemptions;
+            ++ck.preemptions;
+            ready.push_back(std::move(current));
+            continue;
+        }
 
-        ck.now += run.task_time;
-        ck.busy += run.task_time;
-        tr.finish = ck.now;
-        tr.response = tr.finish - task.arrival;
-        tr.melt_at_end = package.meltFraction();
+        // Task complete: fold it into the aggregates.
+        const TaskSnapshot done_snap = snapshotOf(*current);
+        RunResult run = finalizePump(std::move(current->pump),
+                                     *current->machine,
+                                     current->run_cfg, package);
+        run.program_name = current->program->name();
 
-        if (tr.sprint_granted && run.sprint_exhausted)
+        if (current->sprint_granted && run.sprint_exhausted)
             ++ck.sprints_exhausted;
         if (run.hardware_throttled)
             ++ck.hardware_throttles;
@@ -374,34 +581,52 @@ advanceScenario(const ScenarioConfig &cfg, ScenarioCheckpoint &ck,
                                ? run.peak_junction
                                : std::max(ck.peak_junction,
                                           run.peak_junction);
-        ck.traces.append(run.junction_trace, run.power_trace,
-                         run.melt_trace);
-        for (std::size_t i = 0; i < run.melt_trace.size(); ++i) {
-            const double melt = run.melt_trace.valueAt(i);
-            ck.melt_cycles.add(melt);
-            ck.peak_melt = std::max(ck.peak_melt, melt);
-        }
-        ck.p50.add(tr.response);
-        ck.p95.add(tr.response);
+        const Seconds response = ck.now - current->task.arrival;
+        ck.p50.add(response);
+        ck.p95.add(response);
+        const bool met =
+            current->task.deadline <= 0.0 ||
+            ck.now <= current->task.arrival + current->task.deadline;
+        if (current->task.deadline > 0.0)
+            ++(met ? ck.deadlines_met : ck.deadlines_missed);
+        policy->onTaskComplete(done_snap, run.task_time);
         ++ck.tasks_completed;
+        ++completed;
 
         if (cfg.keep_task_results) {
+            ScenarioTaskResult tr;
+            tr.arrival = current->task.arrival;
+            tr.start = current->first_start;
+            tr.finish = ck.now;
+            tr.response = response;
+            tr.sprint_granted = current->sprint_granted;
+            tr.melt_at_start = current->melt_at_start;
+            tr.melt_at_end = package.meltFraction();
+            tr.priority = current->task.priority;
+            tr.deadline = current->task.deadline;
+            tr.deadline_met = met;
+            tr.preemptions = current->preemptions;
             tr.run = std::move(run);
             ck.tasks.push_back(std::move(tr));
         }
         if (cfg.warm_caches) {
-            prev_machine = std::move(machine);
-            prev_program = std::move(program);
+            prev_machine = std::move(current->machine);
+            prev_program = std::move(current->program);
         }
+        current.reset();
     }
 
+    SPRINT_ASSERT(!current, "engine left a task on the machine");
     ck.thermal = package.saveState();
     ck.policy_state = policy->saveState();
+    ck.ready = std::move(ready);
     if (cfg.warm_caches) {
         ck.warm_machine = std::move(prev_machine);
         ck.warm_program = std::move(prev_program);
     }
-    ck.done = ck.arrivals.index >= num_tasks;
+    ck.done = !ck.have_peek && ck.ready.empty() &&
+              ck.arrivals.index >=
+                  static_cast<std::uint64_t>(cfg.num_tasks);
     return ck.done;
 }
 
@@ -426,6 +651,10 @@ finishScenario(const ScenarioConfig &cfg, ScenarioCheckpoint &&ck)
     out.sprints_denied = ck.sprints_denied;
     out.sprints_exhausted = ck.sprints_exhausted;
     out.hardware_throttles = ck.hardware_throttles;
+    out.preemptions = ck.preemptions;
+    out.tasks_dropped = ck.tasks_dropped;
+    out.deadlines_met = ck.deadlines_met;
+    out.deadlines_missed = ck.deadlines_missed;
     out.peak_junction = ck.peak_junction;
     out.total_energy = ck.total_energy;
     out.total_sprint_time = ck.total_sprint_time;
@@ -458,8 +687,12 @@ ScenarioResult
 runScenario(const ScenarioConfig &cfg)
 {
     ScenarioCheckpoint ck = beginScenario(cfg);
-    advanceScenario(cfg, ck,
-                    static_cast<std::uint64_t>(cfg.num_tasks));
+    // One advance with the full task budget normally finishes the
+    // timeline; dropped arrivals can leave the budget unspent, so
+    // iterate until the engine reports completion.
+    while (!advanceScenario(cfg, ck,
+                            static_cast<std::uint64_t>(cfg.num_tasks))) {
+    }
     return finishScenario(cfg, std::move(ck));
 }
 

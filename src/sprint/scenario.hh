@@ -86,6 +86,8 @@ struct ScenarioTask
     KernelId kernel = KernelId::Sobel;
     InputSize size = InputSize::A;
     std::uint64_t seed = 42;
+    int priority = 0;        ///< larger = more important (QoS class)
+    Seconds deadline = 0.0;  ///< relative to arrival; 0 = none
 };
 
 /** A complete scenario description. */
@@ -126,6 +128,40 @@ struct ScenarioConfig
 
     /** Carry L1/L2 contents across tasks (warm re-activation). */
     bool warm_caches = false;
+
+    // --- Mixed-priority / QoS knobs (defaults = classic engine) ----
+
+    /**
+     * Fraction of tasks arriving as priority 1 (the rest are priority
+     * 0). Each task's class is a deterministic hash of its seed —
+     * independent of the arrival RNG stream and of delivery order, so
+     * checkpoints need no extra state. 0 keeps every task priority 0.
+     */
+    double hi_priority_fraction = 0.0;
+
+    /** Relative deadline given to priority-1 tasks (0 = none). */
+    Seconds deadline_hi = 0.0;
+
+    /** Relative deadline given to priority-0 tasks (0 = none). */
+    Seconds deadline_lo = 0.0;
+
+    /**
+     * Final per-task hook applied by nextArrival after every stock
+     * field (pattern arrival, seed, priority, deadline) is set. Must
+     * be a pure function of the task it receives (it runs inside the
+     * streaming arrival generator, so any hidden state would break
+     * checkpoint replay). Lets a study pin sizes, priorities, or
+     * deadlines per timeline position.
+     */
+    std::function<void(ScenarioTask &)> task_tuner;
+
+    /**
+     * Custom policy builder; null uses makeSprintPolicy(policy).
+     * The engine rebuilds the policy per advanceScenario call and
+     * re-applies saveState/restoreState around it, so factories must
+     * return equivalently-configured instances each time.
+     */
+    std::function<std::unique_ptr<SprintPolicy>()> policy_factory;
 
     /** Extra cool-down recorded after the last task finishes. */
     Seconds tail_rest = 0.0;
@@ -179,6 +215,26 @@ ScenarioTask nextArrival(const ScenarioConfig &cfg,
 /** Materialize @p cfg's arrival timeline (sorted by arrival). */
 std::vector<ScenarioTask> buildArrivals(const ScenarioConfig &cfg);
 
+/** One entry of a stock workload mix. */
+struct WorkloadMixEntry
+{
+    KernelId kernel = KernelId::Sobel;
+    InputSize size = InputSize::A;
+    double weight = 1.0;
+};
+
+/**
+ * Stock program_factory: draw each task's kernel/size from the
+ * weighted @p mix, deterministically from the task's seed (which the
+ * arrival generator derives from the scenario seed), so mixed
+ * workload timelines are a one-liner:
+ *
+ *   cfg.program_factory = makeWorkloadMixFactory({{KernelId::Sobel,
+ *       InputSize::A, 3.0}, {KernelId::Kmeans, InputSize::B, 1.0}});
+ */
+std::function<ParallelProgram(const ScenarioTask &)>
+makeWorkloadMixFactory(std::vector<WorkloadMixEntry> mix);
+
 /**
  * Streaming melt/refreeze hysteresis counter: a cycle completes when
  * the melt fraction rises to >= rise and later falls to <= fall.
@@ -214,19 +270,27 @@ int countMeltRefreezeCycles(const TimeSeries &melt, double rise = 0.25,
 struct ScenarioTaskResult
 {
     Seconds arrival = 0.0;
-    Seconds start = 0.0;    ///< dispatch time (>= arrival when queued)
+    Seconds start = 0.0;    ///< first dispatch (>= arrival when queued)
     Seconds finish = 0.0;
     Seconds response = 0.0; ///< finish - arrival (queueing included)
     bool sprint_granted = false;
     double melt_at_start = 0.0; ///< PCM melt fraction at dispatch
     double melt_at_end = 0.0;
+    int priority = 0;
+    Seconds deadline = 0.0;    ///< relative to arrival; 0 = none
+    bool deadline_met = true;  ///< vacuously true without a deadline
+    int preemptions = 0;       ///< times this task was suspended
     RunResult run;          ///< the full coupled-run result
 };
 
 /** Aggregate outcome of one scenario. */
 struct ScenarioResult
 {
-    /** Per-task results; empty when keep_task_results is false. */
+    /**
+     * Per-task results in completion order (identical to arrival
+     * order unless a preemptive policy reordered or suspended work);
+     * empty when keep_task_results is false.
+     */
     std::vector<ScenarioTaskResult> tasks;
 
     /** Tasks served (counts even when per-task results are dropped). */
@@ -236,6 +300,10 @@ struct ScenarioResult
     int sprints_denied = 0;   ///< tasks the policy ran consolidated
     int sprints_exhausted = 0; ///< granted sprints ended by the policy
     int hardware_throttles = 0;
+    int preemptions = 0;      ///< mid-task suspensions performed
+    int tasks_dropped = 0;    ///< arrivals the policy rejected
+    int deadlines_met = 0;    ///< completed within their deadline
+    int deadlines_missed = 0; ///< overshot or dropped with a deadline
 
     Seconds makespan = 0.0;    ///< finish time of the last task
     double utilization = 0.0;  ///< machine-busy fraction of makespan
@@ -298,6 +366,30 @@ class ScenarioTraceSink
 };
 
 /**
+ * One timeline task in flight: the task's metadata plus, once it has
+ * been dispatched, its live machine, program, and accumulated pump
+ * state. A preempted task is exactly this struct parked in the ready
+ * queue — the machine holds the architectural progress (op cursors,
+ * caches, directory), the pump state the trace/energy accumulators —
+ * and resuming is another pumpTaskSlice over the same pair. Live
+ * machines make a checkpoint carrying executions in-process only
+ * (like the warm-restart chain).
+ */
+struct ScenarioTaskExecution
+{
+    ScenarioTask task;
+    bool started = false;        ///< dispatched at least once
+    bool sprint_granted = false; ///< valid once started
+    int preemptions = 0;
+    Seconds first_start = 0.0;
+    double melt_at_start = 0.0;
+    SprintConfig run_cfg;        ///< platform actually granted
+    std::unique_ptr<ParallelProgram> program;
+    std::unique_ptr<Machine> machine;
+    PumpState pump;
+};
+
+/**
  * A resumable scenario position, taken at a task boundary. Snapshots
  * the package thermal state (ThermalNetworkState: node temperatures,
  * melt fractions, injected powers), the policy's cross-task state,
@@ -325,6 +417,10 @@ struct ScenarioCheckpoint
     int sprints_denied = 0;
     int sprints_exhausted = 0;
     int hardware_throttles = 0;
+    int preemptions = 0;
+    int tasks_dropped = 0;
+    int deadlines_met = 0;
+    int deadlines_missed = 0;
     Celsius peak_junction = 0.0;
     Joules total_energy = 0.0;
     Seconds total_sprint_time = 0.0;
@@ -336,6 +432,23 @@ struct ScenarioCheckpoint
     ScenarioTraceSink traces;
     std::vector<ScenarioTaskResult> tasks; ///< when keep_task_results
 
+    // --- Preemptive scheduler state at the boundary ----------------
+    /**
+     * The next generated-but-undelivered arrival (the engine peeks
+     * one task ahead to detect mid-task arrivals); value state.
+     */
+    bool have_peek = false;
+    ScenarioTask peek;
+    /**
+     * Arrivals delivered but not finished, in arrival order: entries
+     * that never started are value state, a suspended entry carries
+     * its live machine — so a checkpoint cut between a preemption and
+     * a resume carries the preempted task's full progress instead of
+     * restarting it from scratch (in-process only, like the warm
+     * chain below).
+     */
+    std::vector<std::unique_ptr<ScenarioTaskExecution>> ready;
+
     // --- Warm re-activation chain (in-process only) ----------------
     std::unique_ptr<ParallelProgram> warm_program;
     std::unique_ptr<Machine> warm_machine;
@@ -345,9 +458,11 @@ struct ScenarioCheckpoint
 ScenarioCheckpoint beginScenario(const ScenarioConfig &cfg);
 
 /**
- * Serve up to @p max_tasks further tasks of @p cfg's timeline from
- * @p ck, leaving @p ck at a resumable task boundary. Returns true
- * once every task has been dispatched (tail rest not yet applied).
+ * Complete up to @p max_tasks further tasks of @p cfg's timeline from
+ * @p ck, leaving @p ck at a resumable task boundary (suspended or
+ * queued work rides along inside the checkpoint). Returns true once
+ * every task has finished or been dropped (tail rest not yet
+ * applied).
  */
 bool advanceScenario(const ScenarioConfig &cfg, ScenarioCheckpoint &ck,
                      std::uint64_t max_tasks);

@@ -106,93 +106,139 @@ prepareMachine(const ParallelProgram &program, const SprintConfig &cfg)
     return std::make_unique<Machine>(cfg.machineConfig(), program);
 }
 
+void
+pumpTaskSlice(Machine &machine, const SprintConfig &cfg,
+              MobilePackageModel &package, SprintPolicy &policy,
+              PumpState &st, const PumpObserver &observe)
+{
+    const Watts sustainable = package.sustainableTdp();
+    const bool is_sprinting_config =
+        cfg.sprint_cores > 1 || cfg.dvfs_boost > 1.0;
+
+    // The hook stays installed on the machine across slices; capture
+    // the observer by value so a caller's temporary cannot dangle.
+    machine.setSampleHook(
+        [&, observe](Machine &m, Seconds dt, Joules energy) {
+            st.elapsed += dt;
+            const Watts power = energy / dt;
+            // Traces record the pre-sample thermal state; the policy
+            // advances the package below (see policy.hh's contract).
+            const Celsius junction = package.junctionTemp();
+            const double melt = package.meltFraction();
+            st.junction_trace.add(st.elapsed, junction);
+            st.power_trace.add(st.elapsed, power);
+            st.melt_trace.add(st.elapsed, melt);
+            if (power > sustainable) {
+                st.above_tdp_time += dt;
+                st.above_tdp_energy += energy;
+            }
+
+            const SprintDecision decision =
+                policy.onSample(package, dt, energy);
+            st.peak_junction =
+                std::max(st.peak_junction, package.junctionTemp());
+            if (decision == SprintDecision::Throttle)
+                st.policy_throttled = true;
+            // The baseline config never reconfigures the machine.
+            if (is_sprinting_config) {
+                switch (decision) {
+                  case SprintDecision::Continue:
+                    break;
+                  case SprintDecision::StopSprint:
+                    st.sprint_exhausted = true;
+                    if (cfg.software_migration_fails)
+                        break;  // OS hung: leave it to the throttle
+                    if (cfg.dvfs_boost > 1.0) {
+                        m.setFrequencyMult(1.0);
+                        m.setEnergyModel(InstructionEnergyModel());
+                    } else {
+                        m.consolidateToSingleCore();
+                    }
+                    break;
+                  case SprintDecision::Throttle:
+                    st.hardware_throttled = true;
+                    // Throttle frequency by at least the number of
+                    // active cores so dynamic power falls below TDP
+                    // (Section 7).
+                    m.setFrequencyMult(
+                        std::min(1.0, 1.0 / m.activeCores()) /
+                        std::max(1.0, cfg.dvfs_boost));
+                    m.setEnergyModel(InstructionEnergyModel());
+                    break;
+                }
+            }
+            if (observe && observe(st.elapsed, junction, power, melt))
+                m.suspend();
+        },
+        1000);  // the paper samples energy every 1000 cycles
+
+    if (machine.suspended())
+        machine.resume();
+    else
+        machine.run();
+    // The lambda above references this call's stack frame (and the
+    // caller's package/policy); a suspended machine can be parked
+    // long past both, so drop the hook — the next slice installs a
+    // fresh one before running.
+    if (machine.suspended())
+        machine.setSampleHook(nullptr);
+}
+
 RunResult
-samplePump(Machine &machine, const SprintConfig &cfg,
-           MobilePackageModel &package, SprintPolicy &policy,
-           Seconds start_time)
+finalizePump(PumpState &&st, Machine &machine, const SprintConfig &cfg,
+             MobilePackageModel &package)
 {
     RunResult result;
     result.sprint_cores = cfg.sprint_cores;
     result.num_threads = cfg.num_threads;
     result.dvfs_boost = cfg.dvfs_boost;
-
-    const Watts sustainable = package.sustainableTdp();
-    Seconds elapsed = start_time + cfg.activation_ramp;
-    Seconds above_tdp_time = 0.0;
-    Joules above_tdp_energy = 0.0;
-    Celsius peak_junction = package.junctionTemp();
-    bool policy_throttled = false;
-    const bool is_sprinting_config =
-        cfg.sprint_cores > 1 || cfg.dvfs_boost > 1.0;
-
-    machine.setSampleHook(
-        [&](Machine &m, Seconds dt, Joules energy) {
-            elapsed += dt;
-            const Watts power = energy / dt;
-            // Traces record the pre-sample thermal state; the policy
-            // advances the package below (see policy.hh's contract).
-            result.junction_trace.add(elapsed, package.junctionTemp());
-            result.power_trace.add(elapsed, power);
-            result.melt_trace.add(elapsed, package.meltFraction());
-            if (power > sustainable) {
-                above_tdp_time += dt;
-                above_tdp_energy += energy;
-            }
-
-            const SprintDecision decision =
-                policy.onSample(package, dt, energy);
-            peak_junction =
-                std::max(peak_junction, package.junctionTemp());
-            if (decision == SprintDecision::Throttle)
-                policy_throttled = true;
-            if (!is_sprinting_config)
-                return;  // the baseline never reconfigures
-            switch (decision) {
-              case SprintDecision::Continue:
-                break;
-              case SprintDecision::StopSprint:
-                result.sprint_exhausted = true;
-                if (cfg.software_migration_fails)
-                    break;  // OS hung: leave it to the throttle
-                if (cfg.dvfs_boost > 1.0) {
-                    m.setFrequencyMult(1.0);
-                    m.setEnergyModel(InstructionEnergyModel());
-                } else {
-                    m.consolidateToSingleCore();
-                }
-                break;
-              case SprintDecision::Throttle:
-                result.hardware_throttled = true;
-                // Throttle frequency by at least the number of active
-                // cores so dynamic power falls below TDP (Section 7).
-                m.setFrequencyMult(
-                    std::min(1.0, 1.0 / m.activeCores()) /
-                    std::max(1.0, cfg.dvfs_boost));
-                m.setEnergyModel(InstructionEnergyModel());
-                break;
-            }
-        },
-        1000);  // the paper samples energy every 1000 cycles
-
-    machine.run();
-
-    result.task_time = cfg.activation_ramp + machine.simTime();
+    result.task_time = st.ramp_time + machine.simTime();
     result.machine = machine.stats();
     result.dynamic_energy = machine.stats().dynamic_energy;
-    result.peak_junction = peak_junction;
+    result.peak_junction = st.peak_junction;
     result.final_melt_fraction = package.meltFraction();
-    result.sprint_duration = above_tdp_time;
-    result.sprint_energy = above_tdp_energy;
+    result.sprint_exhausted = st.sprint_exhausted;
+    result.sprint_duration = st.above_tdp_time;
+    result.sprint_energy = st.above_tdp_energy;
     result.avg_power =
         result.task_time > 0.0 ? result.dynamic_energy / result.task_time
                                : 0.0;
-    if (above_tdp_time > 0.0) {
+    if (st.above_tdp_time > 0.0) {
         result.cooldown_estimate = package.approxCooldown(
-            above_tdp_time, above_tdp_energy / above_tdp_time);
+            st.above_tdp_time, st.above_tdp_energy / st.above_tdp_time);
     }
     result.hardware_throttled =
-        result.hardware_throttled || policy_throttled;
+        st.hardware_throttled || st.policy_throttled;
+    result.junction_trace = std::move(st.junction_trace);
+    result.power_trace = std::move(st.power_trace);
+    result.melt_trace = std::move(st.melt_trace);
     return result;
+}
+
+RunResult
+samplePumpObserved(Machine &machine, const SprintConfig &cfg,
+                   MobilePackageModel &package, SprintPolicy &policy,
+                   const PumpObserver &observe, Seconds start_time)
+{
+    PumpState st;
+    st.elapsed = start_time + cfg.activation_ramp;
+    st.ramp_time = cfg.activation_ramp;
+    st.peak_junction = package.junctionTemp();
+    do {
+        pumpTaskSlice(machine, cfg, package, policy, st, observe);
+        // suspended() distinguishes an observer pause (resume and
+        // carry on) from completion or an abort() (stop either way).
+    } while (machine.suspended());
+    return finalizePump(std::move(st), machine, cfg, package);
+}
+
+RunResult
+samplePump(Machine &machine, const SprintConfig &cfg,
+           MobilePackageModel &package, SprintPolicy &policy,
+           Seconds start_time)
+{
+    return samplePumpObserved(machine, cfg, package, policy, nullptr,
+                              start_time);
 }
 
 RunResult

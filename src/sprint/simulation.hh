@@ -23,6 +23,7 @@
 #ifndef CSPRINT_SPRINT_SIMULATION_HH
 #define CSPRINT_SPRINT_SIMULATION_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -121,6 +122,77 @@ struct RunResult
  */
 std::unique_ptr<Machine> prepareMachine(const ParallelProgram &program,
                                         const SprintConfig &cfg);
+
+/**
+ * Per-sample scenario tap for preemptive timelines: invoked once per
+ * energy sample, after the policy has consumed it, with the absolute
+ * sample time and the pre-sample trace values the pump recorded.
+ * Return true to suspend the machine at this sample boundary
+ * (Machine::suspend); the task continues on a later pumpTaskSlice
+ * call. A null observer is the classic uninterruptible run.
+ */
+using PumpObserver = std::function<bool(Seconds t, Celsius junction,
+                                        Watts power, double melt)>;
+
+/**
+ * Accumulated pump state of one coupled task, possibly spanning
+ * several suspend/resume slices. Everything here is value state; the
+ * machine itself carries the architectural half of the checkpoint.
+ * samplePump() is exactly one slice over a fresh state followed by
+ * finalizePump(), so the sliced path and the classic path are the
+ * same code — a run whose observer never suspends is bit-identical
+ * to one with no observer at all.
+ */
+struct PumpState
+{
+    Seconds elapsed = 0.0;       ///< absolute trace clock (last sample)
+    Seconds ramp_time = 0.0;     ///< activation ramps applied so far
+    Seconds above_tdp_time = 0.0;
+    Joules above_tdp_energy = 0.0;
+    Celsius peak_junction = 0.0;
+    bool sprint_exhausted = false;
+    bool hardware_throttled = false;
+    bool policy_throttled = false;
+    TimeSeries junction_trace;
+    TimeSeries power_trace;
+    TimeSeries melt_trace;
+};
+
+/**
+ * Drive @p machine until it completes or @p observe requests a
+ * suspension, folding samples into @p st. The caller owns the package
+ * lifecycle (activation ramp + policy.beginTask before the first
+ * slice); slices share the armed policy, so back-to-back slices with
+ * no intervening package/policy activity reproduce the uninterrupted
+ * run bit-for-bit. Check machine.finished() afterwards.
+ */
+void pumpTaskSlice(Machine &machine, const SprintConfig &cfg,
+                   MobilePackageModel &package, SprintPolicy &policy,
+                   PumpState &st, const PumpObserver &observe = nullptr);
+
+/**
+ * Fold @p st and the finished machine into the classic RunResult
+ * (task_time spans every ramp and run slice; suspended waiting time
+ * is the timeline's business, not the task's).
+ */
+RunResult finalizePump(PumpState &&st, Machine &machine,
+                       const SprintConfig &cfg,
+                       MobilePackageModel &package);
+
+/**
+ * samplePump with a per-sample observer: drives the task to
+ * completion, transparently resuming across any suspensions the
+ * observer requests (the test/bench harness for forced
+ * suspend/resume cadences — the Scenario engine runs its own slice
+ * loop so it can reschedule between slices). Caller contract is
+ * samplePump's; an observer that never suspends yields the classic
+ * run bit-for-bit.
+ */
+RunResult samplePumpObserved(Machine &machine, const SprintConfig &cfg,
+                             MobilePackageModel &package,
+                             SprintPolicy &policy,
+                             const PumpObserver &observe,
+                             Seconds start_time = 0.0);
 
 /**
  * Drive @p machine to completion against @p package under @p policy:
