@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Machine-readable report for the many-core machine work, written to
+ * BENCH_manycore.json (schema documented in PERF.md, "Many-core
+ * machine").
+ *
+ * Four sections, each an acceptance gate the tool enforces itself
+ * (non-zero exit on failure):
+ *
+ *  1. fig10_manycore — the Figure 10 core-count sweep extended past
+ *     the old 64-core directory cap: parallel-sprint speedup over the
+ *     single-core baseline at 16/64/256/1024 cores. Gate: every width
+ *     completes with retired ops and the 256-core sprint beats the
+ *     baseline.
+ *
+ *  2. sparse_parity — a 256-core coupled sprint under the sparse
+ *     (limited-pointer + overflow) directory against DirectoryKind::
+ *     FullMap, bit-for-bit across stats, energy, and the junction
+ *     trace.
+ *
+ *  3. dispatch_parity — a 16-core coupled sprint with 1/2/8 host
+ *     dispatch threads, bit-for-bit against the serial loop.
+ *
+ *  4. dispatch_speedup — wall-clock of the raw machine event loop
+ *     with 8 dispatch threads vs 1 on a probe-heavy 16-core run. The
+ *     >= 2x gate is enforced only when the host exposes >= 8 hardware
+ *     threads (CI containers with 1 CPU cannot speed anything up);
+ *     bit parity between the timed runs is enforced unconditionally.
+ *
+ *   ./manycore_report [--out BENCH_manycore.json]
+ */
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/args.hh"
+#include "sprint/experiment.hh"
+#include "sprint/simulation.hh"
+#include "workloads/workload.hh"
+
+using namespace csprint;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+elapsedMs(Clock::time_point a, Clock::time_point b)
+{
+    return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/** Bit-for-bit equality of two coupled runs, traces included. */
+bool
+exactSameRun(const RunResult &a, const RunResult &b, std::string &why)
+{
+    auto fail = [&why](const char *what) {
+        why = what;
+        return false;
+    };
+    if (a.machine.cycles != b.machine.cycles)
+        return fail("cycles");
+    if (a.machine.ops_retired != b.machine.ops_retired)
+        return fail("ops_retired");
+    if (a.machine.ops_by_kind != b.machine.ops_by_kind)
+        return fail("ops_by_kind");
+    if (a.machine.idle_cycles != b.machine.idle_cycles)
+        return fail("idle_cycles");
+    if (a.machine.l1_hits != b.machine.l1_hits)
+        return fail("l1_hits");
+    if (a.machine.l1_misses != b.machine.l1_misses)
+        return fail("l1_misses");
+    if (a.machine.dynamic_energy != b.machine.dynamic_energy)
+        return fail("dynamic_energy");
+    if (a.task_time != b.task_time)
+        return fail("task_time");
+    if (a.dynamic_energy != b.dynamic_energy)
+        return fail("run dynamic_energy");
+    if (a.peak_junction != b.peak_junction)
+        return fail("peak_junction");
+    if (a.sprint_exhausted != b.sprint_exhausted)
+        return fail("sprint_exhausted");
+    if (a.hardware_throttled != b.hardware_throttled)
+        return fail("hardware_throttled");
+    if (a.junction_trace.size() != b.junction_trace.size())
+        return fail("junction_trace size");
+    for (std::size_t i = 0; i < a.junction_trace.size(); ++i) {
+        if (a.junction_trace.timeAt(i) != b.junction_trace.timeAt(i) ||
+            a.junction_trace.valueAt(i) != b.junction_trace.valueAt(i))
+            return fail("junction_trace");
+    }
+    return true;
+}
+
+/** One timed raw-machine run (no thermal coupling). */
+struct MachineRun
+{
+    double ms = 0.0;
+    MachineStats stats;
+};
+
+MachineRun
+timedMachineRun(const ParallelProgram &prog, SprintConfig cfg,
+                int dispatch_threads)
+{
+    cfg.machine.dispatch_threads = dispatch_threads;
+    std::unique_ptr<Machine> machine = prepareMachine(prog, cfg);
+    const auto t0 = Clock::now();
+    machine->run();
+    const auto t1 = Clock::now();
+    MachineRun r;
+    r.ms = elapsedMs(t0, t1);
+    r.stats = machine->stats();
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args(argc, argv, {"out"});
+    const std::string out_path = args.get("out", "BENCH_manycore.json");
+
+    // --- Gate 1: Figure 10 sweep past the 64-core cap. --------------
+    ExperimentSpec base_spec;
+    base_spec.kernel = KernelId::Sobel;
+    base_spec.size = InputSize::B;
+    base_spec.time_scale = 1e-2;
+    const RunResult base = runBaselineExperiment(base_spec);
+
+    const std::vector<int> widths = {16, 64, 256, 1024};
+    std::vector<double> sweep_speedup;
+    std::vector<std::uint64_t> sweep_ops;
+    bool sweep_ok = true;
+    for (int cores : widths) {
+        ExperimentSpec spec = base_spec;
+        spec.cores = cores;
+        const RunResult run = runParallelSprintExperiment(spec);
+        const double sp = speedupOver(base, run);
+        sweep_speedup.push_back(sp);
+        sweep_ops.push_back(run.machine.ops_retired);
+        if (run.machine.ops_retired == 0)
+            sweep_ok = false;
+        std::cout << "fig10 manycore: " << cores << " cores, speedup "
+                  << sp << "x, " << run.machine.ops_retired
+                  << " ops\n";
+    }
+    if (sweep_speedup[2] <= 1.0)  // 256 cores must beat the baseline
+        sweep_ok = false;
+    if (!sweep_ok)
+        std::cerr << "fig10 manycore sweep FAIL\n";
+
+    // --- Gate 2: sparse directory == full map at 256 cores. ---------
+    bool sparse_ok = true;
+    std::string sparse_why;
+    {
+        const ParallelProgram prog =
+            buildKernelProgram(KernelId::Sobel, InputSize::B, 42);
+        SprintConfig cfg =
+            SprintConfig::parallelSprint(256, kFullPcm, 1e-2);
+        const RunResult sparse = runSprint(prog, cfg);
+        cfg.machine.l2.directory = DirectoryKind::FullMap;
+        const RunResult fullmap = runSprint(prog, cfg);
+        sparse_ok = exactSameRun(sparse, fullmap, sparse_why);
+        std::cout << "sparse directory parity (256 cores): "
+                  << (sparse_ok ? "exact" : "MISMATCH: " + sparse_why)
+                  << "\n";
+    }
+
+    // --- Gate 3: parallel dispatch == serial, 1/2/8 threads. --------
+    bool dispatch_ok = true;
+    std::string dispatch_why;
+    {
+        ExperimentSpec spec;
+        spec.kernel = KernelId::Sobel;
+        spec.size = InputSize::A;
+        spec.cores = 16;
+        const RunResult serial = runParallelSprintExperiment(spec);
+        for (int threads : {2, 8}) {
+            ExperimentSpec par = spec;
+            par.dispatch_threads = threads;
+            const RunResult run = runParallelSprintExperiment(par);
+            std::string why;
+            if (!exactSameRun(serial, run, why)) {
+                dispatch_ok = false;
+                dispatch_why =
+                    std::to_string(threads) + " threads: " + why;
+                std::cerr << "dispatch parity MISMATCH ("
+                          << dispatch_why << ")\n";
+            }
+        }
+        std::cout << "dispatch parity (16 cores, 1/2/8 threads): "
+                  << (dispatch_ok ? "exact" : "MISMATCH") << "\n";
+    }
+
+    // --- Gate 4: event-loop wall-clock with 8 dispatch lanes. -------
+    const unsigned hw = std::thread::hardware_concurrency();
+    const bool speedup_gated = hw >= 8;
+    bool speedup_ok = true;
+    double serial_ms = 0.0;
+    double parallel_ms = 0.0;
+    double dispatch_speedup = 0.0;
+    {
+        const ParallelProgram prog =
+            buildKernelProgram(KernelId::Sobel, InputSize::C, 42);
+        const SprintConfig cfg =
+            SprintConfig::parallelSprint(16, kFullPcm, 1e-2);
+        timedMachineRun(prog, cfg, 1);  // warm the page cache / JIT-ish
+        const MachineRun serial = timedMachineRun(prog, cfg, 1);
+        const MachineRun parallel = timedMachineRun(prog, cfg, 8);
+        serial_ms = serial.ms;
+        parallel_ms = parallel.ms;
+        dispatch_speedup = serial.ms / parallel.ms;
+        // Parity between the timed runs is unconditional.
+        if (serial.stats.cycles != parallel.stats.cycles ||
+            serial.stats.ops_retired != parallel.stats.ops_retired ||
+            serial.stats.dynamic_energy !=
+                parallel.stats.dynamic_energy) {
+            dispatch_ok = false;
+            dispatch_why = "timed-run stats diverged";
+            std::cerr << "dispatch parity MISMATCH (timed runs)\n";
+        }
+        if (speedup_gated && dispatch_speedup < 2.0)
+            speedup_ok = false;
+        std::cout << "dispatch speedup (16 cores, sobel-C): serial "
+                  << serial_ms << " ms, 8 lanes " << parallel_ms
+                  << " ms, " << dispatch_speedup << "x ("
+                  << hw << " hw threads, gate "
+                  << (speedup_gated ? "enforced" : "advisory") << ")"
+                  << (speedup_ok ? "" : "  FAIL (< 2x)") << "\n";
+    }
+
+    // --- Emit the report. -------------------------------------------
+    std::ofstream out(out_path);
+    if (!out) {
+        std::cerr << "FAIL: cannot open " << out_path
+                  << " for writing\n";
+        return 1;
+    }
+    out.precision(6);
+    out << "{\n"
+        << "  \"schema\": \"csprint-manycore-bench-v1\",\n"
+        << "  \"fig10_manycore\": {\n"
+        << "    \"config\": \"sobel-B, time scale 1e-2, parallel "
+           "sprint vs 1-core baseline\",\n"
+        << "    \"cores\": [16, 64, 256, 1024],\n"
+        << "    \"speedup\": [" << sweep_speedup[0] << ", "
+        << sweep_speedup[1] << ", " << sweep_speedup[2] << ", "
+        << sweep_speedup[3] << "],\n"
+        << "    \"ops_retired\": [" << sweep_ops[0] << ", "
+        << sweep_ops[1] << ", " << sweep_ops[2] << ", " << sweep_ops[3]
+        << "],\n"
+        << "    \"pass\": " << (sweep_ok ? "true" : "false") << "\n"
+        << "  },\n"
+        << "  \"sparse_parity\": {\n"
+        << "    \"config\": \"256-core sobel-B coupled sprint, sparse "
+           "vs full-map directory\",\n"
+        << "    \"exact\": " << (sparse_ok ? "true" : "false");
+    if (!sparse_ok)
+        out << ",\n    \"first_mismatch\": \"" << sparse_why << "\"";
+    out << "\n  },\n"
+        << "  \"dispatch_parity\": {\n"
+        << "    \"config\": \"16-core sobel-A coupled sprint, 1/2/8 "
+           "dispatch threads + timed raw runs\",\n"
+        << "    \"exact\": " << (dispatch_ok ? "true" : "false");
+    if (!dispatch_ok)
+        out << ",\n    \"first_mismatch\": \"" << dispatch_why << "\"";
+    out << "\n  },\n"
+        << "  \"dispatch_speedup\": {\n"
+        << "    \"config\": \"raw 16-core sobel-C event loop, 8 "
+           "dispatch lanes vs serial\",\n"
+        << "    \"serial_ms\": " << serial_ms << ",\n"
+        << "    \"parallel_ms\": " << parallel_ms << ",\n"
+        << "    \"speedup\": " << dispatch_speedup << ",\n"
+        << "    \"budget_speedup\": 2.0,\n"
+        << "    \"hardware_threads\": " << hw << ",\n"
+        << "    \"gate_enforced\": "
+        << (speedup_gated ? "true" : "false") << ",\n"
+        << "    \"pass\": " << (speedup_ok ? "true" : "false") << "\n"
+        << "  }\n"
+        << "}\n";
+    std::cout << "wrote " << out_path << "\n";
+
+    if (!sweep_ok) {
+        std::cerr << "FAIL: many-core fig10 sweep\n";
+        return 1;
+    }
+    if (!sparse_ok) {
+        std::cerr << "FAIL: sparse directory diverged from full map\n";
+        return 1;
+    }
+    if (!dispatch_ok) {
+        std::cerr << "FAIL: parallel dispatch diverged from serial\n";
+        return 1;
+    }
+    if (!speedup_ok) {
+        std::cerr << "FAIL: dispatch speedup below 2x\n";
+        return 1;
+    }
+    return 0;
+}

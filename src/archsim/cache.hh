@@ -110,8 +110,23 @@ class Cache
         return way;
     }
 
+    /** Bits reserved for the way in a packHit() entry (assoc <= 16). */
+    static constexpr int kWayBits = 4;
+
     /**
-     * Replay a batch of probed hits, each packed as (set << 4 | way):
+     * Pack a probed hit's (set, way) into the single word
+     * commitHits() replays — the shared encoding between the stride
+     * probe's memo queue (Machine's probe_mem) and the replay here.
+     */
+    static std::uint32_t packHit(std::uint64_t set, int way)
+    {
+        return static_cast<std::uint32_t>(
+            (set << kWayBits) |
+            (static_cast<std::uint64_t>(way) & ((1u << kWayBits) - 1)));
+    }
+
+    /**
+     * Replay a batch of probed hits, each packed by packHit():
      * exactly the recency and counter updates of hitting accesses.
      * The caller guarantees (via the stride probe) that each access
      * was a local hit at its nominal cycle and that no mutation has
@@ -120,8 +135,8 @@ class Cache
     void commitHits(const std::uint32_t *setway, std::size_t n)
     {
         for (std::size_t j = 0; j < n; ++j)
-            touch(meta[setway[j] >> 4],
-                  static_cast<int>(setway[j] & 0xF));
+            touch(meta[setway[j] >> kWayBits],
+                  static_cast<int>(setway[j] & ((1u << kWayBits) - 1)));
         counters.hits += n;
     }
 

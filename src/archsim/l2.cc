@@ -1,14 +1,136 @@
 #include "archsim/l2.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace csprint {
 
-SharedL2::SharedL2(const L2Config &cfg, MemorySystem &memory)
-    : cfg(cfg), memory(memory),
+SharedL2::SharedL2(const L2Config &cfg, MemorySystem &memory,
+                   int num_cores)
+    : cfg(cfg), memory(memory), num_cores(num_cores),
+      words_per_block(static_cast<std::size_t>((num_cores + 63) / 64)),
       tags(cfg.size_bytes, cfg.assoc, cfg.line_bytes),
-      dir(tags.numSlots())
+      dir(tags.numSlots()), l1_mutations(num_cores)
 {
+    SPRINT_ASSERT(num_cores >= 1, "directory needs at least one core");
+    SPRINT_ASSERT(num_cores <= 32767,
+                  "directory pointers are 16-bit core ids");
+}
+
+std::uint32_t
+SharedL2::allocBlock()
+{
+    std::uint32_t b;
+    if (!pool_free.empty()) {
+        b = pool_free.back();
+        pool_free.pop_back();
+    } else {
+        b = static_cast<std::uint32_t>(pool.size() / words_per_block);
+        pool.resize(pool.size() + words_per_block);
+    }
+    std::uint64_t *words = &pool[b * words_per_block];
+    std::fill(words, words + words_per_block, 0);
+    return b;
+}
+
+void
+SharedL2::spill(DirEntry &entry)
+{
+    const std::uint32_t b = allocBlock();
+    std::uint64_t *words = &pool[b * words_per_block];
+    for (int i = 0; i < entry.nptr; ++i) {
+        const int c = entry.ptr[i];
+        words[c >> 6] |= std::uint64_t(1) << (c & 63);
+    }
+    entry.ovf = b;
+    entry.overflow = true;
+    entry.nptr = 0;
+    // FullMap entries live on the bitset path from their first
+    // sharer; only a genuine limited-pointer overflow is a spill.
+    if (cfg.directory == DirectoryKind::Sparse)
+        ++counters.directory_spills;
+}
+
+bool
+SharedL2::hasSharer(const DirEntry &entry, int core) const
+{
+    if (entry.overflow) {
+        return (pool[entry.ovf * words_per_block + (core >> 6)] >>
+                (core & 63)) &
+               1u;
+    }
+    for (int i = 0; i < entry.nptr; ++i) {
+        if (entry.ptr[i] == core)
+            return true;
+    }
+    return false;
+}
+
+void
+SharedL2::addSharer(DirEntry &entry, int core)
+{
+    if (entry.overflow) {
+        pool[entry.ovf * words_per_block + (core >> 6)] |=
+            std::uint64_t(1) << (core & 63);
+        return;
+    }
+    for (int i = 0; i < entry.nptr; ++i) {
+        if (entry.ptr[i] == core)
+            return;
+    }
+    if (cfg.directory == DirectoryKind::FullMap ||
+        entry.nptr == kInlineSharers) {
+        spill(entry);
+        pool[entry.ovf * words_per_block + (core >> 6)] |=
+            std::uint64_t(1) << (core & 63);
+        return;
+    }
+    // Keep the inline list sorted so forEachSharer visits cores in
+    // ascending id order on both representations.
+    int i = entry.nptr;
+    while (i > 0 && entry.ptr[i - 1] > core) {
+        entry.ptr[i] = entry.ptr[i - 1];
+        --i;
+    }
+    entry.ptr[i] = static_cast<std::int16_t>(core);
+    ++entry.nptr;
+}
+
+void
+SharedL2::removeSharer(DirEntry &entry, int core)
+{
+    if (entry.overflow) {
+        pool[entry.ovf * words_per_block + (core >> 6)] &=
+            ~(std::uint64_t(1) << (core & 63));
+        return;
+    }
+    for (int i = 0; i < entry.nptr; ++i) {
+        if (entry.ptr[i] != core)
+            continue;
+        for (int j = i + 1; j < entry.nptr; ++j)
+            entry.ptr[j - 1] = entry.ptr[j];
+        --entry.nptr;
+        return;
+    }
+}
+
+void
+SharedL2::clearSharers(DirEntry &entry)
+{
+    if (entry.overflow) {
+        pool_free.push_back(entry.ovf);
+        entry.overflow = false;
+    }
+    entry.nptr = 0;
+}
+
+void
+SharedL2::clearEntry(DirEntry &entry)
+{
+    clearSharers(entry);
+    entry.dirty_owner = -1;
+    entry.l2_dirty = false;
 }
 
 void
@@ -17,48 +139,54 @@ SharedL2::evictRecall(std::uint64_t line, const DirEntry &victim,
 {
     // Inclusion: recall the line from every L1 holding it.
     bool any_l1_dirty = false;
-    for (std::size_t c = 0; c < l1s.size(); ++c) {
-        if (victim.sharers & (1ULL << c)) {
-            any_l1_dirty |= l1s[c].invalidate(line);
-            l1_mutations |= 1ULL << c;
-            ++counters.inclusion_recalls;
-        }
-    }
+    forEachSharer(victim, [&](int c) {
+        any_l1_dirty |= l1s[static_cast<std::size_t>(c)].invalidate(line);
+        l1_mutations.add(c);
+        ++counters.inclusion_recalls;
+    });
     if (victim.l2_dirty || any_l1_dirty)
         memory.writeback(line, now);
 }
 
-std::uint64_t
-SharedL2::peekL1Targets(std::uint64_t line, bool write,
-                        int requester) const
+void
+SharedL2::peekL1Targets(std::uint64_t line, bool write, int requester,
+                        CoreSet &out) const
 {
+    if (out.capacity() != num_cores)
+        out.resize(num_cores);
+    else
+        out.clear();
     bool hit = false;
     const std::size_t slot = tags.peekSlot(line, hit);
-    const std::uint64_t req_bit = 1ULL << requester;
     if (hit) {
         const DirEntry &entry = dir[slot];
-        if (write)
-            return entry.sharers & ~req_bit;
-        if (entry.dirty_owner >= 0 && entry.dirty_owner != requester)
-            return 1ULL << entry.dirty_owner;
-        return 0;
+        if (write) {
+            forEachSharer(entry, [&](int c) {
+                if (c != requester)
+                    out.add(c);
+            });
+        } else if (entry.dirty_owner >= 0 &&
+                   entry.dirty_owner != requester) {
+            out.add(entry.dirty_owner);
+        }
+        return;
     }
     // Miss: an eviction recalls the victim line from every sharer;
     // the freshly installed entry has no other sharers to act on.
-    return tags.validAt(slot) ? dir[slot].sharers : 0;
+    if (tags.validAt(slot))
+        forEachSharer(dir[slot], [&](int c) { out.add(c); });
 }
 
 Cycles
 SharedL2::access(std::uint64_t line, bool write, int requester,
                  Cycles now, std::vector<Cache> &l1s)
 {
-    SPRINT_ASSERT(requester >= 0 &&
-                      static_cast<std::size_t>(requester) < l1s.size(),
+    SPRINT_ASSERT(requester >= 0 && requester < num_cores,
                   "bad requester");
-    SPRINT_ASSERT(l1s.size() <= 64, "directory bitmap supports 64 cores");
+    SPRINT_ASSERT(l1s.size() == static_cast<std::size_t>(num_cores),
+                  "L1 set does not match the directory width");
 
     Cycles latency = cfg.hit_latency;
-    const std::uint64_t req_bit = 1ULL << requester;
 
     const CacheAccessResult tag_result = tags.access(line, false);
     DirEntry &entry = dir[tag_result.slot];
@@ -72,25 +200,26 @@ SharedL2::access(std::uint64_t line, bool write, int requester,
             // The slot still holds the victim's directory state.
             evictRecall(tag_result.evicted_line, entry, now, l1s);
         }
-        entry = DirEntry{};
+        clearEntry(entry);
     }
 
     if (write) {
         // Invalidate every other sharer.
         bool remote = false;
-        for (std::size_t c = 0; c < l1s.size(); ++c) {
-            const std::uint64_t bit = 1ULL << c;
-            if ((entry.sharers & bit) && static_cast<int>(c) != requester) {
-                const bool was_dirty = l1s[c].invalidate(line);
-                if (was_dirty)
-                    entry.l2_dirty = true;
-                l1_mutations |= bit;
-                ++counters.invalidations_sent;
-                remote = true;
-            }
-        }
-        entry.sharers = req_bit;
-        entry.dirty_owner = requester;
+        forEachSharer(entry, [&](int c) {
+            if (c == requester)
+                return;
+            const bool was_dirty =
+                l1s[static_cast<std::size_t>(c)].invalidate(line);
+            if (was_dirty)
+                entry.l2_dirty = true;
+            l1_mutations.add(c);
+            ++counters.invalidations_sent;
+            remote = true;
+        });
+        clearSharers(entry);
+        addSharer(entry, requester);
+        entry.dirty_owner = static_cast<std::int16_t>(requester);
         entry.l2_dirty = true;
         if (remote)
             latency += cfg.coherence_penalty;
@@ -98,13 +227,13 @@ SharedL2::access(std::uint64_t line, bool write, int requester,
         // Downgrade a remote dirty owner so the reader sees clean data.
         if (entry.dirty_owner >= 0 && entry.dirty_owner != requester) {
             l1s[entry.dirty_owner].markClean(line);
-            l1_mutations |= 1ULL << entry.dirty_owner;
+            l1_mutations.add(entry.dirty_owner);
             entry.l2_dirty = true;
             entry.dirty_owner = -1;
             ++counters.downgrades_sent;
             latency += cfg.coherence_penalty;
         }
-        entry.sharers |= req_bit;
+        addSharer(entry, requester);
     }
     return latency;
 }
@@ -117,7 +246,7 @@ SharedL2::writebackFromL1(std::uint64_t line, int from, Cycles now)
     if (slot != Cache::kNoSlot) {
         DirEntry &entry = dir[slot];
         entry.l2_dirty = true;
-        entry.sharers &= ~(1ULL << from);
+        removeSharer(entry, from);
         if (entry.dirty_owner == from)
             entry.dirty_owner = -1;
     } else {
@@ -130,19 +259,30 @@ SharedL2::writebackFromL1(std::uint64_t line, int from, Cycles now)
 void
 SharedL2::dropCore(int core, std::vector<Cache> &l1s)
 {
-    const std::uint64_t bit = 1ULL << core;
     for (std::size_t slot = 0; slot < dir.size(); ++slot) {
         DirEntry &entry = dir[slot];
-        if (!(entry.sharers & bit) || !tags.validAt(slot))
+        if (!tags.validAt(slot) || !hasSharer(entry, core))
             continue;
-        if (l1s[core].invalidate(tags.lineAt(slot)))
+        if (l1s[static_cast<std::size_t>(core)].invalidate(
+                tags.lineAt(slot)))
             entry.l2_dirty = true;
-        l1_mutations |= bit;
-        entry.sharers &= ~bit;
+        l1_mutations.add(core);
+        removeSharer(entry, core);
         if (entry.dirty_owner == core)
             entry.dirty_owner = -1;
     }
-    l1s[core].flush();
+    l1s[static_cast<std::size_t>(core)].flush();
+}
+
+int
+SharedL2::sharerCount(std::uint64_t line) const
+{
+    const std::size_t slot = tags.findSlot(line);
+    if (slot == Cache::kNoSlot)
+        return 0;
+    int count = 0;
+    forEachSharer(dir[slot], [&](int) { ++count; });
+    return count;
 }
 
 void
@@ -152,10 +292,36 @@ SharedL2::adoptState(SharedL2 &&prev)
                       cfg.assoc == prev.cfg.assoc &&
                       cfg.line_bytes == prev.cfg.line_bytes,
                   "L2 state adoption requires identical geometry");
+    SPRINT_ASSERT(cfg.directory == prev.cfg.directory,
+                  "L2 state adoption requires one directory kind");
     tags = std::move(prev.tags);
     tags.resetStats();
     dir = std::move(prev.dir);
-    l1_mutations = 0;
+    if (words_per_block == prev.words_per_block) {
+        pool = std::move(prev.pool);
+        pool_free = std::move(prev.pool_free);
+    } else {
+        // Re-pack overflow bitsets to this directory's width. The
+        // caller dropped every core at or beyond num_cores from the
+        // adopted directory, so truncated words must be empty.
+        pool.clear();
+        pool_free.clear();
+        const std::size_t keep =
+            std::min(words_per_block, prev.words_per_block);
+        for (DirEntry &entry : dir) {
+            if (!entry.overflow)
+                continue;
+            const std::uint64_t *src =
+                &prev.pool[entry.ovf * prev.words_per_block];
+            for (std::size_t w = keep; w < prev.words_per_block; ++w)
+                SPRINT_ASSERT(src[w] == 0,
+                              "adopted sharer beyond directory width");
+            const std::uint32_t b = allocBlock();
+            std::copy(src, src + keep, &pool[b * words_per_block]);
+            entry.ovf = b;
+        }
+    }
+    l1_mutations.clear();
     counters = L2Stats();
 }
 

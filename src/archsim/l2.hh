@@ -1,9 +1,9 @@
 /**
  * @file
- * Shared, inclusive last-level cache with a co-located full-map
- * directory implementing invalidation-based coherence (paper
- * Section 8.1: "a standard invalidation-based cache coherence protocol
- * with the directory co-located with the last-level cache").
+ * Shared, inclusive last-level cache with a co-located directory
+ * implementing invalidation-based coherence (paper Section 8.1: "a
+ * standard invalidation-based cache coherence protocol with the
+ * directory co-located with the last-level cache").
  *
  * On a write, all other sharers' L1 copies are invalidated; on a read
  * of a line another core holds dirty, the owner is downgraded and its
@@ -11,24 +11,43 @@
  * the line from every L1 that holds it.
  *
  * The directory is stored as a flat array parallel to the tag store
- * (one entry per tag slot, holding a fixed 64-bit sharer bitmask keyed
- * by core id), so a directory lookup is the slot index returned by the
- * tag access — no per-line hashed container on the hot path. Inclusion
- * guarantees the invariant that a line has directory state iff it is
- * resident in the L2 tags.
+ * (one entry per tag slot), so a directory lookup is the slot index
+ * returned by the tag access — no per-line hashed container on the hot
+ * path. Inclusion guarantees the invariant that a line has directory
+ * state iff it is resident in the L2 tags.
+ *
+ * Sharer sets use a limited-pointer representation (the Graphite
+ * sparse-directory scheme): each entry holds up to kInlineSharers core
+ * ids inline, covering the overwhelmingly common few-sharers case in
+ * 16 bytes regardless of machine width. An entry that gains more
+ * sharers spills to a full bitset block in a per-L2 overflow pool
+ * sized for the core count, so the machine scales past the old 64-bit
+ * bitmask cap to 1024+ cores. DirectoryKind::FullMap forces every
+ * entry onto the bitset path and serves as the differential baseline
+ * for the spill machinery (tests/differential_test.cc holds the two
+ * representations bit-identical).
  */
 
 #ifndef CSPRINT_ARCHSIM_L2_HH
 #define CSPRINT_ARCHSIM_L2_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "archsim/cache.hh"
+#include "archsim/coreset.hh"
 #include "archsim/memory.hh"
 #include "common/units.hh"
 
 namespace csprint {
+
+/** Directory sharer-set representation. */
+enum class DirectoryKind : unsigned char
+{
+    Sparse,   ///< limited pointers, spill to a bitset (production)
+    FullMap,  ///< every entry a full bitset (differential baseline)
+};
 
 /** Shared-L2 configuration (paper defaults). */
 struct L2Config
@@ -38,6 +57,7 @@ struct L2Config
     std::size_t line_bytes = 64;
     Cycles hit_latency = 20;
     Cycles coherence_penalty = 20;  ///< extra cycles to reach remote L1s
+    DirectoryKind directory = DirectoryKind::Sparse;
 };
 
 /** Coherence/LLC event counters. */
@@ -49,6 +69,7 @@ struct L2Stats
     std::uint64_t downgrades_sent = 0;
     std::uint64_t inclusion_recalls = 0;
     std::uint64_t writebacks_received = 0;
+    std::uint64_t directory_spills = 0;  ///< inline -> bitset promotions
 };
 
 /**
@@ -58,7 +79,10 @@ struct L2Stats
 class SharedL2
 {
   public:
-    SharedL2(const L2Config &cfg, MemorySystem &memory);
+    /** Sharer ids held inline before an entry spills to a bitset. */
+    static constexpr int kInlineSharers = 4;
+
+    SharedL2(const L2Config &cfg, MemorySystem &memory, int num_cores);
 
     /**
      * Core @p requester accesses @p line (read or write) at @p now.
@@ -79,28 +103,28 @@ class SharedL2
     void dropCore(int core, std::vector<Cache> &l1s);
 
     /**
-     * Bitmask of the cores whose L1s an access(line, write, requester)
-     * call would mutate, computed without side effects: sharers to be
-     * invalidated on a write, a remote dirty owner to be downgraded on
-     * a read, and every sharer of the tag victim an L2 miss would
-     * recall. The machine commits those cores' deferred local runs
-     * before issuing the access, so replayed ops never see
-     * post-mutation state.
+     * Fill @p out with the cores whose L1s an access(line, write,
+     * requester) call would mutate, computed without side effects:
+     * sharers to be invalidated on a write, a remote dirty owner to be
+     * downgraded on a read, and every sharer of the tag victim an L2
+     * miss would recall. The machine commits those cores' deferred
+     * local runs before issuing the access, so replayed ops never see
+     * post-mutation state. @p out may include @p requester on the miss
+     * path (the victim's sharers); callers skip it.
      */
-    std::uint64_t peekL1Targets(std::uint64_t line, bool write,
-                                int requester) const;
+    void peekL1Targets(std::uint64_t line, bool write, int requester,
+                       CoreSet &out) const;
 
     /**
-     * Bitmask of cores whose L1 contents this L2 has mutated
-     * (invalidations, downgrades, inclusion recalls, dropCore) since
-     * the last call; reading clears it. The machine's event loop uses
-     * it to invalidate cached stride probes precisely.
+     * Fill @p out with the cores whose L1 contents this L2 has
+     * mutated (invalidations, downgrades, inclusion recalls, dropCore)
+     * since the last call, then clear the pending set. The machine's
+     * event loop uses it to invalidate cached stride probes precisely.
      */
-    std::uint64_t takeL1Mutations()
+    void takeL1Mutations(CoreSet &out)
     {
-        const std::uint64_t m = l1_mutations;
-        l1_mutations = 0;
-        return m;
+        out = l1_mutations;
+        l1_mutations.clear();
     }
 
     /** Event counters. */
@@ -109,31 +133,86 @@ class SharedL2
     /** Configuration in use. */
     const L2Config &config() const { return cfg; }
 
+    /** Core count the directory was sized for. */
+    int numCores() const { return num_cores; }
+
+    /** Sharer count of @p line's entry (0 when absent); test hook. */
+    int sharerCount(std::uint64_t line) const;
+
     /**
-     * Adopt the tag and directory state of @p prev (identical
-     * geometry required), modelling a re-activation where the LLC
-     * contents survived across tasks. This L2 keeps its own memory
-     * system binding and starts with fresh event counters and no
-     * pending L1 mutations; @p prev must not be used afterwards.
+     * Adopt the tag and directory state of @p prev (identical cache
+     * geometry and directory kind required), modelling a re-activation
+     * where the LLC contents survived across tasks. Core counts may
+     * differ: overflow bitsets are re-packed to this directory's
+     * width, and @p prev must hold no sharer at or beyond this
+     * machine's core count (Machine::warmStartFrom drops them first).
+     * This L2 keeps its own memory-system binding and starts with
+     * fresh event counters and no pending L1 mutations; @p prev must
+     * not be used afterwards.
      */
     void adoptState(SharedL2 &&prev);
 
   private:
+    /**
+     * One directory entry, parallel to a tag slot. Sixteen bytes in
+     * both representations: the inline form lists up to kInlineSharers
+     * sharer ids in ascending order in ptr[0, nptr); the overflow form
+     * (overflow set, nptr unused) keys a words_per_block bitset at
+     * pool[ovf * words_per_block].
+     */
     struct DirEntry
     {
-        std::uint64_t sharers = 0;  ///< bitmap over cores
-        int dirty_owner = -1;       ///< core with a dirty L1 copy
-        bool l2_dirty = false;      ///< L2 copy newer than memory
+        std::array<std::int16_t, kInlineSharers> ptr{};
+        std::int16_t dirty_owner = -1;  ///< core with a dirty L1 copy
+        std::uint8_t nptr = 0;          ///< valid inline pointers
+        bool overflow = false;          ///< sharers live in the pool
+        bool l2_dirty = false;          ///< L2 copy newer than memory
+        std::uint32_t ovf = 0;          ///< overflow block index
     };
+
+    bool hasSharer(const DirEntry &entry, int core) const;
+    void addSharer(DirEntry &entry, int core);
+    void removeSharer(DirEntry &entry, int core);
+    /** Release the entry's sharers (and overflow block, if any). */
+    void clearSharers(DirEntry &entry);
+    /** Reset the whole entry for a fresh install. */
+    void clearEntry(DirEntry &entry);
+    /** Promote an inline entry to an overflow bitset block. */
+    void spill(DirEntry &entry);
+    std::uint32_t allocBlock();
+
+    /** Invoke @p fn(core_id) per sharer in ascending core-id order. */
+    template <typename Fn>
+    void forEachSharer(const DirEntry &entry, Fn &&fn) const
+    {
+        if (!entry.overflow) {
+            for (int i = 0; i < entry.nptr; ++i)
+                fn(static_cast<int>(entry.ptr[i]));
+            return;
+        }
+        const std::uint64_t *words =
+            &pool[static_cast<std::size_t>(entry.ovf) * words_per_block];
+        for (std::size_t w = 0; w < words_per_block; ++w) {
+            std::uint64_t bits = words[w];
+            while (bits) {
+                fn(static_cast<int>(w * 64) + __builtin_ctzll(bits));
+                bits &= bits - 1;
+            }
+        }
+    }
 
     void evictRecall(std::uint64_t line, const DirEntry &victim,
                      Cycles now, std::vector<Cache> &l1s);
 
     L2Config cfg;
     MemorySystem &memory;
+    int num_cores;
+    std::size_t words_per_block;  ///< 64-bit words per overflow bitset
     Cache tags;
     std::vector<DirEntry> dir;  ///< parallel to the tag slots
-    std::uint64_t l1_mutations = 0;  ///< cores with externally-changed L1s
+    std::vector<std::uint64_t> pool;       ///< overflow bitset storage
+    std::vector<std::uint32_t> pool_free;  ///< recycled block indices
+    CoreSet l1_mutations;  ///< cores with externally-changed L1s
     L2Stats counters;
 };
 

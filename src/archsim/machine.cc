@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/gang.hh"
 #include "common/logging.hh"
 
 namespace csprint {
@@ -20,8 +21,9 @@ Machine::Machine(const MachineConfig &config,
                  const ParallelProgram &prog)
     : cfg(config), program(prog), freq_mult(config.freq_mult)
 {
-    SPRINT_ASSERT(cfg.num_cores >= 1 && cfg.num_cores <= 64,
-                  "core count must be in [1, 64]");
+    SPRINT_ASSERT(cfg.num_cores >= 1 &&
+                      cfg.num_cores <= MachineConfig::kMaxCores,
+                  "core count must be in [1, kMaxCores]");
     SPRINT_ASSERT(cfg.num_threads >= 1, "need at least one thread");
     SPRINT_ASSERT(freq_mult > 0.0, "bad frequency multiplier");
     SPRINT_ASSERT(cfg.line_bytes > 0 &&
@@ -33,7 +35,9 @@ Machine::Machine(const MachineConfig &config,
 
     memory = std::make_unique<MemorySystem>(cfg.memory,
                                             cfg.nominal_clock, freq_mult);
-    l2 = std::make_unique<SharedL2>(cfg.l2, *memory);
+    l2 = std::make_unique<SharedL2>(cfg.l2, *memory, cfg.num_cores);
+    peek_targets.resize(cfg.num_cores);
+    l1_mutated.resize(cfg.num_cores);
 
     l1s.reserve(cfg.num_cores);
     cores.resize(cfg.num_cores);
@@ -237,20 +241,18 @@ Machine::precommitL1Targets(std::uint64_t line, bool write,
     // past `now`, else that core would have been dispatched first),
     // while a higher-id core's op at `now` comes after the mutation
     // and is re-evaluated once the stale probe is dropped.
-    std::uint64_t targets =
-        l2->peekL1Targets(line, write, requester) &
-        ~(std::uint64_t(1) << requester);
-    while (targets) {
-        const int y = __builtin_ctzll(targets);
-        targets &= targets - 1;
+    l2->peekL1Targets(line, write, requester, peek_targets);
+    peek_targets.forEach([&](int y) {
+        if (y == requester)
+            return;
         Core &cy = cores[y];
         const Cycles ty = next_event[y];
         if (!cy.active || ty > now || !streamCapable(cy, ty))
-            continue;
+            return;
         const Cycles k = now - ty + (y < requester ? 1 : 0);
         if (k > 0 && k <= cy.probe_local)
             commitRun(cy, ty, k);
-    }
+    });
 }
 
 Cycles
@@ -478,9 +480,7 @@ Machine::probeLocalRun(Core &core, const Thread &thread, Cycles cap)
             memo_key = key;
             const int way = l1.hitWay(line, kind == OpKind::Store);
             memo_ok = way >= 0;
-            memo_entry = static_cast<std::uint32_t>(
-                ((line & set_mask) << 4) |
-                static_cast<std::uint32_t>(way & 0xF));
+            memo_entry = Cache::packHit(line & set_mask, way);
         }
         if (!memo_ok)
             break;
@@ -746,12 +746,16 @@ Machine::runReference()
 }
 
 void
-Machine::commitRun(Core &core, Cycles from, Cycles k)
+Machine::commitRunInto(Core &core, Cycles from, Cycles k,
+                       EnergyTally &et)
 {
     // Replay @p k stride-verified local ops of the core's current
     // thread, occupying cycles [from, from + k). The probe guarantees
     // each replays as a one-cycle local op, and recorded the hit way
-    // of every memory op, so no lookup happens here.
+    // of every memory op, so no lookup happens here. Ops are charged
+    // to @p et — the shared tally in serial contexts, a per-lane
+    // scratch under parallel dispatch (everything else touched here
+    // is owned by @p core).
     SPRINT_ASSERT(k <= core.probe_local,
                   "stride commit exceeds its probe");
     Thread &thread = threads[core.current];
@@ -761,7 +765,7 @@ Machine::commitRun(Core &core, Cycles from, Cycles k)
         // blocker): apply the aggregated counts and replay the packed
         // hit list without touching the op array.
         for (std::size_t kd = 0; kd < kNumOpKinds; ++kd) {
-            tally.ops[kd] += core.probe_counts[kd];
+            et.ops[kd] += core.probe_counts[kd];
             core.probe_counts[kd] = 0;
         }
         l1.commitHits(core.probe_mem.data() + core.probe_mem_pos,
@@ -779,7 +783,7 @@ Machine::commitRun(Core &core, Cycles from, Cycles k)
         std::uint32_t mem_n = 0;
         for (; i != end; ++i) {
             const std::size_t kd = opKindIndex(ops[i].kind());
-            ++tally.ops[kd];
+            ++et.ops[kd];
             --core.probe_counts[kd];
             mem_n += isMemoryOp(ops[i].kind());
         }
@@ -793,12 +797,122 @@ Machine::commitRun(Core &core, Cycles from, Cycles k)
     next_event[core.id] = from + k;
 }
 
+WorkerGang *
+Machine::dispatchGang()
+{
+    if (cfg.dispatch_gang)
+        return cfg.dispatch_gang->lanes() > 1 ? cfg.dispatch_gang
+                                              : nullptr;
+    if (cfg.dispatch_threads <= 1 || cfg.num_cores <= 1)
+        return nullptr;
+    if (!own_gang) {
+        own_gang = std::make_unique<WorkerGang>(
+            std::min(cfg.dispatch_threads, cfg.num_cores));
+    }
+    return own_gang.get();
+}
+
+void
+Machine::prewarmProbes(WorkerGang &gang)
+{
+    // Serial pre-pass: collect every core the horizon scan below could
+    // ask for a probe extension. Using next_sample_at as the cap makes
+    // this a superset of the serial scan's probe set (its horizon only
+    // shrinks from there), and over-probing is pure lookahead: probes
+    // never touch machine state, so extending one further than the
+    // serial loop would cannot change the scan's outcome.
+    probe_need.clear();
+    const std::size_t ncores = cores.size();
+    const Cycles *ne = next_event.data();
+    const Cycles *re = reach.data();
+    const Cycles *qe = qend.data();
+    for (std::size_t c = 0; c < ncores; ++c) {
+        const Cycles t = ne[c];
+        if (t >= next_sample_at)
+            continue;
+        const Cycles r = std::min(re[c], qe[c]);
+        if (r >= next_sample_at)
+            continue;
+        Core &core = cores[c];
+        if (r <= t && !streamCapable(core, t))
+            continue;  // plain scheduler event: no probe involved
+        Cycles cap = next_sample_at - t;
+        if (qe[c] - t < cap)
+            cap = qe[c] - t;
+        if (!core.probe_blocked && core.probe_local < cap)
+            probe_need.push_back(static_cast<std::uint32_t>(c));
+    }
+    // Below the fanout threshold the fork/join handoff costs more
+    // than the probes; leave them to the serial scan.
+    if (probe_need.size() < 4)
+        return;
+    const int nl = gang.lanes();
+    gang.run([&](int lane) {
+        for (std::size_t i = static_cast<std::size_t>(lane);
+             i < probe_need.size();
+             i += static_cast<std::size_t>(nl)) {
+            const std::size_t c = probe_need[i];
+            Core &core = cores[c];
+            const Cycles t = next_event[c];
+            Cycles cap = next_sample_at - t;
+            if (qend[c] - t < cap)
+                cap = qend[c] - t;
+            probeLocalRun(core, threads[core.current], cap);
+            reach[c] = t + core.probe_local;
+        }
+    });
+}
+
+void
+Machine::mergeTally(EnergyTally &from)
+{
+    for (std::size_t k = 0; k < kNumOpKinds; ++k) {
+        tally.ops[k] += from.ops[k];
+        from.ops[k] = 0;
+    }
+    tally.idle_ticks += from.idle_ticks;
+    tally.l2_accesses += from.l2_accesses;
+    tally.dram_accesses += from.dram_accesses;
+    from.idle_ticks = 0;
+    from.l2_accesses = 0;
+    from.dram_accesses = 0;
+}
+
+void
+Machine::parallelBoundaryCommit(WorkerGang &gang, Cycles horizon)
+{
+    // Commit every deferred local run up to the sample boundary, each
+    // lane taking a strided share of the cores. A commit touches only
+    // its core's state, its thread's cursor, and its own L1; op
+    // charges land in per-lane tallies merged below (integer adds, so
+    // the merged totals match the serial loop's bit-for-bit).
+    const std::size_t ncores = cores.size();
+    const Cycles *ne = next_event.data();
+    const int nl = gang.lanes();
+    if (lane_tallies.size() < static_cast<std::size_t>(nl))
+        lane_tallies.resize(static_cast<std::size_t>(nl));
+    gang.run([&](int lane) {
+        EnergyTally &et = lane_tallies[static_cast<std::size_t>(lane)];
+        for (std::size_t c = static_cast<std::size_t>(lane); c < ncores;
+             c += static_cast<std::size_t>(nl)) {
+            const Cycles t = ne[c];
+            if (t < horizon)
+                commitRunInto(cores[c], t, horizon - t, et);
+        }
+    });
+    for (int l = 0; l < nl; ++l)
+        mergeTally(lane_tallies[static_cast<std::size_t>(l)]);
+}
+
 void
 Machine::runEventLoop()
 {
     constexpr Cycles kMaxCycles = 200ULL * 1000 * 1000 * 1000;
     const std::size_t ncores = cores.size();
+    WorkerGang *const gang = dispatchGang();
     while (!finished() && !aborted && !suspend_pending) {
+        if (gang && !mem_batch_ok)
+            prewarmProbes(*gang);
         // Find the earliest cycle at which anything non-local can
         // happen: a core's first op that is not a verified one-cycle
         // local op (L2-reaching access, lock, PAUSE, refill), a
@@ -860,10 +974,14 @@ Machine::runEventLoop()
         if (pick < 0) {
             // Nothing due before the sample boundary: commit every
             // deferred local run up to it and fire the hook.
-            for (std::size_t c = 0; c < ncores; ++c) {
-                const Cycles t = ne[c];
-                if (t < horizon)
-                    commitRun(cores[c], t, horizon - t);
+            if (gang && !mem_batch_ok) {
+                parallelBoundaryCommit(*gang, horizon);
+            } else {
+                for (std::size_t c = 0; c < ncores; ++c) {
+                    const Cycles t = ne[c];
+                    if (t < horizon)
+                        commitRun(cores[c], t, horizon - t);
+                }
             }
             cycle = horizon;
             fireSampleHook();
@@ -905,18 +1023,17 @@ Machine::runEventLoop()
         // L1s, their probes beyond this cycle are stale: commit the
         // still-valid prefix (ops strictly before the mutation) and
         // drop the rest for re-probing.
-        std::uint64_t mutated = l2->takeL1Mutations() &
-                                ~(std::uint64_t(1) << pick);
-        while (mutated) {
-            const int y = __builtin_ctzll(mutated);
-            mutated &= mutated - 1;
+        l2->takeL1Mutations(l1_mutated);
+        l1_mutated.forEach([&](int y) {
+            if (y == pick)
+                return;
             Core &cy = cores[y];
             const Cycles ty = next_event[y];
             if (cy.active && ty < cycle && streamCapable(cy, ty))
                 commitRun(cy, ty, cycle - ty);
             resetProbe(cy);
             reach[y] = next_event[y];
-        }
+        });
 
         SPRINT_ASSERT(cycle < kMaxCycles,
                       "machine exceeded the cycle safety bound");
@@ -933,6 +1050,11 @@ Machine::warmStartFrom(Machine &prev)
                       cfg.l1_assoc == prev.cfg.l1_assoc &&
                       cfg.line_bytes == prev.cfg.line_bytes,
                   "warm start requires identical L1 geometry");
+    // Adoption moves the predecessor's caches out, so a machine can
+    // seed at most one successor; catch a reused source here rather
+    // than crashing in the successor's first cache access.
+    SPRINT_ASSERT(!prev.l1s.empty() && prev.l1s[0].numSlots() > 0,
+                  "warm start source already consumed");
     // Narrowing re-activation: cores this machine does not have lose
     // their L1 contents. Dropping them from the predecessor's
     // directory first keeps the adopted directory consistent with the
@@ -946,6 +1068,10 @@ Machine::warmStartFrom(Machine &prev)
         l1s[c].resetStats();
     }
     l2->adoptState(std::move(*prev.l2));
+    // DRAM channels do not drain just because the cores re-activated:
+    // occupancy outstanding at the predecessor's final cycle carries
+    // into this machine's cycle domain (this machine starts at 0).
+    memory->adoptChannelState(*prev.memory, prev.cycle, cycle);
 }
 
 void

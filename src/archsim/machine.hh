@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "archsim/cache.hh"
+#include "archsim/coreset.hh"
 #include "archsim/l2.hh"
 #include "archsim/memory.hh"
 #include "archsim/program.hh"
@@ -41,6 +42,8 @@
 #include "energy/ops.hh"
 
 namespace csprint {
+
+class WorkerGang;
 
 /** Which scheduler loop Machine::run() executes. */
 enum class MachineLoop : unsigned char
@@ -52,6 +55,9 @@ enum class MachineLoop : unsigned char
 /** Machine configuration (paper defaults). */
 struct MachineConfig
 {
+    /** Upper bound on num_cores (directory pointer width, sanity). */
+    static constexpr int kMaxCores = 4096;
+
     int num_cores = 16;      ///< cores physically present and active
     int num_threads = 16;    ///< software threads executing the program
     Hertz nominal_clock = 1e9;
@@ -72,6 +78,28 @@ struct MachineConfig
     int spin_tries_before_pause = 16;   ///< lock spin before PAUSE
 
     MachineLoop loop = MachineLoop::EventDriven;
+
+    /**
+     * Host threads for the event-driven loop's dispatch work: stride
+     * probes are extended and sample-boundary commits replayed on a
+     * fork/join gang, partitioned by core id. Results are bit-identical
+     * for every value (see PERF.md, "Many-core machine"): the horizon
+     * scan's (cycle, core) outcome is canonical regardless of probe
+     * depth, and commit effects are per-core state plus integer energy
+     * tallies that merge order-independently. 1 = fully serial
+     * (default); ignored by the reference loop and in single-active-
+     * core mode.
+     */
+    int dispatch_threads = 1;
+
+    /**
+     * Optional externally owned gang for the dispatch work, reused
+     * across machines (e.g. one per ExperimentRunner worker thread).
+     * When null and dispatch_threads > 1 the machine lazily spawns a
+     * private gang. The gang must not be forked concurrently by two
+     * machines.
+     */
+    WorkerGang *dispatch_gang = nullptr;
 
     InstructionEnergyModel energy;
 
@@ -187,6 +215,12 @@ class Machine
     const MemoryStats &memoryStats() const { return memory->stats(); }
     const MachineConfig &config() const { return cfg; }
 
+    /**
+     * The machine's DRAM model; test hook for inspecting channel
+     * occupancy around warmStartFrom's adoptChannelState carry.
+     */
+    const MemorySystem &memorySystem() const { return *memory; }
+
     /** Wall-clock time simulated so far. */
     Seconds simTime() const;
 
@@ -278,7 +312,12 @@ class Machine
     bool streamCapable(const Core &core, Cycles now) const;
     void probeLocalRun(Core &core, const Thread &thread, Cycles cap);
     void resetProbe(Core &core);
-    void commitRun(Core &core, Cycles from, Cycles k);
+    void commitRun(Core &core, Cycles from, Cycles k)
+    {
+        commitRunInto(core, from, k, tally);
+    }
+    void commitRunInto(Core &core, Cycles from, Cycles k,
+                       EnergyTally &et);
     void precommitL1Targets(std::uint64_t line, bool write,
                             int requester, Cycles now);
     Cycles coreWake(const Core &core, Cycles now) const;
@@ -301,6 +340,10 @@ class Machine
     void runEventLoop();
     void runReference();
     void finishRun();
+    WorkerGang *dispatchGang();
+    void prewarmProbes(WorkerGang &gang);
+    void parallelBoundaryCommit(WorkerGang &gang, Cycles horizon);
+    void mergeTally(EnergyTally &from);
 
     MachineConfig cfg;
     const ParallelProgram &program;
@@ -311,6 +354,19 @@ class Machine
     std::vector<Core> cores;
     std::vector<Thread> threads;
     std::vector<LockState> locks;
+
+    // Scratch core sets for the directory exchange (sized once for
+    // num_cores so the hot path never allocates).
+    CoreSet peek_targets;
+    CoreSet l1_mutated;
+
+    // Parallel dispatch (see MachineConfig::dispatch_threads): the
+    // lazily spawned private gang, per-lane energy scratch tallies,
+    // and the per-iteration list of cores whose probes the horizon
+    // scan could extend.
+    std::unique_ptr<WorkerGang> own_gang;
+    std::vector<EnergyTally> lane_tallies;
+    std::vector<std::uint32_t> probe_need;
 
     std::size_t phase_idx = 0;
     std::size_t serial_next_task = 0;   ///< serial-phase task cursor

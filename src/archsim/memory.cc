@@ -63,6 +63,22 @@ MemorySystem::writeback(std::uint64_t line, Cycles now)
 }
 
 void
+MemorySystem::adoptChannelState(const MemorySystem &prev,
+                                Cycles prev_now, Cycles now)
+{
+    SPRINT_ASSERT(cfg.channels == prev.cfg.channels,
+                  "channel adoption requires one channel count");
+    // Cycle spans convert across domains by the clock-rate ratio.
+    const double ratio = (clock * mult) / (prev.clock * prev.mult);
+    const double t_prev = static_cast<double>(prev_now);
+    const double t_now = static_cast<double>(now);
+    for (std::size_t ch = 0; ch < next_free.size(); ++ch) {
+        const double residual = prev.next_free[ch] - t_prev;
+        next_free[ch] = residual > 0.0 ? t_now + residual * ratio : 0.0;
+    }
+}
+
+void
 MemorySystem::setFrequencyMult(double freq_mult, Cycles now)
 {
     SPRINT_ASSERT(freq_mult > 0.0, "bad frequency multiplier");

@@ -64,6 +64,25 @@ class MemorySystem
     /** Change the core-frequency multiplier (rescales cycle costs). */
     void setFrequencyMult(double freq_mult, Cycles now);
 
+    /**
+     * Adopt @p prev's outstanding channel occupancy (warm
+     * re-activation, Machine::warmStartFrom): each channel's residual
+     * busy span past @p prev_now — measured in @p prev's cycle
+     * domain — is rebased onto this system's clock at @p now, so a
+     * write-back burst in flight when a task was preempted still
+     * queues the successor's first misses instead of silently
+     * vanishing. Channel counts must match; wall-clock occupancy is
+     * preserved across differing clocks and DVFS multipliers.
+     */
+    void adoptChannelState(const MemorySystem &prev, Cycles prev_now,
+                           Cycles now);
+
+    /** Cycle at which @p channel next becomes free (test hook). */
+    double channelFreeAt(int channel) const
+    {
+        return next_free[static_cast<std::size_t>(channel)];
+    }
+
     /** Uncontended read latency in cycles at the current frequency. */
     Cycles uncontendedLatency() const;
 

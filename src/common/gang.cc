@@ -1,0 +1,63 @@
+#include "common/gang.hh"
+
+namespace csprint {
+
+WorkerGang::WorkerGang(int lanes) : nlanes(lanes < 1 ? 1 : lanes)
+{
+    members.reserve(static_cast<std::size_t>(nlanes - 1));
+    for (int lane = 1; lane < nlanes; ++lane)
+        members.emplace_back([this, lane] { workerLoop(lane); });
+}
+
+WorkerGang::~WorkerGang()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        stopping = true;
+    }
+    start_cv.notify_all();
+    for (auto &t : members)
+        t.join();
+}
+
+void
+WorkerGang::run(const std::function<void(int)> &fn)
+{
+    if (nlanes == 1) {
+        fn(0);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        job = &fn;
+        outstanding = nlanes - 1;
+        ++generation;
+    }
+    start_cv.notify_all();
+    fn(0);
+    std::unique_lock<std::mutex> lk(mu);
+    done_cv.wait(lk, [this] { return outstanding == 0; });
+    job = nullptr;
+}
+
+void
+WorkerGang::workerLoop(int lane)
+{
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lk(mu);
+    while (true) {
+        start_cv.wait(lk,
+                      [&] { return stopping || generation != seen; });
+        if (stopping)
+            return;
+        seen = generation;
+        const std::function<void(int)> *fn = job;
+        lk.unlock();
+        (*fn)(lane);
+        lk.lock();
+        if (--outstanding == 0)
+            done_cv.notify_one();
+    }
+}
+
+} // namespace csprint

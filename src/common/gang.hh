@@ -1,0 +1,64 @@
+/**
+ * @file
+ * A reusable fork/join worker gang: N lanes that repeatedly execute
+ * one callable in parallel and barrier before run() returns. Built for
+ * the machine's parallel event-loop dispatch (archsim cannot depend on
+ * the sprint runtime's job-queue pool), but generic: lane 0 runs on
+ * the calling thread, lanes 1..N-1 on host threads that persist across
+ * run() calls, so a hot loop pays two condvar handoffs per fork rather
+ * than a thread spawn.
+ *
+ * run() is not reentrant and the gang must not be shared between
+ * threads that fork concurrently; callers that multiplex machines over
+ * a pool keep one gang per pool worker (ExperimentRunner does).
+ */
+
+#ifndef CSPRINT_COMMON_GANG_HH
+#define CSPRINT_COMMON_GANG_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace csprint {
+
+class WorkerGang
+{
+  public:
+    /** A gang of @p lanes lanes (clamped to >= 1). */
+    explicit WorkerGang(int lanes);
+    ~WorkerGang();
+
+    WorkerGang(const WorkerGang &) = delete;
+    WorkerGang &operator=(const WorkerGang &) = delete;
+
+    /** Parallel width, including the caller's lane. */
+    int lanes() const { return nlanes; }
+
+    /**
+     * Invoke @p fn(lane) once per lane in [0, lanes()) and wait for
+     * every lane to finish. fn must partition its work by lane index;
+     * a single-lane gang degenerates to a plain call.
+     */
+    void run(const std::function<void(int)> &fn);
+
+  private:
+    void workerLoop(int lane);
+
+    int nlanes;
+    std::vector<std::thread> members;
+    std::mutex mu;
+    std::condition_variable start_cv;
+    std::condition_variable done_cv;
+    const std::function<void(int)> *job = nullptr;
+    std::uint64_t generation = 0;
+    int outstanding = 0;
+    bool stopping = false;
+};
+
+} // namespace csprint
+
+#endif // CSPRINT_COMMON_GANG_HH

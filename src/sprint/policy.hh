@@ -49,6 +49,21 @@ struct TaskSnapshot
     bool sprint_granted = false;    ///< valid once started
 };
 
+/**
+ * The structure of a policy's pickNext() order, when it has one the
+ * engine can exploit. Fifo and Urgency orders depend only on per-task
+ * constants (priority, absolute deadline, arrival), so the Scenario
+ * engine keeps its ready queue in a priority heap and dispatches in
+ * O(log n) instead of materializing a TaskSnapshot per queued task on
+ * every dispatch. Custom keeps the generic materialize-and-scan path.
+ */
+enum class DispatchOrder
+{
+    Fifo,    ///< always index 0 (the base-class pickNext)
+    Urgency, ///< priority desc, deadline asc, arrival asc, stable
+    Custom,  ///< opaque: the engine materializes and calls pickNext
+};
+
 /** What the engine should do with a task that arrives mid-task. */
 enum class ArrivalDecision
 {
@@ -300,6 +315,19 @@ class SprintPolicy
     }
 
     /**
+     * Declared structure of pickNext()'s order. Must agree with
+     * pickNext(): the generic scan stays the semantic definition and
+     * the heap dispatch is differentially gated against it
+     * (ScenarioConfig::generic_dispatch). A subclass that overrides
+     * pickNext() with anything but the stock orders must override
+     * this too — Custom is always safe.
+     */
+    virtual DispatchOrder dispatchOrder() const
+    {
+        return DispatchOrder::Fifo;
+    }
+
+    /**
      * A timeline task finished after @p service seconds of machine
      * time (ramps included, suspended waiting excluded); feedback for
      * service-time learners.
@@ -482,6 +510,10 @@ class QosPolicy : public GovernorBackedPolicy
                               const TaskSnapshot &incoming) override;
     std::size_t pickNext(const MobilePackageModel &package, Seconds now,
                          const std::vector<TaskSnapshot> &ready) override;
+    DispatchOrder dispatchOrder() const override
+    {
+        return DispatchOrder::Urgency;
+    }
     void onTaskComplete(const TaskSnapshot &task,
                         Seconds service) override;
 
@@ -517,6 +549,10 @@ class ModelPredictivePolicy : public GovernorBackedPolicy
                               const TaskSnapshot &incoming) override;
     std::size_t pickNext(const MobilePackageModel &package, Seconds now,
                          const std::vector<TaskSnapshot> &ready) override;
+    DispatchOrder dispatchOrder() const override
+    {
+        return DispatchOrder::Urgency;
+    }
     void onTaskComplete(const TaskSnapshot &task,
                         Seconds service) override;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <future>
 
 #include "common/logging.hh"
 
@@ -391,6 +392,244 @@ makeExecution(const ScenarioTask &task)
     return ex;
 }
 
+/**
+ * The engine's ready queue: insertion-ordered slots (a null marks a
+ * dispatched entry) plus, for policies with a declared static
+ * dispatch order, a binary heap over per-task dispatch keys so a
+ * large simultaneous arrival set dispatches in O(log n) instead of
+ * materializing a TaskSnapshot per queued task on every dispatch.
+ * The heap realizes exactly the generic scan's pick: the key orders
+ * by (priority desc, absolute deadline asc, arrival asc) with the
+ * insertion sequence as the final tie-break — the stable-first
+ * semantics of the preemptive policies' pickUrgent — and Fifo is the
+ * insertion sequence alone. Custom policies keep the generic
+ * pickNext path over the live entries in insertion order.
+ */
+class ReadyQueue
+{
+  public:
+    ReadyQueue(DispatchOrder order,
+               std::vector<std::unique_ptr<ScenarioTaskExecution>> from)
+        : order_(order)
+    {
+        slots_.reserve(from.size());
+        for (auto &ex : from)
+            push(std::move(ex));
+    }
+
+    bool empty() const { return live_ == 0; }
+    std::size_t size() const { return live_; }
+
+    void
+    push(std::unique_ptr<ScenarioTaskExecution> ex)
+    {
+        if (order_ == DispatchOrder::Urgency) {
+            const TaskSnapshot s = snapshotOfTask(ex->task);
+            heap_.push_back(HeapKey{s.deadline, s.arrival, s.priority,
+                                    slots_.size()});
+            std::push_heap(heap_.begin(), heap_.end(), dispatchesAfter);
+        }
+        slots_.push_back(std::move(ex));
+        ++live_;
+    }
+
+    /** The entry popOrdered() would dispatch (Fifo/Urgency only). */
+    const ScenarioTaskExecution *
+    peekOrdered() const
+    {
+        if (live_ == 0 || order_ == DispatchOrder::Custom)
+            return nullptr;
+        return slots_[order_ == DispatchOrder::Urgency
+                          ? heap_.front().slot
+                          : firstLive()]
+            .get();
+    }
+
+    /** Dispatch under the declared static order (Fifo or Urgency). */
+    std::unique_ptr<ScenarioTaskExecution>
+    popOrdered()
+    {
+        std::size_t slot;
+        if (order_ == DispatchOrder::Urgency) {
+            std::pop_heap(heap_.begin(), heap_.end(), dispatchesAfter);
+            slot = heap_.back().slot;
+            heap_.pop_back();
+        } else {
+            slot = firstLive();
+            head_ = slot + 1;
+        }
+        --live_;
+        return std::move(slots_[slot]);
+    }
+
+    /** Live entries, insertion order (the generic pickNext view). */
+    template <typename Fn>
+    void
+    forEachLive(Fn &&fn) const
+    {
+        for (const auto &ex : slots_) {
+            if (ex)
+                fn(*ex);
+        }
+    }
+
+    /** Dispatch the @p index-th live entry in insertion order. */
+    std::unique_ptr<ScenarioTaskExecution>
+    popAt(std::size_t index)
+    {
+        SPRINT_ASSERT(index < live_, "pickNext index out of range");
+        for (std::size_t slot = 0; slot < slots_.size(); ++slot) {
+            if (!slots_[slot])
+                continue;
+            if (index-- == 0) {
+                --live_;
+                return std::move(slots_[slot]);
+            }
+        }
+        SPRINT_PANIC("ready queue live count out of sync");
+    }
+
+    /** Compact into checkpoint form: live entries, insertion order. */
+    std::vector<std::unique_ptr<ScenarioTaskExecution>>
+    takeAll()
+    {
+        std::vector<std::unique_ptr<ScenarioTaskExecution>> out;
+        out.reserve(live_);
+        for (auto &ex : slots_) {
+            if (ex)
+                out.push_back(std::move(ex));
+        }
+        slots_.clear();
+        heap_.clear();
+        live_ = 0;
+        head_ = 0;
+        return out;
+    }
+
+  private:
+    struct HeapKey
+    {
+        Seconds deadline;
+        Seconds arrival;
+        int priority;
+        std::size_t slot; ///< insertion sequence (unique)
+    };
+
+    /**
+     * Strict "a dispatches after b": std::push_heap keeps the
+     * maximum at the front, so the front is the earliest dispatch.
+     * Slots are unique, making the order total — the heap's pick is
+     * deterministic and equals the stable scan's.
+     */
+    static bool
+    dispatchesAfter(const HeapKey &a, const HeapKey &b)
+    {
+        if (a.priority != b.priority)
+            return a.priority < b.priority;
+        if (a.deadline != b.deadline)
+            return a.deadline > b.deadline;
+        if (a.arrival != b.arrival)
+            return a.arrival > b.arrival;
+        return a.slot > b.slot;
+    }
+
+    /** First live slot (Fifo head, skipping dispatched entries). */
+    std::size_t
+    firstLive() const
+    {
+        std::size_t slot = head_;
+        while (!slots_[slot])
+            ++slot;
+        return slot;
+    }
+
+    DispatchOrder order_;
+    std::vector<std::unique_ptr<ScenarioTaskExecution>> slots_;
+    std::vector<HeapKey> heap_; ///< Urgency only
+    std::size_t live_ = 0;
+    mutable std::size_t head_ = 0; ///< Fifo scan resume point
+};
+
+/** The serial program build the engine has always performed. */
+ParallelProgram
+buildProgram(const ScenarioConfig &cfg, const ScenarioTask &task)
+{
+    return cfg.program_factory
+               ? cfg.program_factory(task)
+               : buildKernelProgram(task.kernel, task.size, task.seed);
+}
+
+/** Tasks match on every field the program build can observe. */
+bool
+sameTask(const ScenarioTask &a, const ScenarioTask &b)
+{
+    return a.arrival == b.arrival && a.kernel == b.kernel &&
+           a.size == b.size && a.seed == b.seed &&
+           a.priority == b.priority && a.deadline == b.deadline;
+}
+
+/**
+ * One program build in flight on a helper thread
+ * (ScenarioConfig::pipeline_build): the predicted next task plus the
+ * future of its build. The factory is pure, so a prebuilt program for
+ * a matching task is the serial build; a misprediction is drained and
+ * discarded.
+ */
+class ProgramPrebuilder
+{
+  public:
+    explicit ProgramPrebuilder(const ScenarioConfig &cfg) : cfg(cfg) {}
+
+    /** Drain any in-flight build before the futures dangle. */
+    ~ProgramPrebuilder() { cancel(); }
+
+    /** Start building @p task's program unless it is already queued. */
+    void
+    start(const ScenarioTask &task)
+    {
+        if (pending && sameTask(task_for, task))
+            return;
+        cancel();
+        task_for = task;
+        building = std::async(std::launch::async,
+                              [this] { return buildProgram(cfg, task_for); });
+        pending = true;
+    }
+
+    /**
+     * The prebuilt program when it was built for exactly @p task
+     * (blocking on the helper thread if the build is still running);
+     * null on a misprediction or when nothing was prebuilt.
+     */
+    std::unique_ptr<ParallelProgram>
+    take(const ScenarioTask &task)
+    {
+        if (!pending)
+            return nullptr;
+        pending = false;
+        if (!sameTask(task_for, task)) {
+            building.get(); // drain the mispredicted build
+            return nullptr;
+        }
+        return std::make_unique<ParallelProgram>(building.get());
+    }
+
+  private:
+    void
+    cancel()
+    {
+        if (pending) {
+            building.get();
+            pending = false;
+        }
+    }
+
+    const ScenarioConfig &cfg;
+    ScenarioTask task_for;
+    std::future<ParallelProgram> building;
+    bool pending = false;
+};
+
 } // namespace
 
 bool
@@ -427,11 +666,16 @@ advanceScenario(const ScenarioConfig &cfg, ScenarioCheckpoint &ck,
 
     // Scheduler state: arrivals delivered but not finished (value
     // entries or suspended live machines), plus the task on the
-    // machine right now. `ready` stays in arrival order so the
-    // default FIFO pickNext reproduces the classic engine.
-    std::vector<std::unique_ptr<ScenarioTaskExecution>> ready =
-        std::move(ck.ready);
+    // machine right now. The queue keeps entries in arrival order so
+    // the generic pickNext view reproduces the classic engine; a
+    // declared Fifo/Urgency order dispatches from the heap instead of
+    // materializing a snapshot per entry (bit-identical pick).
+    const DispatchOrder order = cfg.generic_dispatch
+                                    ? DispatchOrder::Custom
+                                    : policy->dispatchOrder();
+    ReadyQueue ready(order, std::move(ck.ready));
     std::unique_ptr<ScenarioTaskExecution> current;
+    ProgramPrebuilder prebuild(cfg);
 
     for (std::uint64_t completed = 0; completed < max_tasks;) {
         if (!current) {
@@ -444,7 +688,7 @@ advanceScenario(const ScenarioConfig &cfg, ScenarioCheckpoint &ck,
                                 next->arrival - ck.now);
                     ck.now = next->arrival;
                 }
-                ready.push_back(makeExecution(takePeek(ck)));
+                ready.push(makeExecution(takePeek(ck)));
             }
             // A preemptive policy ranks the whole eligible set:
             // deliver everything due by now, including arrivals that
@@ -455,21 +699,19 @@ advanceScenario(const ScenarioConfig &cfg, ScenarioCheckpoint &ck,
                 const ScenarioTask *due = peekArrival(cfg, ck);
                 if (!due || due->arrival > ck.now)
                     break;
-                ready.push_back(makeExecution(takePeek(ck)));
+                ready.push(makeExecution(takePeek(ck)));
             }
-            std::size_t pick = 0;
-            if (ready.size() > 1) {
+            if (order != DispatchOrder::Custom || ready.size() == 1) {
+                current = ready.popOrdered();
+            } else {
                 std::vector<TaskSnapshot> snaps;
                 snaps.reserve(ready.size());
-                for (const auto &ex : ready)
-                    snaps.push_back(snapshotOf(*ex));
-                pick = policy->pickNext(package, ck.now, snaps);
-                SPRINT_ASSERT(pick < ready.size(),
-                              "pickNext index out of range");
+                ready.forEachLive([&](const ScenarioTaskExecution &ex) {
+                    snaps.push_back(snapshotOf(ex));
+                });
+                current = ready.popAt(
+                    policy->pickNext(package, ck.now, snaps));
             }
-            current = std::move(ready[pick]);
-            ready.erase(ready.begin() +
-                        static_cast<std::ptrdiff_t>(pick));
 
             if (!current->started) {
                 current->first_start = ck.now;
@@ -480,17 +722,47 @@ advanceScenario(const ScenarioConfig &cfg, ScenarioCheckpoint &ck,
                 current->run_cfg = current->sprint_granted
                                        ? cfg.platform
                                        : denied_cfg;
-                current->program = std::make_unique<ParallelProgram>(
-                    cfg.program_factory
-                        ? cfg.program_factory(current->task)
-                        : buildKernelProgram(current->task.kernel,
-                                             current->task.size,
-                                             current->task.seed));
+                current->program = prebuild.take(current->task);
+                if (!current->program) {
+                    current->program = std::make_unique<ParallelProgram>(
+                        buildProgram(cfg, current->task));
+                } else if (cfg.verify_pipeline_build) {
+                    const ParallelProgram serial =
+                        buildProgram(cfg, current->task);
+                    SPRINT_ASSERT(
+                        programDigest(*current->program) ==
+                            programDigest(serial),
+                        "prebuilt program diverged from serial build");
+                }
                 current->machine =
                     prepareMachine(*current->program, current->run_cfg);
-                if (cfg.warm_caches && prev_machine)
+                if (cfg.warm_caches && prev_machine) {
                     current->machine->warmStartFrom(*prev_machine);
+                    // warmStartFrom moves the predecessor's caches
+                    // out, so the chain is consumed: a preemptor
+                    // dispatched before the next completion must
+                    // start cold, not adopt the gutted remains.
+                    prev_machine.reset();
+                    prev_program.reset();
+                }
                 current->started = true;
+            }
+            // Overlap the predicted next dispatch's program build
+            // with this task's pump. Only a fresh task at the front
+            // of a declared order (or, with an empty queue, the
+            // peeked arrival) is predictable; anything else —
+            // including a misprediction caused by a higher-urgency
+            // mid-pump arrival — falls back to the serial build.
+            if (cfg.pipeline_build &&
+                max_tasks - completed >= 2) {
+                const ScenarioTaskExecution *up = ready.peekOrdered();
+                if (up) {
+                    if (!up->started)
+                        prebuild.start(up->task);
+                } else if (ready.empty()) {
+                    if (const ScenarioTask *n = peekArrival(cfg, ck))
+                        prebuild.start(*n);
+                }
             }
             // The (re-)activation ramp heats nothing (cores are still
             // power-gated), even when no idle gap preceded this
@@ -538,10 +810,10 @@ advanceScenario(const ScenarioConfig &cfg, ScenarioCheckpoint &ck,
                     break;
                   case ArrivalDecision::Preempt:
                     preempt_req = true;
-                    ready.push_back(makeExecution(task));
+                    ready.push(makeExecution(task));
                     break;
                   case ArrivalDecision::Queue:
-                    ready.push_back(makeExecution(task));
+                    ready.push(makeExecution(task));
                     break;
                 }
             }
@@ -559,7 +831,7 @@ advanceScenario(const ScenarioConfig &cfg, ScenarioCheckpoint &ck,
             // Preempted: park the live execution back in the queue.
             ++current->preemptions;
             ++ck.preemptions;
-            ready.push_back(std::move(current));
+            ready.push(std::move(current));
             continue;
         }
 
@@ -619,7 +891,7 @@ advanceScenario(const ScenarioConfig &cfg, ScenarioCheckpoint &ck,
     SPRINT_ASSERT(!current, "engine left a task on the machine");
     ck.thermal = package.saveState();
     ck.policy_state = policy->saveState();
-    ck.ready = std::move(ready);
+    ck.ready = ready.takeAll();
     if (cfg.warm_caches) {
         ck.warm_machine = std::move(prev_machine);
         ck.warm_program = std::move(prev_program);

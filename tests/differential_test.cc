@@ -239,6 +239,83 @@ TEST(Differential, ArrivalCursorMatchesMaterializedTimeline)
     }
 }
 
+TEST(Differential, SparseDirectoryMatchesFullMap)
+{
+    // The limited-pointer directory (inline sharers + overflow
+    // bitsets) against the full-map baseline that forces every entry
+    // onto the bitset path: the representation must be invisible in
+    // every statistic and trace.
+    Rng rng(diffSeed() ^ 0xd1ec70aaULL);
+    for (int i = 0; i < 4; ++i) {
+        ScenarioConfig cfg = randomScenario(rng);
+        SCOPED_TRACE(describe(cfg, i));
+        const ScenarioResult sparse = runScenario(cfg);
+        ScenarioConfig flat = cfg;
+        flat.platform.machine.l2.directory = DirectoryKind::FullMap;
+        const ScenarioResult full = runScenario(flat);
+        expectSameScenario(sparse, full);
+    }
+}
+
+TEST(Differential, ParallelDispatchMatchesSerial)
+{
+    // Partitioned event-loop dispatch must be bit-identical to the
+    // serial loop for every host thread count.
+    Rng rng(diffSeed() ^ 0x90a11e70ULL);
+    for (int i = 0; i < 3; ++i) {
+        ScenarioConfig cfg = randomScenario(rng);
+        SCOPED_TRACE(describe(cfg, i));
+        const ScenarioResult serial = runScenario(cfg);
+        for (int threads : {2, 8}) {
+            SCOPED_TRACE("dispatch_threads=" +
+                         std::to_string(threads));
+            ScenarioConfig par = cfg;
+            par.platform.machine.dispatch_threads = threads;
+            expectSameScenario(serial, runScenario(par));
+        }
+    }
+}
+
+TEST(Differential, HeapDispatchMatchesGenericScan)
+{
+    // The ready queue's Urgency heap against the retained
+    // snapshot-materializing pickNext scan, on the policies that
+    // declare the urgency order and with queues deep enough to
+    // exercise reordering.
+    Rng rng(diffSeed() ^ 0xbea9dec5ULL);
+    for (int i = 0; i < 4; ++i) {
+        ScenarioConfig cfg = randomScenario(rng);
+        cfg.policy.kind = i % 2 == 0 ? SprintPolicyKind::Qos
+                                     : SprintPolicyKind::ModelPredictive;
+        if (i < 2)
+            cfg.pattern = ArrivalPattern::BackToBack;
+        cfg.num_tasks = 8;
+        cfg.hi_priority_fraction = 0.5;
+        SCOPED_TRACE(describe(cfg, i));
+        const ScenarioResult heap = runScenario(cfg);
+        ScenarioConfig generic = cfg;
+        generic.generic_dispatch = true;
+        expectSameScenario(heap, runScenario(generic));
+    }
+}
+
+TEST(Differential, PipelinedBuildMatchesSerial)
+{
+    // Building task i+1's program while task i pumps must be
+    // invisible; verify_pipeline_build additionally digests every
+    // prebuilt program against a serial rebuild inside the engine.
+    Rng rng(diffSeed() ^ 0x9192e11eULL);
+    for (int i = 0; i < 3; ++i) {
+        ScenarioConfig cfg = randomScenario(rng);
+        SCOPED_TRACE(describe(cfg, i));
+        const ScenarioResult serial = runScenario(cfg);
+        ScenarioConfig piped = cfg;
+        piped.pipeline_build = true;
+        piped.verify_pipeline_build = true;
+        expectSameScenario(serial, runScenario(piped));
+    }
+}
+
 TEST(Differential, HeunIntegratorTracksReferenceEuler)
 {
     // The retained first-order integrator is an accuracy reference,

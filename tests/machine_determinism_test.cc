@@ -395,6 +395,112 @@ TEST(MachineDeterminism, KernelProgramsMatchOnAllKernels)
     }
 }
 
+TEST(MachineDeterminism, ParallelDispatchThreadCountInvariant)
+{
+    // dispatch_threads partitions the skip-ahead probe across host
+    // threads; the committed schedule must be bit-identical to the
+    // serial loop (and, transitively, to the reference loop) for
+    // every lane count.
+    auto make = [] {
+        ParallelProgram prog("par_dispatch");
+        Phase p;
+        p.kind = PhaseKind::ParallelStatic;
+        p.num_tasks = 16;
+        p.make_task = [](std::size_t t) -> std::unique_ptr<OpStream> {
+            std::vector<MicroOp> ops;
+            for (int i = 0; i < 2000; ++i) {
+                ops.push_back(MicroOp::load(0x2000 + 64 * (i % 97)));
+                ops.push_back(MicroOp::intAlu());
+                ops.push_back(MicroOp::store(
+                    0x200000 + t * 0x10000 + 64 * (i % 120)));
+                if (i % 31 == 30)
+                    ops.push_back(MicroOp::store(0x3000));
+            }
+            return std::make_unique<VectorOpStream>(std::move(ops));
+        };
+        prog.addPhase(std::move(p));
+        return prog;
+    };
+    const RunCapture serial = runOnce(MachineLoop::EventDriven, make,
+                                      cfgOf(16, 16), recordingHook);
+    for (int threads : {2, 8}) {
+        SCOPED_TRACE(threads);
+        MachineConfig par = cfgOf(16, 16);
+        par.dispatch_threads = threads;
+        const RunCapture parallel = runOnce(MachineLoop::EventDriven,
+                                            make, par, recordingHook);
+        expectIdentical(serial, parallel);
+    }
+}
+
+TEST(MachineDeterminism, ManyCoreSparseMatchesFullMap)
+{
+    // 256 cores reading one shared table puts >64 sharers on each
+    // line — past the old one-word bitmask cap, so every entry lives
+    // in an overflow bitset — and periodic stores to the table force
+    // wide invalidation storms. Sparse and full-map directories must
+    // agree bit-for-bit.
+    auto make = [] {
+        ParallelProgram prog("manycore_shared");
+        Phase p;
+        p.kind = PhaseKind::ParallelStatic;
+        p.num_tasks = 256;
+        p.make_task = [](std::size_t t) -> std::unique_ptr<OpStream> {
+            std::vector<MicroOp> ops;
+            for (int i = 0; i < 250; ++i) {
+                ops.push_back(MicroOp::load(0x2000 + 64 * (i % 37)));
+                ops.push_back(MicroOp::intAlu());
+                if (t % 16 == 0 && i % 60 == 59)
+                    ops.push_back(
+                        MicroOp::store(0x2000 + 64 * (i % 37)));
+            }
+            return std::make_unique<VectorOpStream>(std::move(ops));
+        };
+        prog.addPhase(std::move(p));
+        return prog;
+    };
+    MachineConfig sparse = cfgOf(256, 256);
+    MachineConfig flat = sparse;
+    flat.l2.directory = DirectoryKind::FullMap;
+    const RunCapture s = runOnce(MachineLoop::EventDriven, make,
+                                 sparse, recordingHook);
+    const RunCapture f = runOnce(MachineLoop::EventDriven, make, flat,
+                                 recordingHook);
+    expectIdentical(s, f);
+    EXPECT_GT(s.machine.ops_retired, 0u);
+    EXPECT_GT(s.l2.invalidations_sent, 64u);
+}
+
+TEST(MachineDeterminism, RunsAt1024Cores)
+{
+    // The former 64-core ceiling: a 1024-core machine must construct,
+    // run to completion, and stay thread-count invariant.
+    auto make = [] {
+        ParallelProgram prog("kilocored");
+        Phase p;
+        p.kind = PhaseKind::ParallelStatic;
+        p.num_tasks = 1024;
+        p.make_task = [](std::size_t) -> std::unique_ptr<OpStream> {
+            std::vector<MicroOp> ops;
+            for (int i = 0; i < 100; ++i) {
+                ops.push_back(MicroOp::load(0x4000 + 64 * (i % 17)));
+                ops.push_back(MicroOp::intAlu());
+            }
+            return std::make_unique<VectorOpStream>(std::move(ops));
+        };
+        prog.addPhase(std::move(p));
+        return prog;
+    };
+    const RunCapture serial = runOnce(MachineLoop::EventDriven, make,
+                                      cfgOf(1024, 1024), recordingHook);
+    EXPECT_EQ(serial.machine.ops_retired, 1024u * 200u);
+    MachineConfig par = cfgOf(1024, 1024);
+    par.dispatch_threads = 8;
+    const RunCapture parallel = runOnce(MachineLoop::EventDriven, make,
+                                        par, recordingHook);
+    expectIdentical(serial, parallel);
+}
+
 TEST(MachineDeterminism, CoupledJunctionTraceIdentical)
 {
     // The full coupled simulation of the paper's evaluation: the

@@ -86,13 +86,35 @@ TEST(Memory, WritebackConsumesBandwidthOnly)
     EXPECT_GT(lat, 60u + 16u);
 }
 
+TEST(Memory, AdoptChannelStateRebasesResidualOccupancy)
+{
+    // A task preempted mid-burst leaves channel 0 busy; the adopting
+    // system (here at twice the clock) must rebase the residual span
+    // into its own cycle domain, preserving wall-clock occupancy.
+    MemorySystem prev(smallMem(), 1e9);
+    for (int i = 0; i < 10; ++i)
+        prev.read(0, 0);  // channel 0 busy until cycle 160
+    EXPECT_DOUBLE_EQ(prev.channelFreeAt(0), 160.0);
+
+    MemorySystem next(smallMem(), 2e9);
+    next.adoptChannelState(prev, 100, 50);
+    // 60 residual cycles at 1 GHz = 120 cycles at 2 GHz, from now=50.
+    EXPECT_DOUBLE_EQ(next.channelFreeAt(0), 170.0);
+    EXPECT_DOUBLE_EQ(next.channelFreeAt(1), 0.0);
+
+    // A channel already drained before the cut adopts as idle.
+    MemorySystem idle(smallMem(), 1e9);
+    idle.adoptChannelState(prev, 500, 0);
+    EXPECT_DOUBLE_EQ(idle.channelFreeAt(0), 0.0);
+}
+
 // --- Shared L2 + directory ---
 
 struct L2Fixture : public ::testing::Test
 {
     L2Fixture()
         : mem(smallMem(), 1e9),
-          l2(L2Config{}, mem)
+          l2(L2Config{}, mem, 4)
     {
         for (int i = 0; i < 4; ++i)
             l1s.emplace_back(32 * 1024, 8, 64);
@@ -182,6 +204,96 @@ TEST_F(L2Fixture, DropCoreClearsSharerState)
     const auto invals_before = l2.stats().invalidations_sent;
     l2.access(30, true, 0, 100, l1s);
     EXPECT_EQ(l2.stats().invalidations_sent, invals_before);
+}
+
+// --- Sparse directory past the one-word sharer cap ---
+
+struct WideL2Fixture : public ::testing::Test
+{
+    static constexpr int kCores = 128;
+
+    WideL2Fixture()
+        : mem(smallMem(), 1e9),
+          l2(L2Config{}, mem, kCores)
+    {
+        for (int i = 0; i < kCores; ++i)
+            l1s.emplace_back(32 * 1024, 8, 64);
+    }
+
+    MemorySystem mem;
+    SharedL2 l2;
+    std::vector<Cache> l1s;
+};
+
+TEST_F(WideL2Fixture, InlinePointersSpillToBitsetOnOverflow)
+{
+    // The first kInlineSharers readers fit in the entry; one more
+    // promotes it to an overflow bitset block.
+    for (int c = 0; c < SharedL2::kInlineSharers; ++c) {
+        l2.access(3, false, c, c, l1s);
+        l1s[static_cast<std::size_t>(c)].access(3, false);
+    }
+    EXPECT_EQ(l2.stats().directory_spills, 0u);
+    EXPECT_EQ(l2.sharerCount(3), SharedL2::kInlineSharers);
+
+    l2.access(3, false, SharedL2::kInlineSharers, 10, l1s);
+    EXPECT_EQ(l2.stats().directory_spills, 1u);
+    EXPECT_EQ(l2.sharerCount(3), SharedL2::kInlineSharers + 1);
+}
+
+TEST_F(WideL2Fixture, WriteInvalidatesWellOverSixtyFourSharers)
+{
+    // All 128 cores read line 5 (impossible under the old 64-bit
+    // mask); a write by core 0 must invalidate the other 127.
+    for (int c = 0; c < kCores; ++c) {
+        l2.access(5, false, c, c, l1s);
+        l1s[static_cast<std::size_t>(c)].access(5, false);
+    }
+    EXPECT_EQ(l2.sharerCount(5), kCores);
+
+    const auto before = l2.stats().invalidations_sent;
+    l2.access(5, true, 0, 1000, l1s);
+    EXPECT_EQ(l2.stats().invalidations_sent,
+              before + static_cast<std::uint64_t>(kCores - 1));
+    for (int c = 1; c < kCores; ++c)
+        EXPECT_FALSE(l1s[static_cast<std::size_t>(c)].contains(5))
+            << "core " << c;
+    EXPECT_EQ(l2.sharerCount(5), 1);
+}
+
+TEST_F(WideL2Fixture, EvictionRecallsOverflowedSharers)
+{
+    // An L2 victim with >64 sharers must be recalled from every L1
+    // (inclusion), and its overflow block released.
+    const std::uint64_t base = 12;
+    for (int c = 0; c < 100; ++c) {
+        l2.access(base, false, c, c, l1s);
+        l1s[static_cast<std::size_t>(c)].access(base, false);
+    }
+    for (int i = 1; i <= 16; ++i) {
+        const std::uint64_t line = base + 4096ULL * i;
+        l2.access(line, false, 0, 1000 + i, l1s);
+        l1s[0].access(line, false);
+    }
+    for (int c = 0; c < 100; ++c)
+        EXPECT_FALSE(l1s[static_cast<std::size_t>(c)].contains(base))
+            << "core " << c;
+    EXPECT_GE(l2.stats().inclusion_recalls, 100u);
+    EXPECT_EQ(l2.sharerCount(base), 0);
+}
+
+TEST_F(WideL2Fixture, DropCoreLeavesOverflowedEntryConsistent)
+{
+    for (int c = 0; c < 80; ++c) {
+        l2.access(9, false, c, c, l1s);
+        l1s[static_cast<std::size_t>(c)].access(9, false);
+    }
+    l2.dropCore(70, l1s);
+    EXPECT_EQ(l2.sharerCount(9), 79);
+    // The dropped core receives no invalidation on a later write.
+    const auto before = l2.stats().invalidations_sent;
+    l2.access(9, true, 0, 500, l1s);
+    EXPECT_EQ(l2.stats().invalidations_sent, before + 78u);
 }
 
 } // namespace

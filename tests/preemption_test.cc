@@ -18,6 +18,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "sprint/experiment.hh"
 #include "sprint/scenario.hh"
 #include "workloads/workload.hh"
@@ -126,6 +128,42 @@ TEST(MachinePreemption, SuspendedMachineSeedsWarmRestart)
     const RunResult warm = samplePump(*rerun, cfg, package, policy);
     EXPECT_EQ(warm.machine.ops_retired, cold.machine.ops_retired);
     EXPECT_LT(warm.machine.l1_misses, cold.machine.l1_misses);
+}
+
+TEST(MachinePreemption, WarmStartCarriesDramChannelOccupancy)
+{
+    // A machine suspended mid-run can leave DRAM channels busy past
+    // the cut; warmStartFrom must rebase that residual occupancy onto
+    // the successor's cycle domain (same clock here, so residuals
+    // carry verbatim from cycle 0) instead of silently dropping it.
+    SprintConfig cfg = SprintConfig::parallelSprint(16, kSmallPcm);
+    const ParallelProgram prog =
+        buildKernelProgram(KernelId::Sobel, InputSize::A, 42);
+    std::unique_ptr<Machine> first = prepareMachine(prog, cfg);
+    int samples = 0;
+    first->setSampleHook(
+        [&](Machine &m, Seconds, Joules) {
+            if (++samples == 3)
+                m.suspend();
+        },
+        1000);
+    first->run();
+    ASSERT_TRUE(first->suspended());
+
+    const int channels = cfg.machine.memory.channels;
+    const double cut = static_cast<double>(first->stats().cycles);
+    std::vector<double> residual;
+    for (int ch = 0; ch < channels; ++ch)
+        residual.push_back(std::max(
+            0.0, first->memorySystem().channelFreeAt(ch) - cut));
+
+    std::unique_ptr<Machine> rerun = prepareMachine(prog, cfg);
+    rerun->warmStartFrom(*first);
+    for (int ch = 0; ch < channels; ++ch) {
+        EXPECT_DOUBLE_EQ(rerun->memorySystem().channelFreeAt(ch),
+                         residual[static_cast<std::size_t>(ch)])
+            << "channel " << ch;
+    }
 }
 
 /**
