@@ -197,6 +197,8 @@ class Cache
     void resetStats() { counters = CacheStats(); }
 
   private:
+    friend struct CheckpointIO;
+
     /**
      * Per-set packed metadata: `order` lists way indices as nibbles,
      * most-recently-used in bits [0, 4); `valid`/`dirty` are way

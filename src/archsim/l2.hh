@@ -153,6 +153,8 @@ class SharedL2
     void adoptState(SharedL2 &&prev);
 
   private:
+    friend struct CheckpointIO;
+
     /**
      * One directory entry, parallel to a tag slot. Sixteen bytes in
      * both representations: the inline form lists up to kInlineSharers

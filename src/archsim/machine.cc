@@ -143,12 +143,14 @@ Machine::acquireNextTask(Thread &thread, Cycles now)
             return to_barrier();
         if (serial_next_task >= phase.num_tasks)
             return to_barrier();
+        thread.current_task = serial_next_task;
         thread.stream = phase.make_task(serial_next_task++);
         return true;
 
       case PhaseKind::ParallelStatic:
         if (thread.next_task >= thread.task_end)
             return to_barrier();
+        thread.current_task = thread.next_task;
         thread.stream = phase.make_task(thread.next_task++);
         return true;
 
@@ -158,6 +160,7 @@ Machine::acquireNextTask(Thread &thread, Cycles now)
         if (now < dequeue_free_at)
             return false;  // dequeue lock held: spin this cycle
         dequeue_free_at = now + cfg.task_dequeue_cycles;
+        thread.current_task = dynamic_next_task;
         thread.stream = phase.make_task(dynamic_next_task++);
         return true;
     }

@@ -225,6 +225,8 @@ class Machine
     Seconds simTime() const;
 
   private:
+    friend struct CheckpointIO;
+
     /** Per-thread op window refilled in bulk from the task stream. */
     static constexpr std::size_t kOpBufferCap = 1024;
 
@@ -244,6 +246,10 @@ class Machine
         // Static-partition bookkeeping for the current phase.
         std::size_t next_task = 0;
         std::size_t task_end = 0;
+        // Task index the current stream was materialized from
+        // (meaningful while stream != nullptr); lets a checkpoint
+        // recreate the stream via the phase's make_task factory.
+        std::size_t current_task = 0;
         // Bulk-fetched op window (ops[buf_pos, buf_len) are pending).
         std::vector<MicroOp> buf;
         std::size_t buf_pos = 0;

@@ -93,6 +93,8 @@ class MemorySystem
     const MemoryStats &stats() const { return counters; }
 
   private:
+    friend struct CheckpointIO;
+
     int channelOf(std::uint64_t line) const;
 
     MemoryConfig cfg;

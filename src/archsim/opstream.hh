@@ -60,6 +60,8 @@ class VectorOpStream : public OpStream
     std::size_t fill(MicroOp *out, std::size_t max) override;
 
   private:
+    friend struct CheckpointIO;
+
     std::vector<MicroOp> ops;
     std::size_t pos = 0;
 };
@@ -89,6 +91,8 @@ class ChunkedOpStream : public OpStream
     std::size_t fillInto(std::vector<MicroOp> &out) override;
 
   private:
+    friend struct CheckpointIO;
+
     bool refill();
 
     std::size_t num_chunks;

@@ -1,0 +1,141 @@
+#include "common/blob.hh"
+
+#include <array>
+
+namespace csprint {
+
+const char *
+CheckpointError::kindName(Kind kind)
+{
+    switch (kind) {
+    case Kind::BadMagic:
+        return "bad_magic";
+    case Kind::BadVersion:
+        return "bad_version";
+    case Kind::BadDigest:
+        return "bad_digest";
+    case Kind::Truncated:
+        return "truncated";
+    case Kind::BadChecksum:
+        return "bad_checksum";
+    case Kind::Corrupt:
+        return "corrupt";
+    case Kind::Unsupported:
+        return "unsupported";
+    case Kind::Io:
+        return "io";
+    case Kind::Invariant:
+        return "invariant";
+    }
+    return "unknown";
+}
+
+namespace {
+
+std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t n, std::uint32_t seed)
+{
+    static const std::array<std::uint32_t, 256> table = makeCrcTable();
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint32_t c = seed ^ 0xffffffffu;
+    for (std::size_t i = 0; i < n; ++i)
+        c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+std::vector<std::uint8_t>
+BlobContainer::seal(std::uint32_t configDigest,
+                    std::vector<std::uint8_t> payload)
+{
+    BlobWriter head;
+    head.u32(kMagic);
+    head.u32(kVersion);
+    head.u32(configDigest);
+    head.u64(payload.size());
+
+    const std::uint32_t crc = crc32(payload.data(), payload.size());
+
+    std::vector<std::uint8_t> out = head.take();
+    out.insert(out.end(), payload.begin(), payload.end());
+    BlobWriter tail;
+    tail.u32(crc);
+    const auto &t = tail.buffer();
+    out.insert(out.end(), t.begin(), t.end());
+    return out;
+}
+
+BlobReader
+BlobContainer::open(const std::vector<std::uint8_t> &blob,
+                    std::uint32_t expectConfigDigest)
+{
+    BlobReader head(blob);
+    const std::uint32_t magic = head.u32();
+    if (magic != kMagic)
+        throw CheckpointError(CheckpointError::Kind::BadMagic,
+                              "not a checkpoint blob (bad magic)");
+    const std::uint32_t version = head.u32();
+    if (version != kVersion)
+        throw CheckpointError(
+            CheckpointError::Kind::BadVersion,
+            "checkpoint format version " + std::to_string(version) +
+                " not readable by this build (expect " +
+                std::to_string(kVersion) + ")");
+    const std::uint32_t digest = head.u32();
+    if (digest != expectConfigDigest)
+        throw CheckpointError(
+            CheckpointError::Kind::BadDigest,
+            "checkpoint config digest mismatch: blob was written "
+            "under a different scenario configuration");
+    const std::uint64_t payloadLen = head.u64();
+
+    const std::size_t headerBytes = head.position();
+    constexpr std::size_t kCrcBytes = 4;
+    if (payloadLen > blob.size() - headerBytes ||
+        blob.size() - headerBytes - payloadLen < kCrcBytes)
+        throw CheckpointError(
+            CheckpointError::Kind::Truncated,
+            "checkpoint truncated: frame declares " +
+                std::to_string(payloadLen) + " payload bytes, file has " +
+                std::to_string(blob.size() - headerBytes) +
+                " after the header");
+    if (blob.size() != headerBytes + payloadLen + kCrcBytes)
+        throw CheckpointError(
+            CheckpointError::Kind::Corrupt,
+            "checkpoint has trailing bytes past the CRC footer");
+
+    const std::uint32_t storedCrc =
+        static_cast<std::uint32_t>(blob[headerBytes + payloadLen]) |
+        static_cast<std::uint32_t>(blob[headerBytes + payloadLen + 1])
+            << 8 |
+        static_cast<std::uint32_t>(blob[headerBytes + payloadLen + 2])
+            << 16 |
+        static_cast<std::uint32_t>(blob[headerBytes + payloadLen + 3])
+            << 24;
+    const std::uint32_t actualCrc =
+        crc32(blob.data() + headerBytes,
+              static_cast<std::size_t>(payloadLen));
+    if (storedCrc != actualCrc)
+        throw CheckpointError(
+            CheckpointError::Kind::BadChecksum,
+            "checkpoint payload CRC mismatch (torn write or bit rot)");
+
+    return BlobReader(blob.data() + headerBytes,
+                      static_cast<std::size_t>(payloadLen));
+}
+
+} // namespace csprint

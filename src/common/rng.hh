@@ -98,6 +98,8 @@ class Rng
         return (x << k) | (x >> (64 - k));
     }
 
+    friend struct CheckpointIO;
+
     std::uint64_t s[4];
 };
 

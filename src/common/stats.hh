@@ -81,6 +81,8 @@ class P2Quantile
     double quantile() const { return q_; }
 
   private:
+    friend struct CheckpointIO;
+
     double q_;
     std::size_t n = 0;
     std::array<double, 5> height{};   ///< marker heights (sorted)

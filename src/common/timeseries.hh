@@ -87,6 +87,8 @@ class TimeSeries
     const std::vector<double> &valueData() const { return values; }
 
   private:
+    friend struct CheckpointIO;
+
     std::vector<double> times;
     std::vector<double> values;
 };
@@ -121,6 +123,8 @@ class DecimatingTrace
     TimeSeries take();
 
   private:
+    friend struct CheckpointIO;
+
     TimeSeries ts;
     std::size_t cap;
     std::size_t stride_ = 1;

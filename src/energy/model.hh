@@ -75,6 +75,8 @@ class InstructionEnergyModel
     const TechParams &tech() const { return params; }
 
   private:
+    friend struct CheckpointIO;
+
     TechParams params;
     std::array<Joules, kNumOpKinds> op_energy;
     Joules l2_energy;

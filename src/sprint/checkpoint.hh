@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Portable scenario checkpoints: serialize a ScenarioCheckpoint —
+ * including suspended mid-flight machines and the warm L1/L2 chain —
+ * to the versioned, CRC32-framed byte format of common/blob.hh, and
+ * load it back bit-exactly in another process. Closes the in-process
+ * restriction the Scenario engine's checkpoint sharding used to have:
+ * a shard can now crash, restart, and resume from its last persisted
+ * checkpoint with aggregates and traces identical to an uninterrupted
+ * run (gated per fault kind in tests/faultinject_test.cc).
+ *
+ * Every malformed input — truncation, bit rot, a checkpoint from a
+ * different build or configuration — fails with a typed
+ * CheckpointError instead of undefined behaviour. What cannot be
+ * captured (a custom OpStream subclass, a machine not parked at a
+ * sample boundary) fails the save with Kind::Unsupported.
+ *
+ * CheckpointStore adds crash-safe persistence: checkpoints are
+ * written to a temporary file and atomically renamed, with a manifest
+ * naming the last complete checkpoint and the previous one retained
+ * as a fallback, so a crash mid-write never corrupts the last good
+ * state.
+ */
+
+#ifndef CSPRINT_SPRINT_CHECKPOINT_HH
+#define CSPRINT_SPRINT_CHECKPOINT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/blob.hh"
+#include "sprint/scenario.hh"
+
+namespace csprint {
+
+/**
+ * CRC32 digest over a canonical dump of @p cfg's value fields (the
+ * platform, policy parameters, arrival layout, and every knob that
+ * shapes the trajectory). Deserialization rejects a blob whose digest
+ * differs — a checkpoint is only valid against the configuration that
+ * produced it. Callback members (program_factory, task_tuner,
+ * policy_factory) contribute presence only: the engine requires them
+ * to be pure functions, so equal configs with equal callbacks replay
+ * identically. Debug/host knobs that provably do not alter the
+ * trajectory (validate_checkpoints, dispatch_threads/dispatch_gang)
+ * are excluded, so a checkpoint can move to a host with a different
+ * core count or paranoia setting.
+ */
+std::uint32_t scenarioConfigDigest(const ScenarioConfig &cfg);
+
+/**
+ * Serialize @p ck (taken from beginScenario/advanceScenario under
+ * @p cfg) into a framed blob. Suspended ready-queue machines and the
+ * warm cache chain ride along. Throws CheckpointError with
+ * Kind::Unsupported when the checkpoint holds state the format cannot
+ * capture (a machine that is not suspended at a priced sample
+ * boundary, or a custom OpStream type).
+ */
+std::vector<std::uint8_t>
+serializeCheckpoint(const ScenarioConfig &cfg,
+                    const ScenarioCheckpoint &ck);
+
+/**
+ * Reconstruct the checkpoint @p blob carries. The result continues
+ * under advanceScenario bit-identically to the in-process original
+ * (machines are rebuilt from @p cfg's factories and their
+ * architectural state overwritten field for field). Throws
+ * CheckpointError on any malformed input: wrong magic or version, a
+ * digest from a different configuration, truncation, checksum
+ * mismatch, or structurally inconsistent contents.
+ */
+ScenarioCheckpoint
+deserializeCheckpoint(const ScenarioConfig &cfg,
+                      const std::vector<std::uint8_t> &blob);
+
+/**
+ * Paranoia-mode invariant sweep (ScenarioConfig::validate_checkpoints
+ * runs it at every advanceScenario boundary): all temperatures finite
+ * and within physical bounds, melt fractions in [0, 1], energy and
+ * time tallies non-negative and mutually consistent, and — for every
+ * live machine in the checkpoint — the L2 directory consistent with
+ * the L1 tag arrays (sharers hold the line, dirty owners hold it
+ * dirty, inclusion holds). Throws CheckpointError with
+ * Kind::Invariant and a message naming the failing quantity.
+ */
+void validateCheckpoint(const ScenarioConfig &cfg,
+                        const ScenarioCheckpoint &ck);
+
+/**
+ * Atomic checkpoint persistence for one scenario batch: one directory
+ * holding per-shard checkpoint files plus a manifest per shard naming
+ * the newest complete file. save() writes to a temporary name, fsyncs
+ * nothing exotic — atomicity comes from rename(2) — then publishes
+ * the manifest the same way and prunes all but the two newest
+ * checkpoints, so a torn write can never shadow the last good state.
+ */
+class CheckpointStore
+{
+  public:
+    /** Operate under @p dir (created on first save). */
+    explicit CheckpointStore(std::string dir);
+
+    /**
+     * Persist @p blob as shard @p shard's checkpoint number @p seq
+     * (monotone per shard). Throws CheckpointError with Kind::Io on
+     * filesystem failure.
+     */
+    void save(int shard, std::uint64_t seq,
+              const std::vector<std::uint8_t> &blob);
+
+    /** One recoverable checkpoint file's contents. */
+    struct Candidate
+    {
+        std::uint64_t seq = 0;
+        std::vector<std::uint8_t> blob;
+    };
+
+    /**
+     * Shard @p shard's recoverable checkpoints, newest first: the
+     * manifest-named file, then any retained predecessor. Unreadable
+     * or missing files are skipped, never thrown — an empty result
+     * means "start from the beginning".
+     */
+    std::vector<Candidate> loadCandidates(int shard) const;
+
+    /** The directory this store operates under. */
+    const std::string &dir() const { return dir_; }
+
+    /**
+     * The file a given (shard, seq) checkpoint is published under —
+     * exposed so fault injection can corrupt persisted state exactly
+     * where a real crash or bit rot would.
+     */
+    std::string checkpointPath(int shard, std::uint64_t seq) const;
+
+    /** The manifest file naming shard @p shard's newest checkpoint. */
+    std::string manifestPath(int shard) const;
+
+  private:
+    std::string dir_;
+};
+
+} // namespace csprint
+
+#endif // CSPRINT_SPRINT_CHECKPOINT_HH

@@ -5,6 +5,7 @@
 #include <future>
 
 #include "common/logging.hh"
+#include "sprint/checkpoint.hh"
 
 namespace csprint {
 
@@ -254,12 +255,11 @@ ScenarioTraceSink::exportTo(ScenarioResult &out)
     }
 }
 
-namespace {
-
 /** The platform with the sprint configuration withheld. */
 SprintConfig
-consolidatedPlatform(SprintConfig cfg)
+consolidatedPlatform(const SprintConfig &platform)
 {
+    SprintConfig cfg = platform;
     if (cfg.dvfs_boost != 1.0) {
         // Un-wire exactly what the dvfsSprint factory wired (and what
         // samplePump's StopSprint path restores): nominal frequency
@@ -276,6 +276,8 @@ consolidatedPlatform(SprintConfig cfg)
     cfg.machine.num_threads = 1;
     return cfg;
 }
+
+namespace {
 
 /**
  * Cool the package at zero die power, recording idle trace samples
@@ -899,6 +901,8 @@ advanceScenario(const ScenarioConfig &cfg, ScenarioCheckpoint &ck,
     ck.done = !ck.have_peek && ck.ready.empty() &&
               ck.arrivals.index >=
                   static_cast<std::uint64_t>(cfg.num_tasks);
+    if (cfg.validate_checkpoints)
+        validateCheckpoint(cfg, ck);
     return ck.done;
 }
 

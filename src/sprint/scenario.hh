@@ -221,6 +221,16 @@ struct ScenarioConfig
      * path.
      */
     bool verify_pipeline_build = false;
+
+    /**
+     * Paranoia mode: run validateCheckpoint() (checkpoint.hh) on the
+     * checkpoint at every advanceScenario boundary — finite
+     * temperatures in physical bounds, melt fractions in [0, 1],
+     * directory sharers consistent with L1 tag state, non-negative
+     * monotone energy tallies. Failure throws CheckpointError with
+     * Kind::Invariant and a precise message. A debugging/CI knob.
+     */
+    bool validate_checkpoints = false;
 };
 
 /**
@@ -283,6 +293,8 @@ class MeltCycleCounter
     int cycles() const { return cycles_; }
 
   private:
+    friend struct CheckpointIO;
+
     double rise_;
     double fall_;
     bool molten_ = false;
@@ -391,6 +403,8 @@ class ScenarioTraceSink
     void exportTo(ScenarioResult &out);
 
   private:
+    friend struct CheckpointIO;
+
     TraceMode mode_ = TraceMode::Full;
     TimeSeries junction_, power_, melt_;           ///< Full
     DecimatingTrace junction_ring_, power_ring_, melt_ring_;
@@ -484,6 +498,15 @@ struct ScenarioCheckpoint
     std::unique_ptr<ParallelProgram> warm_program;
     std::unique_ptr<Machine> warm_machine;
 };
+
+/**
+ * The consolidated (sprint-denied) variant of @p platform: one core,
+ * one thread, no DVFS boost, no activation ramp. This is the platform
+ * a task actually runs under when the policy denies its sprint; the
+ * checkpoint serializer stores only the sprint_granted bit and
+ * rederives the run configuration through this function.
+ */
+SprintConfig consolidatedPlatform(const SprintConfig &platform);
 
 /** Validate @p cfg and open a checkpoint at the start of its timeline. */
 ScenarioCheckpoint beginScenario(const ScenarioConfig &cfg);

@@ -1,0 +1,316 @@
+#include "sprint/supervisor.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <thread>
+
+#include "common/rng.hh"
+#include "sprint/checkpoint.hh"
+
+namespace csprint {
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::CrashAtCheckpoint:
+        return "crash-at-checkpoint";
+    case FaultKind::BitFlip:
+        return "bit-flip";
+    case FaultKind::Truncate:
+        return "truncate";
+    case FaultKind::WorkerException:
+        return "worker-exception";
+    case FaultKind::Stall:
+        return "stall";
+    }
+    return "unknown";
+}
+
+FaultPlan
+FaultPlan::randomized(std::uint64_t seed, int num_shards,
+                      std::uint64_t max_seq)
+{
+    FaultPlan plan;
+    Rng rng(seed ^ 0xfa017ull);
+    if (max_seq == 0)
+        max_seq = 1;
+    for (int shard = 0; shard < num_shards; ++shard) {
+        FaultSpec f;
+        f.shard = shard;
+        f.kind = static_cast<FaultKind>(rng.next() % 5);
+        f.at_seq = 1 + rng.next() % max_seq;
+        plan.faults.push_back(f);
+    }
+    return plan;
+}
+
+bool
+SupervisedBatchResult::allOk() const
+{
+    for (const ShardOutcome &s : shards) {
+        if (s.degraded)
+            return false;
+    }
+    return true;
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Flip one bit in the middle of @p path (injected bit rot). */
+void
+flipBitInFile(const std::string &path)
+{
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    if (!f)
+        return;
+    f.seekg(0, std::ios::end);
+    const std::streamoff len = f.tellg();
+    if (len <= 0)
+        return;
+    const std::streamoff at = len / 2;
+    f.seekg(at);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x10);
+    f.seekp(at);
+    f.write(&byte, 1);
+}
+
+/** Cut @p path down to half its length (injected torn write). */
+void
+truncateFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return;
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    in.close();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 2));
+}
+
+/** Shared between one shard's worker thread and the watchdog. */
+struct WorkerControl
+{
+    std::atomic<Clock::rep> heartbeat{Clock::now().time_since_epoch().count()};
+    std::atomic<bool> cancel{false};
+
+    void
+    beat()
+    {
+        heartbeat.store(Clock::now().time_since_epoch().count(),
+                        std::memory_order_relaxed);
+        if (cancel.load(std::memory_order_relaxed))
+            throw WatchdogTimeout("worker cancelled by the watchdog");
+    }
+
+    double
+    secondsSinceBeat() const
+    {
+        const Clock::duration d =
+            Clock::now().time_since_epoch() -
+            Clock::duration(heartbeat.load(std::memory_order_relaxed));
+        return std::chrono::duration<double>(d).count();
+    }
+};
+
+/**
+ * One worker attempt: recover or begin, advance in checkpoint-sized
+ * slices, persist each boundary, fire any due faults. Returns the
+ * finished result. Throws on injected faults, watchdog cancellation,
+ * or genuine engine errors.
+ */
+ScenarioResult
+workerAttempt(const ScenarioConfig &cfg, int shard,
+              const SupervisorOptions &opts, const FaultPlan &plan,
+              std::vector<bool> &fired, CheckpointStore &store,
+              WorkerControl &control, ShardOutcome &outcome)
+{
+    // Recover from the newest checkpoint that deserializes cleanly;
+    // corrupt or truncated candidates are rejected by their CRC /
+    // structure checks and the retained predecessor is used instead.
+    ScenarioCheckpoint ck;
+    std::uint64_t seq = 0;
+    bool recovered = false;
+    for (CheckpointStore::Candidate &cand : store.loadCandidates(shard)) {
+        try {
+            ck = deserializeCheckpoint(cfg, cand.blob);
+            seq = cand.seq;
+            recovered = true;
+            break;
+        } catch (const CheckpointError &) {
+            // fall through to the next (older) candidate
+        }
+    }
+    if (recovered)
+        ++outcome.recoveries;
+    else
+        ck = beginScenario(cfg);
+
+    // Monotonicity gates: a resumed trajectory must only move
+    // forward. A violation means the serializer or the engine lost
+    // state, and retrying would silently produce wrong numbers.
+    double prev_now = ck.now;
+    std::uint64_t prev_completed = ck.tasks_completed;
+    double prev_energy = ck.total_energy;
+
+    bool done = ck.done;
+    while (!done) {
+        control.beat();
+        done = advanceScenario(cfg, ck, opts.checkpoint_every_tasks);
+        control.beat();
+
+        if (ck.now < prev_now - 1e-12 ||
+            ck.tasks_completed < prev_completed ||
+            ck.total_energy < prev_energy - 1e-12)
+            throw CheckpointError(
+                CheckpointError::Kind::Invariant,
+                "shard " + std::to_string(shard) +
+                    " moved backwards across a checkpoint boundary");
+        prev_now = ck.now;
+        prev_completed = ck.tasks_completed;
+        prev_energy = ck.total_energy;
+
+        if (opts.paranoia)
+            validateCheckpoint(cfg, ck);
+        std::vector<std::uint8_t> blob = serializeCheckpoint(cfg, ck);
+        ++seq;
+
+        // An injected fault due at this checkpoint fires exactly
+        // once across all attempts of the batch.
+        const FaultSpec *fault = nullptr;
+        std::size_t fault_idx = 0;
+        for (std::size_t i = 0; i < plan.faults.size(); ++i) {
+            const FaultSpec &f = plan.faults[i];
+            if (!fired[i] && f.shard == shard && f.at_seq == seq) {
+                fault = &f;
+                fault_idx = i;
+                break;
+            }
+        }
+
+        if (fault && fault->kind == FaultKind::CrashAtCheckpoint) {
+            fired[fault_idx] = true;
+            throw SimulatedCrash("injected crash before persisting "
+                                 "checkpoint " +
+                                 std::to_string(seq));
+        }
+
+        store.save(shard, seq, blob);
+        ++outcome.checkpoints_persisted;
+
+        if (fault) {
+            fired[fault_idx] = true;
+            switch (fault->kind) {
+            case FaultKind::BitFlip:
+                flipBitInFile(store.checkpointPath(shard, seq));
+                throw SimulatedCrash("injected crash after bit-flip "
+                                     "of checkpoint " +
+                                     std::to_string(seq));
+            case FaultKind::Truncate:
+                truncateFile(store.checkpointPath(shard, seq));
+                throw SimulatedCrash("injected crash after "
+                                     "truncation of checkpoint " +
+                                     std::to_string(seq));
+            case FaultKind::WorkerException:
+                throw std::runtime_error("injected worker exception "
+                                         "at checkpoint " +
+                                         std::to_string(seq));
+            case FaultKind::Stall:
+                // Stop beating and wait for the watchdog; beat()
+                // turns the cancel flag into WatchdogTimeout.
+                for (;;) {
+                    if (control.cancel.load(std::memory_order_relaxed))
+                        throw WatchdogTimeout(
+                            "worker cancelled by the watchdog "
+                            "during an injected stall");
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(1));
+                }
+            case FaultKind::CrashAtCheckpoint:
+                break; // handled above
+            }
+        }
+    }
+    return finishScenario(cfg, std::move(ck));
+}
+
+} // namespace
+
+SupervisedBatchResult
+runSupervisedScenarioBatch(const std::vector<ScenarioConfig> &shards,
+                           const SupervisorOptions &opts,
+                           const FaultPlan &plan)
+{
+    if (opts.store_dir.empty())
+        throw CheckpointError(CheckpointError::Kind::Io,
+                              "supervisor requires a checkpoint "
+                              "store directory");
+    CheckpointStore store(opts.store_dir);
+    std::vector<bool> fired(plan.faults.size(), false);
+
+    SupervisedBatchResult batch;
+    batch.shards.resize(shards.size());
+    for (std::size_t shard = 0; shard < shards.size(); ++shard) {
+        const ScenarioConfig &cfg = shards[shard];
+        ShardOutcome &outcome = batch.shards[shard];
+
+        for (int attempt = 0; attempt <= opts.max_retries; ++attempt) {
+            if (attempt > 0) {
+                ++outcome.retries;
+                if (opts.backoff_initial > 0.0) {
+                    const double s = opts.backoff_initial *
+                                     std::ldexp(1.0, attempt - 1);
+                    std::this_thread::sleep_for(
+                        std::chrono::duration<double>(s));
+                }
+            }
+
+            WorkerControl control;
+            std::exception_ptr failure;
+            std::atomic<bool> finished{false};
+            bool ok = false;
+            std::thread worker([&]() {
+                try {
+                    outcome.result = workerAttempt(
+                        cfg, static_cast<int>(shard), opts, plan,
+                        fired, store, control, outcome);
+                    ok = true;
+                } catch (...) {
+                    failure = std::current_exception();
+                }
+                finished.store(true, std::memory_order_release);
+            });
+
+            // The watchdog: poll the heartbeat until the worker
+            // finishes; cancel it once the beat goes stale.
+            // Cancellation is cooperative — the worker observes the
+            // flag at slice boundaries and inside injected stalls —
+            // so join() always returns.
+            while (!finished.load(std::memory_order_acquire)) {
+                if (control.secondsSinceBeat() > opts.watchdog_deadline)
+                    control.cancel.store(true,
+                                         std::memory_order_relaxed);
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+            }
+            worker.join();
+
+            if (ok)
+                break;
+            outcome.error = failure;
+            if (attempt == opts.max_retries)
+                outcome.degraded = true;
+        }
+    }
+    return batch;
+}
+
+} // namespace csprint

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Supervised execution of scenario shard batches on top of the
+ * portable checkpoint layer (sprint/checkpoint.hh): each shard runs
+ * under a worker that persists a crash-safe checkpoint every few
+ * tasks, a watchdog that cancels workers whose heartbeat goes stale,
+ * and a bounded-retry loop that restarts a failed worker from its
+ * last valid persisted checkpoint with exponential backoff. A shard
+ * that exhausts its retries is reported as degraded — carrying the
+ * exception that killed it — instead of being silently dropped.
+ *
+ * Determinism gate: because checkpoints capture the full trajectory
+ * (thermal state, arrival RNG cursor, suspended machines, streaming
+ * aggregates), a supervised run that crashes and recovers any number
+ * of times produces final aggregates and traces bit-identical to an
+ * uninterrupted run. tests/faultinject_test.cc holds that gate per
+ * fault kind; bench/faultinject_report.cc re-checks it in CI under a
+ * rotating seed.
+ *
+ * Fault injection is first-class and seed-deterministic: a FaultPlan
+ * names, per shard, which checkpoint sequence number triggers which
+ * FaultKind. Faults are one-shot — a retry of the same shard does not
+ * re-fire a fault that already fired — mirroring transient real-world
+ * failures.
+ */
+
+#ifndef CSPRINT_SPRINT_SUPERVISOR_HH
+#define CSPRINT_SPRINT_SUPERVISOR_HH
+
+#include <cstdint>
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sprint/scenario.hh"
+
+namespace csprint {
+
+/** The failure modes the supervisor can inject and recover from. */
+enum class FaultKind
+{
+    /**
+     * The worker dies immediately before persisting a checkpoint:
+     * recovery resumes from the previous persisted one and replays
+     * the lost slice.
+     */
+    CrashAtCheckpoint,
+
+    /**
+     * The checkpoint is persisted, one bit of the file is flipped
+     * (bit rot / torn storage), and the worker dies: recovery must
+     * reject the corrupt file via its CRC and fall back to the
+     * retained predecessor.
+     */
+    BitFlip,
+
+    /**
+     * The persisted checkpoint loses its tail (partial write that
+     * survived a rename-less filesystem): recovery must reject the
+     * truncated file and fall back.
+     */
+    Truncate,
+
+    /**
+     * The worker throws a plain exception mid-run (a bug, a resource
+     * failure): the supervisor retries from the last checkpoint.
+     */
+    WorkerException,
+
+    /**
+     * The worker stops making progress without dying: the watchdog
+     * must notice the stale heartbeat, cancel the worker, and retry.
+     */
+    Stall,
+};
+
+/** Human-readable name of @p kind (for logs and reports). */
+const char *faultKindName(FaultKind kind);
+
+/** One injected fault: fires when @p shard persists checkpoint @p at_seq. */
+struct FaultSpec
+{
+    int shard = 0;
+    FaultKind kind = FaultKind::CrashAtCheckpoint;
+    std::uint64_t at_seq = 1;
+};
+
+/** A deterministic set of one-shot faults for a supervised batch. */
+struct FaultPlan
+{
+    std::vector<FaultSpec> faults;
+
+    /**
+     * A seed-derived plan that hits every shard in [0, num_shards)
+     * with one fault of a seed-chosen kind at a seed-chosen
+     * checkpoint in [1, max_seq]. Equal seeds yield equal plans.
+     */
+    static FaultPlan randomized(std::uint64_t seed, int num_shards,
+                                std::uint64_t max_seq);
+};
+
+/** Thrown by an injected CrashAtCheckpoint/BitFlip/Truncate fault. */
+struct SimulatedCrash : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/** Thrown inside a worker the watchdog cancelled for a stale heartbeat. */
+struct WatchdogTimeout : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+struct SupervisorOptions
+{
+    /**
+     * Persist a checkpoint after every this many completed tasks.
+     * Also the slice length handed to advanceScenario, so it bounds
+     * both the work lost to a crash and the heartbeat period.
+     */
+    std::uint64_t checkpoint_every_tasks = 4;
+
+    /** Restarts allowed per shard before it is reported degraded. */
+    int max_retries = 3;
+
+    /**
+     * Sleep before retry r is backoff_initial * 2^r seconds. Zero
+     * (the default) retries immediately — tests want no wall-clock
+     * padding; production batches want a real value.
+     */
+    double backoff_initial = 0.0;
+
+    /**
+     * Seconds without a worker heartbeat before the watchdog cancels
+     * it. Must comfortably exceed the wall time of one checkpoint
+     * slice, since workers only beat between slices.
+     */
+    double watchdog_deadline = 30.0;
+
+    /** Directory the CheckpointStore persists under. Required. */
+    std::string store_dir;
+
+    /**
+     * Run validateCheckpoint() on every checkpoint before persisting
+     * it (in addition to whatever ScenarioConfig::validate_checkpoints
+     * already does inside the engine).
+     */
+    bool paranoia = false;
+};
+
+/** What became of one shard of a supervised batch. */
+struct ShardOutcome
+{
+    /** The shard's final result; meaningful only when !degraded. */
+    ScenarioResult result;
+
+    /** True when the shard exhausted its retries without finishing. */
+    bool degraded = false;
+
+    /** Worker restarts this shard consumed. */
+    int retries = 0;
+
+    /** Checkpoints persisted across all attempts. */
+    std::uint64_t checkpoints_persisted = 0;
+
+    /** Attempts that resumed from a stored checkpoint (vs. fresh). */
+    std::uint64_t recoveries = 0;
+
+    /**
+     * The exception that ended the last attempt; set when degraded,
+     * and also kept (for diagnosis) when a retry eventually
+     * succeeded after failures.
+     */
+    std::exception_ptr error;
+};
+
+struct SupervisedBatchResult
+{
+    std::vector<ShardOutcome> shards;
+
+    /** True when no shard is degraded. */
+    bool allOk() const;
+};
+
+/**
+ * Run every ScenarioConfig in @p shards to completion under
+ * supervision: periodic crash-safe checkpoint persistence into
+ * @p opts.store_dir, watchdog cancellation of stalled workers, and up
+ * to @p opts.max_retries restarts per shard from the last valid
+ * checkpoint. @p plan's faults fire deterministically (one-shot) at
+ * their named checkpoints. Shards run in order; each worker runs on
+ * its own thread so the watchdog can observe it.
+ *
+ * Pre-existing checkpoints in the store are honoured: a batch that
+ * was killed externally resumes where its shards left off.
+ */
+SupervisedBatchResult
+runSupervisedScenarioBatch(const std::vector<ScenarioConfig> &shards,
+                           const SupervisorOptions &opts,
+                           const FaultPlan &plan = {});
+
+} // namespace csprint
+
+#endif // CSPRINT_SPRINT_SUPERVISOR_HH

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Fault-injection tests for the supervised scenario batch runner
+ * (sprint/supervisor.hh). The headline gate: for every FaultKind, a
+ * run that crashes, corrupts its newest checkpoint, throws, or stalls
+ * — and is then recovered by the supervisor from persisted state —
+ * finishes with aggregates and traces bit-identical to an
+ * uninterrupted run of the same configuration. Also covers retry
+ * exhaustion (degraded shards keep their exception and do not sink
+ * the rest of the batch) and the checked ExperimentRunner batch API.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sprint/checkpoint.hh"
+#include "sprint/experiment.hh"
+#include "sprint/runner.hh"
+#include "sprint/scenario.hh"
+#include "sprint/supervisor.hh"
+#include "workloads/workload.hh"
+
+namespace csprint {
+namespace {
+
+ScenarioConfig
+shardScenario(std::uint64_t seed)
+{
+    ScenarioConfig cfg;
+    cfg.platform = SprintConfig::parallelSprint(16, kSmallPcm);
+    cfg.policy.kind = SprintPolicyKind::GreedyActivity;
+    cfg.policy.pacing_period = 2.5e-3;
+    cfg.pattern = ArrivalPattern::Periodic;
+    cfg.num_tasks = 6;
+    cfg.period = 2.5e-3;
+    cfg.kernel = KernelId::Sobel;
+    cfg.size = InputSize::A;
+    cfg.seed = seed;
+    cfg.warm_caches = true;
+    return cfg;
+}
+
+void
+expectResultsEqual(const ScenarioResult &a, const ScenarioResult &b)
+{
+    EXPECT_EQ(a.tasks_completed, b.tasks_completed);
+    EXPECT_EQ(a.sprints_granted, b.sprints_granted);
+    EXPECT_EQ(a.sprints_denied, b.sprints_denied);
+    EXPECT_EQ(a.preemptions, b.preemptions);
+    EXPECT_EQ(a.deadlines_met, b.deadlines_met);
+    EXPECT_EQ(a.deadlines_missed, b.deadlines_missed);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.utilization, b.utilization);
+    EXPECT_EQ(a.p50_response, b.p50_response);
+    EXPECT_EQ(a.p95_response, b.p95_response);
+    EXPECT_EQ(a.peak_junction, b.peak_junction);
+    EXPECT_EQ(a.total_energy, b.total_energy);
+    EXPECT_EQ(a.total_sprint_time, b.total_sprint_time);
+    EXPECT_EQ(a.total_sprint_energy, b.total_sprint_energy);
+    EXPECT_EQ(a.peak_melt_fraction, b.peak_melt_fraction);
+    EXPECT_EQ(a.sprint_rest_cycles, b.sprint_rest_cycles);
+    EXPECT_EQ(a.junction_trace.timeData(), b.junction_trace.timeData());
+    EXPECT_EQ(a.junction_trace.valueData(),
+              b.junction_trace.valueData());
+    EXPECT_EQ(a.power_trace.timeData(), b.power_trace.timeData());
+    EXPECT_EQ(a.power_trace.valueData(), b.power_trace.valueData());
+    EXPECT_EQ(a.melt_trace.timeData(), b.melt_trace.timeData());
+    EXPECT_EQ(a.melt_trace.valueData(), b.melt_trace.valueData());
+    ASSERT_EQ(a.tasks.size(), b.tasks.size());
+    for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+        EXPECT_EQ(a.tasks[i].finish, b.tasks[i].finish);
+        EXPECT_EQ(a.tasks[i].response, b.tasks[i].response);
+        EXPECT_EQ(a.tasks[i].run.dynamic_energy,
+                  b.tasks[i].run.dynamic_energy);
+    }
+}
+
+std::string
+freshDir(const char *tag)
+{
+    std::string tmpl = std::string("/tmp/csprint-") + tag + "-XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    const char *dir = mkdtemp(buf.data());
+    EXPECT_NE(dir, nullptr);
+    return std::string(dir ? dir : "/tmp");
+}
+
+/** Recovered-equals-uninterrupted, parameterized by the fault kind. */
+void
+recoveryParity(FaultKind kind)
+{
+    const ScenarioConfig cfg = shardScenario(11);
+    const ScenarioResult direct = runScenario(cfg);
+
+    SupervisorOptions opts;
+    opts.store_dir = freshDir(faultKindName(kind));
+    opts.checkpoint_every_tasks = 2;
+    opts.max_retries = 2;
+    opts.paranoia = true;
+    if (kind == FaultKind::Stall)
+        opts.watchdog_deadline = 0.2; // seconds; slices run in ms
+
+    FaultPlan plan;
+    plan.faults.push_back({0, kind, 2});
+
+    const SupervisedBatchResult batch =
+        runSupervisedScenarioBatch({cfg}, opts, plan);
+    ASSERT_EQ(batch.shards.size(), 1u);
+    const ShardOutcome &shard = batch.shards[0];
+    ASSERT_TRUE(batch.allOk())
+        << "shard degraded under " << faultKindName(kind);
+    EXPECT_GE(shard.retries, 1) << "the fault never fired";
+    EXPECT_GE(shard.recoveries, 1u)
+        << "recovery never resumed from a persisted checkpoint";
+    expectResultsEqual(direct, shard.result);
+}
+
+TEST(FaultInjection, CrashAtCheckpointRecoversBitExact)
+{
+    recoveryParity(FaultKind::CrashAtCheckpoint);
+}
+
+TEST(FaultInjection, BitFlipRecoversBitExact)
+{
+    recoveryParity(FaultKind::BitFlip);
+}
+
+TEST(FaultInjection, TruncateRecoversBitExact)
+{
+    recoveryParity(FaultKind::Truncate);
+}
+
+TEST(FaultInjection, WorkerExceptionRecoversBitExact)
+{
+    recoveryParity(FaultKind::WorkerException);
+}
+
+TEST(FaultInjection, StallIsCancelledAndRecoversBitExact)
+{
+    recoveryParity(FaultKind::Stall);
+}
+
+TEST(FaultInjection, MultiShardRandomizedPlanStaysBitExact)
+{
+    // A seed-derived plan hits every shard once; all recover and all
+    // match their uninterrupted twins.
+    std::vector<ScenarioConfig> shards;
+    for (std::uint64_t s = 0; s < 3; ++s)
+        shards.push_back(shardScenario(100 + s));
+
+    SupervisorOptions opts;
+    opts.store_dir = freshDir("random");
+    opts.checkpoint_every_tasks = 2;
+    opts.max_retries = 3;
+    opts.watchdog_deadline = 0.2;
+
+    const FaultPlan plan = FaultPlan::randomized(
+        0xC0FFEEu, static_cast<int>(shards.size()), 3);
+    ASSERT_EQ(plan.faults.size(), shards.size());
+
+    const SupervisedBatchResult batch =
+        runSupervisedScenarioBatch(shards, opts, plan);
+    ASSERT_TRUE(batch.allOk());
+    for (std::size_t i = 0; i < shards.size(); ++i)
+        expectResultsEqual(runScenario(shards[i]),
+                           batch.shards[i].result);
+}
+
+TEST(FaultInjection, ExhaustedRetriesReportDegradedNotDropped)
+{
+    std::vector<ScenarioConfig> shards{shardScenario(5),
+                                       shardScenario(6)};
+
+    SupervisorOptions opts;
+    opts.store_dir = freshDir("degraded");
+    opts.checkpoint_every_tasks = 2;
+    opts.max_retries = 0; // one attempt: the injected fault is fatal
+
+    FaultPlan plan;
+    plan.faults.push_back({0, FaultKind::WorkerException, 1});
+
+    const SupervisedBatchResult batch =
+        runSupervisedScenarioBatch(shards, opts, plan);
+    ASSERT_EQ(batch.shards.size(), 2u);
+    EXPECT_FALSE(batch.allOk());
+
+    const ShardOutcome &failed = batch.shards[0];
+    EXPECT_TRUE(failed.degraded);
+    ASSERT_TRUE(failed.error != nullptr);
+    try {
+        std::rethrow_exception(failed.error);
+        FAIL() << "degraded shard carried no exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("injected"),
+                  std::string::npos);
+    }
+
+    // The healthy shard is unaffected by its neighbour's failure.
+    EXPECT_FALSE(batch.shards[1].degraded);
+    expectResultsEqual(runScenario(shards[1]), batch.shards[1].result);
+}
+
+TEST(FaultInjection, InterruptedBatchResumesFromTheStore)
+{
+    // Kill a batch externally (simulated by a fatal first run), then
+    // rerun the supervisor over the same store: the second run picks
+    // up the persisted shard checkpoints instead of starting over,
+    // and still matches the uninterrupted result.
+    const ScenarioConfig cfg = shardScenario(21);
+    SupervisorOptions opts;
+    opts.store_dir = freshDir("rerun");
+    opts.checkpoint_every_tasks = 2;
+    opts.max_retries = 0;
+
+    FaultPlan crash;
+    crash.faults.push_back({0, FaultKind::WorkerException, 2});
+    const SupervisedBatchResult first =
+        runSupervisedScenarioBatch({cfg}, opts, crash);
+    ASSERT_TRUE(first.shards[0].degraded);
+
+    const SupervisedBatchResult second =
+        runSupervisedScenarioBatch({cfg}, opts, FaultPlan{});
+    ASSERT_TRUE(second.allOk());
+    EXPECT_GE(second.shards[0].recoveries, 1u);
+    expectResultsEqual(runScenario(cfg), second.shards[0].result);
+}
+
+TEST(CheckedBatch, PerShardFailuresSurviveAndSurface)
+{
+    // Satellite of the same robustness story: the thread-pool batch
+    // API must not let one throwing shard hide the others' results
+    // (map() rethrows the first exception and default-constructs the
+    // rest).
+    std::vector<ScenarioConfig> batch{shardScenario(31),
+                                      shardScenario(32)};
+    batch[0].program_factory =
+        [](const ScenarioTask &) -> ParallelProgram {
+        throw std::runtime_error("injected shard failure");
+    };
+
+    ExperimentRunner runner(2);
+    const auto checked = runner.runScenarioBatchChecked(batch);
+    ASSERT_EQ(checked.size(), 2u);
+    EXPECT_FALSE(checked[0].ok());
+    EXPECT_THROW(checked[0].get(), std::exception);
+    ASSERT_TRUE(checked[1].ok());
+    expectResultsEqual(runScenario(batch[1]), checked[1].get());
+}
+
+} // namespace
+} // namespace csprint
