@@ -8,9 +8,11 @@
 #include <benchmark/benchmark.h>
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "archsim/cache.hh"
+#include "archsim/opstream.hh"
 #include "archsim/machine.hh"
 #include "powergrid/pdn.hh"
 #include "sprint/runner.hh"
@@ -294,6 +296,61 @@ BM_PreemptResume(benchmark::State &state)
     }
 }
 BENCHMARK(BM_PreemptResume)->Arg(0)->Arg(8)->Arg(1)->Unit(
+    benchmark::kMillisecond);
+
+/**
+ * Surrogate fidelity tier vs the cycle-accurate pump on a 512-task
+ * back-to-back micro-program train (0 = CycleAccurate, 1 = Surrogate)
+ * — measures the per-task cost of the analytic thermal advance plus
+ * routing against the full prepare/pump path it replaces.
+ */
+void
+BM_SurrogateTask(benchmark::State &state)
+{
+    ScenarioConfig cfg;
+    cfg.platform = SprintConfig::parallelSprint(2, 0.015);
+    cfg.platform.machine.l1_bytes = 8 * 1024;
+    cfg.platform.machine.l2.size_bytes = 64 * 1024;
+    cfg.policy.kind = SprintPolicyKind::GreedyActivity;
+    cfg.pattern = ArrivalPattern::BackToBack;
+    cfg.num_tasks = 512;
+    cfg.seed = 99;
+    cfg.keep_task_results = false;
+    cfg.trace_mode = TraceMode::Off;
+    cfg.program_factory = [](const ScenarioTask &task) {
+        ParallelProgram prog("micro");
+        Phase phase;
+        phase.name = "work";
+        phase.kind = PhaseKind::ParallelStatic;
+        phase.num_tasks = 2;
+        const std::uint64_t seed = task.seed;
+        phase.make_task = [seed](std::size_t t) {
+            std::vector<MicroOp> ops;
+            ops.reserve(1024);
+            const std::uint64_t base =
+                0x10000000ULL + (seed % 64) * 4096 + t * 8192;
+            for (int i = 0; i < 1024; ++i) {
+                if (i % 4 == 0)
+                    ops.push_back(MicroOp::load(base + (i % 32) * 64));
+                else
+                    ops.push_back(MicroOp::intAlu());
+            }
+            return std::make_unique<VectorOpStream>(std::move(ops));
+        };
+        prog.addPhase(std::move(phase));
+        return prog;
+    };
+    if (state.range(0) == 1) {
+        cfg.surrogate.tier = FidelityTier::Surrogate;
+        cfg.surrogate.min_calibration = 8;
+    }
+    for (auto _ : state) {
+        const ScenarioResult r = runScenario(cfg);
+        benchmark::DoNotOptimize(r.total_energy);
+    }
+    state.SetItemsProcessed(state.iterations() * cfg.num_tasks);
+}
+BENCHMARK(BM_SurrogateTask)->Arg(0)->Arg(1)->Unit(
     benchmark::kMillisecond);
 
 } // namespace

@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Machine-readable report for the calibrated surrogate fidelity tier,
+ * written to BENCH_surrogate.json (schema documented in PERF.md,
+ * "Surrogate fidelity tier").
+ *
+ * Two sections, both acceptance gates the tool enforces itself
+ * (non-zero exit on failure):
+ *
+ *  1. fleet_train — the scale report's 1,000,000-task back-to-back
+ *     micro-program train, run cycle-accurate and again under
+ *     FidelityTier::Auto. The Auto run must reach >= 20x the exact
+ *     engine's steady-state tasks/s while the aggregates it reports
+ *     stay within the declared tolerances: p50/p95 response within
+ *     15% relative, total energy within 10% relative, peak junction
+ *     within 1 °C absolute — and the bulk of the train (>= 90%) must
+ *     actually have run on the surrogate, not on audit/calibration
+ *     pumps.
+ *
+ *  2. shard_parity — an Auto-tier train replayed as checkpointed
+ *     shards (runScenarioSharded) must reproduce the unsharded run
+ *     bit-for-bit, including a shard size smaller than the
+ *     calibration threshold so the cut lands mid-calibration and the
+ *     audit RNG cursor crosses a serialization boundary.
+ *
+ * The scenario seed rotates with CSPRINT_DIFF_SEED (as in the
+ * differential harness), so CI accumulates coverage across runs while
+ * any failure reproduces from the logged seed.
+ *
+ *   ./surrogate_report [--out BENCH_surrogate.json] [--tasks N]
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "archsim/opstream.hh"
+#include "common/args.hh"
+#include "sprint/scenario.hh"
+#include "workloads/workload.hh"
+
+using namespace csprint;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+elapsedMs(Clock::time_point a, Clock::time_point b)
+{
+    return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/** CI-rotated scenario seed (CSPRINT_DIFF_SEED), logged below. */
+std::uint64_t
+diffSeed()
+{
+    std::uint64_t s = 20260730ULL;
+    if (const char *env = std::getenv("CSPRINT_DIFF_SEED")) {
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(env, &end, 10);
+        if (end != env)
+            s = v;
+    }
+    return s;
+}
+
+/** Tiny per-task program, as in the scale report's gate 3 (~2k ops). */
+ParallelProgram
+microProgram(const ScenarioTask &task)
+{
+    ParallelProgram prog("micro");
+    Phase phase;
+    phase.name = "work";
+    phase.kind = PhaseKind::ParallelStatic;
+    phase.num_tasks = 2;
+    const std::uint64_t seed = task.seed;
+    phase.make_task = [seed](std::size_t t) {
+        std::vector<MicroOp> ops;
+        ops.reserve(1024);
+        const std::uint64_t base =
+            0x10000000ULL + (seed % 64) * 4096 + t * 8192;
+        for (int i = 0; i < 1024; ++i) {
+            if (i % 4 == 0)
+                ops.push_back(MicroOp::load(base + (i % 32) * 64));
+            else
+                ops.push_back(MicroOp::intAlu());
+        }
+        return std::make_unique<VectorOpStream>(std::move(ops));
+    };
+    prog.addPhase(std::move(phase));
+    return prog;
+}
+
+/** The scale report's fleet-train platform (gate 3), seed-rotated. */
+ScenarioConfig
+fleetTrainConfig(int tasks, std::uint64_t seed)
+{
+    ScenarioConfig cfg;
+    cfg.platform = SprintConfig::parallelSprint(2, 0.015);
+    cfg.platform.machine.l1_bytes = 8 * 1024;
+    cfg.platform.machine.l2.size_bytes = 64 * 1024;
+    cfg.policy.kind = SprintPolicyKind::GreedyActivity;
+    cfg.pattern = ArrivalPattern::BackToBack;
+    cfg.num_tasks = tasks;
+    cfg.seed = seed;
+    cfg.program_factory = microProgram;
+    cfg.trace_mode = TraceMode::DecimatedRing;
+    cfg.trace_capacity = 4096;
+    cfg.keep_task_results = false;
+    cfg.idle_model = IdleModel::Quiescent;
+    return cfg;
+}
+
+/** Timed begin/advance/finish split of one run. */
+struct TimedRun
+{
+    ScenarioResult result;
+    double setup_ms = 0.0;
+    double steady_s = 0.0;
+};
+
+TimedRun
+timedRun(const ScenarioConfig &cfg)
+{
+    TimedRun tr;
+    const auto t0 = Clock::now();
+    ScenarioCheckpoint ck = beginScenario(cfg);
+    const auto t1 = Clock::now();
+    while (!advanceScenario(
+        cfg, ck, static_cast<std::uint64_t>(cfg.num_tasks))) {
+    }
+    const auto t2 = Clock::now();
+    tr.result = finishScenario(cfg, std::move(ck));
+    tr.setup_ms = elapsedMs(t0, t1);
+    tr.steady_s = elapsedMs(t1, t2) / 1000.0;
+    return tr;
+}
+
+double
+relDev(double fast, double exact)
+{
+    return std::abs(fast - exact) / std::max(std::abs(exact), 1e-300);
+}
+
+/** Exact (bit-for-bit) equality, surrogate tallies included. */
+bool
+exactSameScenario(const ScenarioResult &a, const ScenarioResult &b,
+                  std::string &why)
+{
+    auto fail = [&why](const char *what) {
+        why = what;
+        return false;
+    };
+    if (a.tasks_completed != b.tasks_completed)
+        return fail("tasks_completed");
+    if (a.surrogate_tasks != b.surrogate_tasks)
+        return fail("surrogate_tasks");
+    if (a.audit_tasks != b.audit_tasks)
+        return fail("audit_tasks");
+    if (a.surrogate_demotions != b.surrogate_demotions)
+        return fail("surrogate_demotions");
+    if (a.sprints_granted != b.sprints_granted)
+        return fail("sprints_granted");
+    if (a.sprints_denied != b.sprints_denied)
+        return fail("sprints_denied");
+    if (a.sprints_exhausted != b.sprints_exhausted)
+        return fail("sprints_exhausted");
+    if (a.hardware_throttles != b.hardware_throttles)
+        return fail("hardware_throttles");
+    if (a.makespan != b.makespan)
+        return fail("makespan");
+    if (a.utilization != b.utilization)
+        return fail("utilization");
+    if (a.p50_response != b.p50_response)
+        return fail("p50_response");
+    if (a.p95_response != b.p95_response)
+        return fail("p95_response");
+    if (a.peak_junction != b.peak_junction)
+        return fail("peak_junction");
+    if (a.total_energy != b.total_energy)
+        return fail("total_energy");
+    if (a.total_sprint_time != b.total_sprint_time)
+        return fail("total_sprint_time");
+    if (a.total_sprint_energy != b.total_sprint_energy)
+        return fail("total_sprint_energy");
+    if (a.peak_melt_fraction != b.peak_melt_fraction)
+        return fail("peak_melt_fraction");
+    if (a.sprint_rest_cycles != b.sprint_rest_cycles)
+        return fail("sprint_rest_cycles");
+    const TimeSeries *ta[] = {&a.junction_trace, &a.power_trace,
+                              &a.melt_trace};
+    const TimeSeries *tb[] = {&b.junction_trace, &b.power_trace,
+                              &b.melt_trace};
+    const char *names[] = {"junction_trace", "power_trace",
+                           "melt_trace"};
+    for (int k = 0; k < 3; ++k) {
+        if (ta[k]->size() != tb[k]->size())
+            return fail(names[k]);
+        for (std::size_t i = 0; i < ta[k]->size(); ++i) {
+            if (ta[k]->timeAt(i) != tb[k]->timeAt(i) ||
+                ta[k]->valueAt(i) != tb[k]->valueAt(i))
+                return fail(names[k]);
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args(argc, argv, {"out", "tasks"});
+    const std::string out_path = args.get("out", "BENCH_surrogate.json");
+    const int tasks = static_cast<int>(args.getDouble("tasks", 1000000));
+    const std::uint64_t seed = diffSeed();
+    std::cout << "surrogate report seed " << seed << " (rotates with "
+              << "CSPRINT_DIFF_SEED)\n";
+
+    // --- Gate 1: fleet-train speedup + bounded deviation. -----------
+    const ScenarioConfig exact_cfg = fleetTrainConfig(tasks, seed);
+    ScenarioConfig auto_cfg = exact_cfg;
+    auto_cfg.surrogate.tier = FidelityTier::Auto;
+    auto_cfg.surrogate.min_calibration = 32;
+    auto_cfg.surrogate.audit_period = 128.0;
+    auto_cfg.surrogate.tolerance = 0.75;
+    auto_cfg.surrogate.profile_samples = 4;
+
+    const TimedRun exact = timedRun(exact_cfg);
+    const TimedRun fast = timedRun(auto_cfg);
+    const double exact_tps =
+        static_cast<double>(exact.result.tasks_completed) /
+        exact.steady_s;
+    const double fast_tps =
+        static_cast<double>(fast.result.tasks_completed) /
+        fast.steady_s;
+    const double speedup = fast_tps / exact_tps;
+
+    const double p50_dev =
+        relDev(fast.result.p50_response, exact.result.p50_response);
+    const double p95_dev =
+        relDev(fast.result.p95_response, exact.result.p95_response);
+    const double energy_dev =
+        relDev(fast.result.total_energy, exact.result.total_energy);
+    const double junction_dev = std::abs(fast.result.peak_junction -
+                                         exact.result.peak_junction);
+    const double surrogate_fraction =
+        static_cast<double>(fast.result.surrogate_tasks) /
+        static_cast<double>(fast.result.tasks_completed);
+
+    const double speedup_budget = 20.0;
+    const double quantile_budget = 0.15;
+    const double energy_budget = 0.10;
+    const double junction_budget = 1.0;
+    const double fraction_budget = 0.90;
+    const bool speedup_ok = speedup >= speedup_budget;
+    const bool deviation_ok = p50_dev <= quantile_budget &&
+                              p95_dev <= quantile_budget &&
+                              energy_dev <= energy_budget &&
+                              junction_dev <= junction_budget;
+    const bool coverage_ok = surrogate_fraction >= fraction_budget;
+    const bool train_ok =
+        speedup_ok && deviation_ok && coverage_ok &&
+        fast.result.tasks_completed ==
+            static_cast<std::uint64_t>(tasks);
+
+    std::cout << "fleet train (" << tasks << " tasks): exact "
+              << exact.steady_s << " s (" << exact_tps
+              << " tasks/s), auto " << fast.steady_s << " s ("
+              << fast_tps << " tasks/s), speedup " << speedup << "x"
+              << (speedup_ok ? "" : "  FAIL (< 20x)") << "\n";
+    std::cout << "  deviation: p50 " << p50_dev * 100.0 << "%, p95 "
+              << p95_dev * 100.0 << "%, energy " << energy_dev * 100.0
+              << "%, peak junction " << junction_dev << " C"
+              << (deviation_ok ? "" : "  FAIL (over budget)") << "\n";
+    std::cout << "  routing: " << fast.result.surrogate_tasks
+              << " surrogate, " << fast.result.audit_tasks
+              << " audits, " << fast.result.surrogate_demotions
+              << " demotions (" << surrogate_fraction * 100.0
+              << "% surrogate)"
+              << (coverage_ok ? "" : "  FAIL (< 90%)") << "\n";
+
+    // --- Gate 2: Auto-tier sharded replay, bit for bit. -------------
+    // Shard size 5 < min_calibration cuts mid-calibration; 333 cuts
+    // the calibrated/audit regime at awkward offsets.
+    ScenarioConfig pcfg = fleetTrainConfig(4096, seed ^ 0x51a9d5ULL);
+    pcfg.surrogate.tier = FidelityTier::Auto;
+    pcfg.surrogate.min_calibration = 32;
+    pcfg.surrogate.audit_period = 16.0;
+    pcfg.surrogate.tolerance = 0.75;
+
+    bool parity_ok = true;
+    std::string parity_why;
+    const ScenarioResult unsharded = runScenario(pcfg);
+    for (std::uint64_t shard : {5, 333}) {
+        const ScenarioResult sharded = runScenarioSharded(pcfg, shard);
+        std::string why;
+        if (!exactSameScenario(unsharded, sharded, why)) {
+            parity_ok = false;
+            parity_why =
+                "shard " + std::to_string(shard) + ": " + why;
+            std::cerr << "surrogate shard parity MISMATCH ("
+                      << parity_why << ")\n";
+        }
+    }
+    std::cout << "shard parity (auto tier, 4096 tasks, shards 5/333): "
+              << (parity_ok ? "exact" : "MISMATCH") << " ("
+              << unsharded.surrogate_tasks << " surrogate, "
+              << unsharded.audit_tasks << " audits)\n";
+
+    // --- Emit the report. -------------------------------------------
+    std::ofstream out(out_path);
+    if (!out) {
+        std::cerr << "FAIL: cannot open " << out_path
+                  << " for writing\n";
+        return 1;
+    }
+    out.precision(6);
+    out << "{\n"
+        << "  \"schema\": \"csprint-surrogate-bench-v1\",\n"
+        << "  \"seed\": " << seed << ",\n"
+        << "  \"fleet_train\": {\n"
+        << "    \"config\": \"greedy, 2-core micro-programs, "
+           "back-to-back; auto tier K=32, audit 1/128, tol 0.75\",\n"
+        << "    \"tasks\": " << fast.result.tasks_completed << ",\n"
+        << "    \"exact_steady_s\": " << exact.steady_s << ",\n"
+        << "    \"exact_tasks_per_sec\": " << exact_tps << ",\n"
+        << "    \"auto_steady_s\": " << fast.steady_s << ",\n"
+        << "    \"auto_tasks_per_sec\": " << fast_tps << ",\n"
+        << "    \"speedup\": " << speedup << ",\n"
+        << "    \"budget_speedup\": " << speedup_budget << ",\n"
+        << "    \"p50_rel_dev\": " << p50_dev << ",\n"
+        << "    \"p95_rel_dev\": " << p95_dev << ",\n"
+        << "    \"energy_rel_dev\": " << energy_dev << ",\n"
+        << "    \"peak_junction_dev_c\": " << junction_dev << ",\n"
+        << "    \"budget_quantile_rel\": " << quantile_budget << ",\n"
+        << "    \"budget_energy_rel\": " << energy_budget << ",\n"
+        << "    \"budget_junction_c\": " << junction_budget << ",\n"
+        << "    \"surrogate_tasks\": " << fast.result.surrogate_tasks
+        << ",\n"
+        << "    \"audit_tasks\": " << fast.result.audit_tasks << ",\n"
+        << "    \"demotions\": " << fast.result.surrogate_demotions
+        << ",\n"
+        << "    \"surrogate_fraction\": " << surrogate_fraction << ",\n"
+        << "    \"budget_surrogate_fraction\": " << fraction_budget
+        << ",\n"
+        << "    \"pass\": " << (train_ok ? "true" : "false") << "\n"
+        << "  },\n"
+        << "  \"shard_parity\": {\n"
+        << "    \"config\": \"auto tier, 4096 tasks, audit 1/16, "
+           "shards of 5 (mid-calibration) and 333\",\n"
+        << "    \"surrogate_tasks\": " << unsharded.surrogate_tasks
+        << ",\n"
+        << "    \"audit_tasks\": " << unsharded.audit_tasks << ",\n"
+        << "    \"exact\": " << (parity_ok ? "true" : "false");
+    if (!parity_ok)
+        out << ",\n    \"first_mismatch\": \"" << parity_why << "\"";
+    out << "\n  }\n"
+        << "}\n";
+    std::cout << "wrote " << out_path << "\n";
+
+    if (!train_ok) {
+        std::cerr << "FAIL: fleet-train gate (speedup/deviation/"
+                     "coverage) not met\n";
+        return 1;
+    }
+    if (!parity_ok) {
+        std::cerr << "FAIL: auto-tier sharded replay diverged\n";
+        return 1;
+    }
+    return 0;
+}

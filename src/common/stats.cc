@@ -114,6 +114,38 @@ P2Quantile::add(double x)
     }
 }
 
+void
+P2Quantile::save(double *out) const
+{
+    *out++ = q_;
+    *out++ = static_cast<double>(n);
+    for (int i = 0; i < 5; ++i)
+        *out++ = height[i];
+    for (int i = 0; i < 5; ++i)
+        *out++ = pos[i];
+    for (int i = 0; i < 5; ++i)
+        *out++ = desired[i];
+    for (int i = 0; i < 5; ++i)
+        *out++ = rate[i];
+}
+
+void
+P2Quantile::restore(const double *in)
+{
+    q_ = *in++;
+    n = static_cast<std::size_t>(*in++);
+    SPRINT_ASSERT(q_ > 0.0 && q_ < 1.0,
+                  "restored quantile must be in (0, 1)");
+    for (int i = 0; i < 5; ++i)
+        height[i] = *in++;
+    for (int i = 0; i < 5; ++i)
+        pos[i] = *in++;
+    for (int i = 0; i < 5; ++i)
+        desired[i] = *in++;
+    for (int i = 0; i < 5; ++i)
+        rate[i] = *in++;
+}
+
 double
 P2Quantile::value() const
 {

@@ -65,6 +65,12 @@ class RunningStat
 class P2Quantile
 {
   public:
+    /**
+     * Number of doubles save()/restore() exchange: the tracked
+     * quantile, the sample count, and the four marker arrays.
+     */
+    static constexpr std::size_t kStateSize = 22;
+
     /** Track the @p q quantile, q in (0, 1). */
     explicit P2Quantile(double q = 0.5);
 
@@ -79,6 +85,15 @@ class P2Quantile
 
     /** The quantile being tracked. */
     double quantile() const { return q_; }
+
+    /**
+     * Dump the whole estimator into @p out (kStateSize doubles), for
+     * embedding into flat checkpoint vectors (SprintPolicy::saveState).
+     */
+    void save(double *out) const;
+
+    /** Restore exactly what save() produced. */
+    void restore(const double *in);
 
   private:
     friend struct CheckpointIO;

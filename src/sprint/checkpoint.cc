@@ -211,6 +211,91 @@ struct CheckpointIO
         cur.index = r.u64();
     }
 
+    // ----- surrogate fidelity tier ----------------------------------
+
+    static void
+    write(BlobWriter &w, const SurrogateClassModel &m)
+    {
+        w.u64(m.n);
+        w.f64(m.service_mean);
+        w.f64(m.service_m2);
+        w.f64(m.energy_mean);
+        w.f64(m.energy_m2);
+        w.f64(m.ewma_service);
+        w.f64(m.ewma_energy);
+        w.f64(m.ewma_sprint_time);
+        w.f64(m.ewma_sprint_energy);
+        w.f64(m.ewma_heat_time);
+        w.f64(m.ewma_heat_energy);
+        w.f64(m.exhausted_ewma);
+        w.f64(m.throttled_ewma);
+        write(w, m.service_p95);
+        w.u64(m.surrogate_runs);
+        w.u64(m.audits);
+        w.boolean(m.demoted);
+        w.f64(m.worst_audit_error);
+    }
+
+    static void
+    read(BlobReader &r, SurrogateClassModel &m)
+    {
+        m.n = r.u64();
+        m.service_mean = r.f64();
+        m.service_m2 = r.f64();
+        m.energy_mean = r.f64();
+        m.energy_m2 = r.f64();
+        m.ewma_service = r.f64();
+        m.ewma_energy = r.f64();
+        m.ewma_sprint_time = r.f64();
+        m.ewma_sprint_energy = r.f64();
+        m.ewma_heat_time = r.f64();
+        m.ewma_heat_energy = r.f64();
+        m.exhausted_ewma = r.f64();
+        m.throttled_ewma = r.f64();
+        read(r, m.service_p95);
+        m.surrogate_runs = r.u64();
+        m.audits = r.u64();
+        m.demoted = r.boolean();
+        m.worst_audit_error = r.f64();
+    }
+
+    static void
+    write(BlobWriter &w, const TaskSurrogate &s)
+    {
+        write(w, s.audit_rng_);
+        w.u64(s.surrogate_tasks_);
+        w.u64(s.audit_tasks_);
+        w.i64(s.demotions_);
+        w.sz(s.classes_.size());
+        for (const auto &entry : s.classes_) {
+            w.u32(entry.first);
+            write(w, entry.second);
+        }
+    }
+
+    static void
+    read(BlobReader &r, TaskSurrogate &s)
+    {
+        read(r, s.audit_rng_);
+        s.surrogate_tasks_ = r.u64();
+        s.audit_tasks_ = r.u64();
+        s.demotions_ = static_cast<int>(r.i64());
+        const std::size_t count = static_cast<std::size_t>(r.u64());
+        s.classes_.clear();
+        for (std::size_t i = 0; i < count; ++i) {
+            const std::uint32_t key = r.u32();
+            // classKey packs (kernel << 8) | (size << 1) | sprinted.
+            if ((key >> 8) > static_cast<std::uint32_t>(
+                                 KernelId::Segment) ||
+                ((key >> 1) & 0x7fu) >
+                    static_cast<std::uint32_t>(InputSize::D))
+                corrupt("surrogate class key out of range");
+            if (s.classes_.count(key))
+                corrupt("duplicate surrogate class key");
+            read(r, s.classes_[key]);
+        }
+    }
+
     // ----- caches / memory / energy ---------------------------------
 
     static void
@@ -862,6 +947,8 @@ struct CheckpointIO
         w.f64(rr.sprint_energy);
         w.f64(rr.cooldown_estimate);
         w.f64(rr.avg_power);
+        w.f64(rr.sampled_time);
+        w.f64(rr.sampled_energy);
         write(w, rr.junction_trace);
         write(w, rr.power_trace);
         write(w, rr.melt_trace);
@@ -885,6 +972,8 @@ struct CheckpointIO
         rr.sprint_energy = r.f64();
         rr.cooldown_estimate = r.f64();
         rr.avg_power = r.f64();
+        rr.sampled_time = r.f64();
+        rr.sampled_energy = r.f64();
         read(r, rr.junction_trace);
         read(r, rr.power_trace);
         read(r, rr.melt_trace);
@@ -932,6 +1021,8 @@ struct CheckpointIO
         w.f64(p.ramp_time);
         w.f64(p.above_tdp_time);
         w.f64(p.above_tdp_energy);
+        w.f64(p.sampled_time);
+        w.f64(p.sampled_energy);
         w.f64(p.peak_junction);
         w.boolean(p.sprint_exhausted);
         w.boolean(p.hardware_throttled);
@@ -948,6 +1039,8 @@ struct CheckpointIO
         p.ramp_time = r.f64();
         p.above_tdp_time = r.f64();
         p.above_tdp_energy = r.f64();
+        p.sampled_time = r.f64();
+        p.sampled_energy = r.f64();
         p.peak_junction = r.f64();
         p.sprint_exhausted = r.boolean();
         p.hardware_throttled = r.boolean();
@@ -1257,6 +1350,12 @@ struct CheckpointIO
         d.boolean(cfg.generic_dispatch);
         d.boolean(cfg.pipeline_build);
         d.boolean(cfg.verify_pipeline_build);
+        d.f64(cfg.policy.risk_quantile);
+        d.i64(static_cast<int>(cfg.surrogate.tier));
+        d.i64(cfg.surrogate.min_calibration);
+        d.f64(cfg.surrogate.audit_period);
+        d.f64(cfg.surrogate.tolerance);
+        d.i64(cfg.surrogate.profile_samples);
         // validate_checkpoints is excluded: paranoia does not alter
         // the trajectory.
         return crc32(d.buffer().data(), d.size());
@@ -1298,6 +1397,7 @@ serializeCheckpoint(const ScenarioConfig &cfg,
     CheckpointIO::write(w, ck.p95);
     CheckpointIO::write(w, ck.melt_cycles);
     CheckpointIO::write(w, ck.traces);
+    CheckpointIO::write(w, ck.surrogate);
     w.vec(ck.tasks, [](BlobWriter &w2, const ScenarioTaskResult &t) {
         CheckpointIO::write(w2, t);
     });
@@ -1347,6 +1447,7 @@ deserializeCheckpoint(const ScenarioConfig &cfg,
     CheckpointIO::read(r, ck.p95);
     CheckpointIO::read(r, ck.melt_cycles);
     CheckpointIO::read(r, ck.traces);
+    CheckpointIO::read(r, ck.surrogate);
     ck.tasks = r.vec<ScenarioTaskResult>(1, [](BlobReader &r2) {
         ScenarioTaskResult t;
         CheckpointIO::read(r2, t);

@@ -20,11 +20,13 @@
 #ifndef CSPRINT_SPRINT_POLICY_HH
 #define CSPRINT_SPRINT_POLICY_HH
 
+#include <algorithm>
 #include <limits>
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "common/stats.hh"
 #include "common/units.hh"
 #include "sprint/governor.hh"
 #include "thermal/package.hh"
@@ -127,26 +129,47 @@ struct SprintPolicyParams
      * then queue conservatively until they have learned one).
      */
     Seconds service_prior = 0.0;
+    /**
+     * Qos/ModelPredictive: 0 (the default) prices waiting time with
+     * the learned mean service — the classic behaviour, bit-identical
+     * to the pre-quantile policies. A value in (0, 1) prices it
+     * risk-aware instead: the estimator's streaming P² quantile of
+     * the class's service (never below the mean path), so a p95-aware
+     * policy preempts for a tight deadline that the mean would gamble
+     * on.
+     */
+    double risk_quantile = 0.0;
 };
 
 /**
- * Streaming service-time means the preemptive policies learn from
- * completed tasks, bucketed by (priority class, sprinted) — the
+ * Streaming service-time statistics the preemptive policies learn
+ * from completed tasks, bucketed by (priority class, sprinted) — the
  * class split keeps a burst of short interactive tasks from
- * poisoning the remaining-work estimate of a long batch task. An
- * unobserved cell falls back to the same class's other sprint state,
- * then to the configured prior, then to cross-class data: a prior
- * outranks cross-class observations, so it keeps authority over a
- * class until that class itself has been seen. Value semantics
- * (checkpoints as eight doubles).
+ * poisoning the remaining-work estimate of a long batch task. Each
+ * cell tracks the running mean plus a streaming P² quantile (p95 by
+ * default), so a policy can price waiting time risk-aware instead of
+ * by the mean alone. An unobserved cell falls back to the same
+ * class's other sprint state, then to the configured prior, then to
+ * cross-class data: a prior outranks cross-class observations, so it
+ * keeps authority over a class until that class itself has been
+ * seen. Value semantics (checkpoints as a flat double vector).
  */
 class ServiceEstimator
 {
   public:
     /** Number of checkpointed doubles (save()/restore()). */
-    static constexpr std::size_t kStateSize = 8;
+    static constexpr std::size_t kStateSize =
+        4 * (2 + P2Quantile::kStateSize);
 
-    explicit ServiceEstimator(Seconds prior = 0.0) : prior_(prior) {}
+    explicit ServiceEstimator(Seconds prior = 0.0,
+                              double quantile = 0.95)
+        : prior_(prior)
+    {
+        for (int cls = 0; cls < 2; ++cls) {
+            for (int spr = 0; spr < 2; ++spr)
+                cells[cls][spr].q = P2Quantile(quantile);
+        }
+    }
 
     /** Fold one completed task's observed service time in. */
     void
@@ -155,25 +178,39 @@ class ServiceEstimator
         Cell &cell = cells[clsOf(task)][task.sprint_granted ? 1 : 0];
         cell.sum += service;
         cell.n += 1.0;
+        cell.q.add(service);
     }
 
     /** Expected service of @p task's class if (not) sprinted. */
     Seconds
     estimateIf(const TaskSnapshot &task, bool sprinted) const
     {
-        const int cls = clsOf(task);
-        const int spr = sprinted ? 1 : 0;
-        if (cells[cls][spr].n > 0.0)
-            return cells[cls][spr].mean();
-        if (cells[cls][1 - spr].n > 0.0)
-            return cells[cls][1 - spr].mean();
-        if (prior_ > 0.0)
-            return prior_;
-        if (cells[1 - cls][spr].n > 0.0)
-            return cells[1 - cls][spr].mean();
-        if (cells[1 - cls][1 - spr].n > 0.0)
-            return cells[1 - cls][1 - spr].mean();
-        return 0.0;
+        const Cell *cell = lookup(task, sprinted);
+        return cell ? cell->mean() : prior_ > 0.0 ? prior_ : 0.0;
+    }
+
+    /**
+     * Streaming quantile of @p task's class if (not) sprinted, with
+     * the same fallback chain as estimateIf (the prior stands in when
+     * nothing relevant has been observed).
+     */
+    Seconds
+    quantileIf(const TaskSnapshot &task, bool sprinted) const
+    {
+        const Cell *cell = lookup(task, sprinted);
+        return cell ? cell->q.value() : prior_ > 0.0 ? prior_ : 0.0;
+    }
+
+    /**
+     * Risk-priced service: the tracked quantile of the class, never
+     * below the mean path (a quantile below the mean would make a
+     * "pessimistic" policy more optimistic than the classic one).
+     */
+    Seconds
+    pessimisticIf(const TaskSnapshot &task, bool sprinted) const
+    {
+        return std::max(estimateIf(task, sprinted),
+                        quantileIf(task, sprinted));
     }
 
     /** Expected total service of @p task as it is (or would be) run. */
@@ -191,13 +228,32 @@ class ServiceEstimator
         return rem > 0.0 ? rem : 0.0;
     }
 
+    /** Risk-priced service still owed to @p task (never negative). */
+    Seconds
+    pessimisticRemaining(const TaskSnapshot &task) const
+    {
+        const Seconds rem =
+            pessimisticIf(task, !task.started || task.sprint_granted) -
+            task.service;
+        return rem > 0.0 ? rem : 0.0;
+    }
+
     /** Flat checkpoint state (restore() accepts exactly this). */
     std::vector<double>
     save() const
     {
-        return {cells[0][0].sum, cells[0][0].n, cells[0][1].sum,
-                cells[0][1].n, cells[1][0].sum, cells[1][0].n,
-                cells[1][1].sum, cells[1][1].n};
+        std::vector<double> state(kStateSize);
+        double *out = state.data();
+        for (int cls = 0; cls < 2; ++cls) {
+            for (int spr = 0; spr < 2; ++spr) {
+                const Cell &cell = cells[cls][spr];
+                *out++ = cell.sum;
+                *out++ = cell.n;
+                cell.q.save(out);
+                out += P2Quantile::kStateSize;
+            }
+        }
+        return state;
     }
 
     /** Restore what save() produced (kStateSize doubles). */
@@ -206,8 +262,11 @@ class ServiceEstimator
     {
         for (int cls = 0; cls < 2; ++cls) {
             for (int spr = 0; spr < 2; ++spr) {
-                cells[cls][spr].sum = *state++;
-                cells[cls][spr].n = *state++;
+                Cell &cell = cells[cls][spr];
+                cell.sum = *state++;
+                cell.n = *state++;
+                cell.q.restore(state);
+                state += P2Quantile::kStateSize;
             }
         }
     }
@@ -217,12 +276,36 @@ class ServiceEstimator
     {
         double sum = 0.0;
         double n = 0.0;
+        P2Quantile q{0.95};
         Seconds mean() const { return sum / n; }
     };
 
     static int clsOf(const TaskSnapshot &task)
     {
         return task.priority > 0 ? 1 : 0;
+    }
+
+    /**
+     * The cell the estimate chain resolves to: own cell, then the
+     * same class's other sprint state; null past that point (the
+     * prior / cross-class steps take over).
+     */
+    const Cell *
+    lookup(const TaskSnapshot &task, bool sprinted) const
+    {
+        const int cls = clsOf(task);
+        const int spr = sprinted ? 1 : 0;
+        if (cells[cls][spr].n > 0.0)
+            return &cells[cls][spr];
+        if (cells[cls][1 - spr].n > 0.0)
+            return &cells[cls][1 - spr];
+        if (prior_ > 0.0)
+            return nullptr;
+        if (cells[1 - cls][spr].n > 0.0)
+            return &cells[1 - cls][spr];
+        if (cells[1 - cls][1 - spr].n > 0.0)
+            return &cells[1 - cls][1 - spr];
+        return nullptr;
     }
 
     Cell cells[2][2];
@@ -500,7 +583,8 @@ class AdaptiveHeadroomPolicy : public GovernorBackedPolicy
 class QosPolicy : public GovernorBackedPolicy
 {
   public:
-    QosPolicy(double slack, Seconds service_prior, GovernorConfig cfg);
+    QosPolicy(double slack, Seconds service_prior, GovernorConfig cfg,
+              double risk_quantile = 0.0);
 
     const char *name() const override { return "qos"; }
     bool preemptive() const override { return true; }
@@ -521,7 +605,14 @@ class QosPolicy : public GovernorBackedPolicy
     void restoreState(const std::vector<double> &state) override;
 
   private:
+    /** Service-time price of @p task, mean or risk-quantile path. */
+    Seconds priceIf(const TaskSnapshot &task, bool sprinted) const;
+
+    /** Remaining-work price of @p task, mean or risk-quantile path. */
+    Seconds priceRemaining(const TaskSnapshot &task) const;
+
     double slack;
+    bool risk_aware;
     ServiceEstimator est;
 };
 
@@ -539,7 +630,8 @@ class ModelPredictivePolicy : public GovernorBackedPolicy
 {
   public:
     ModelPredictivePolicy(double grant_fraction, Seconds service_prior,
-                          GovernorConfig cfg);
+                          GovernorConfig cfg,
+                          double risk_quantile = 0.0);
 
     const char *name() const override { return "model-predictive"; }
     bool preemptive() const override { return true; }
@@ -563,7 +655,14 @@ class ModelPredictivePolicy : public GovernorBackedPolicy
     /** Forecast delay until a fresh sprint grant is possible. */
     Seconds regrantDelay(const MobilePackageModel &package) const;
 
+    /** Service-time price of @p task, mean or risk-quantile path. */
+    Seconds priceIf(const TaskSnapshot &task, bool sprinted) const;
+
+    /** Remaining-work price of @p task, mean or risk-quantile path. */
+    Seconds priceRemaining(const TaskSnapshot &task) const;
+
     double grant_fraction;
+    bool risk_aware;
     ServiceEstimator est;
     mutable Joules cold_budget = -1.0; ///< lazily computed from params
 };

@@ -48,6 +48,13 @@ validateScenarioConfig(const ScenarioConfig &cfg)
                       cfg.period > 0.0,
                   "arrival pattern needs a positive period");
     SPRINT_ASSERT(cfg.burst_size >= 1, "bursts need at least one task");
+    validateSurrogateParams(cfg.surrogate);
+    // Admissibility contract (PERF.md, "Surrogate fidelity tier"):
+    // warm caches couple a task's service time to its predecessor's
+    // cache contents, which a bypassed pump cannot reproduce.
+    SPRINT_ASSERT(cfg.surrogate.tier == FidelityTier::CycleAccurate ||
+                      !cfg.warm_caches,
+                  "surrogate tiers require cold caches");
 }
 
 } // namespace
@@ -324,6 +331,7 @@ beginScenario(const ScenarioConfig &cfg)
     validateScenarioConfig(cfg);
     ScenarioCheckpoint ck;
     ck.arrivals = ArrivalCursor(cfg);
+    ck.surrogate.seed(cfg.seed);
     ck.traces.configure(cfg.trace_mode, cfg.trace_capacity);
     if (cfg.keep_task_results)
         ck.tasks.reserve(static_cast<std::size_t>(cfg.num_tasks));
@@ -632,6 +640,139 @@ class ProgramPrebuilder
     bool pending = false;
 };
 
+/**
+ * Execute one dispatched task from its calibrated class prediction
+ * instead of a machine pump (the surrogate fast path): pay the
+ * activation ramp exactly as the exact path does, advance the package
+ * through the predicted piecewise-constant heat profile — the
+ * above-TDP sprint segment first, then the sustainable tail carrying
+ * the remaining energy — and fold the predicted service and energy
+ * into the same streaming aggregates, deadline accounting, and policy
+ * feedback a pumped task feeds. The program and machine are never
+ * built.
+ */
+void
+runSurrogateTask(const ScenarioConfig &cfg, ScenarioCheckpoint &ck,
+                 MobilePackageModel &package, SprintPolicy &policy,
+                 ScenarioTaskExecution &ex,
+                 const SurrogatePrediction &pred)
+{
+    // The (re-)activation ramp heats nothing (cores still gated).
+    const Seconds ramp = ex.run_cfg.activation_ramp;
+    package.setDiePower(0.0);
+    package.step(ramp);
+    ck.now += ramp;
+    ck.busy += ramp;
+
+    Celsius peak = package.junctionTemp();
+
+    // The pump steps heat into the package in whole sample quanta
+    // only: the final partial quantum of a run never fires the
+    // machine's sample hook, so its time and energy never touch the
+    // thermal model. The profile therefore spans the learned heat
+    // envelope (heat_time/heat_energy), not the full service time.
+    const Seconds service = pred.service;
+    const Seconds heat_t = std::min(pred.heat_time, service);
+    const Joules heat_e = std::min(pred.heat_energy, pred.energy);
+    const Seconds sprint_t = std::min(pred.sprint_time, heat_t);
+    const Seconds tail_t = heat_t - sprint_t;
+    const Joules sprint_e = std::min(pred.sprint_energy, heat_e);
+    const Joules tail_e = heat_e - sprint_e;
+
+    struct Segment
+    {
+        Seconds dt;
+        Watts power;
+    };
+    Segment segs[2];
+    int nsegs = 0;
+    if (sprint_t > 0.0)
+        segs[nsegs++] = Segment{sprint_t, sprint_e / sprint_t};
+    if (tail_t > 0.0)
+        segs[nsegs++] = Segment{tail_t, tail_e / tail_t};
+
+    Seconds t = ck.now;
+    for (int s = 0; s < nsegs; ++s) {
+        // Chunks split proportionally across the segments, at least
+        // one each, so a short sprint still lands a trace sample.
+        const int chunks = std::max(
+            1, static_cast<int>(std::lround(
+                   cfg.surrogate.profile_samples * segs[s].dt /
+                   heat_t)));
+        const Seconds h = segs[s].dt / chunks;
+        ck.traces.reserveMore(static_cast<std::size_t>(chunks));
+        for (int i = 0; i < chunks; ++i) {
+            // Pre-advance state recorded at the post-increment time:
+            // the exact pump's sample convention.
+            t += h;
+            const double melt = package.meltFraction();
+            ck.traces.add(t, package.junctionTemp(), segs[s].power,
+                          melt);
+            ck.melt_cycles.add(melt);
+            ck.peak_melt = std::max(ck.peak_melt, melt);
+            package.setDiePower(segs[s].power);
+            package.step(h);
+            peak = std::max(peak, package.junctionTemp());
+        }
+    }
+    // The unsampled residual advances the clock but — exactly like
+    // the exact pump — never steps the package.
+    t += service - heat_t;
+    ck.busy += t - ck.now;
+    ck.now = t;
+
+    // Fold, mirroring the exact completion path field for field.
+    if (ex.sprint_granted && pred.sprint_exhausted)
+        ++ck.sprints_exhausted;
+    if (pred.hardware_throttled)
+        ++ck.hardware_throttles;
+    ck.total_energy += pred.energy;
+    ck.total_sprint_time += sprint_t;
+    ck.total_sprint_energy += sprint_e;
+    ck.peak_junction = ck.tasks_completed == 0
+                           ? peak
+                           : std::max(ck.peak_junction, peak);
+    const Seconds response = ck.now - ex.task.arrival;
+    ck.p50.add(response);
+    ck.p95.add(response);
+    const bool met = ex.task.deadline <= 0.0 ||
+                     ck.now <= ex.task.arrival + ex.task.deadline;
+    if (ex.task.deadline > 0.0)
+        ++(met ? ck.deadlines_met : ck.deadlines_missed);
+    policy.onTaskComplete(snapshotOf(ex), ramp + service);
+    ++ck.tasks_completed;
+
+    if (cfg.keep_task_results) {
+        ScenarioTaskResult tr;
+        tr.arrival = ex.task.arrival;
+        tr.start = ex.first_start;
+        tr.finish = ck.now;
+        tr.response = response;
+        tr.sprint_granted = ex.sprint_granted;
+        tr.melt_at_start = ex.melt_at_start;
+        tr.melt_at_end = package.meltFraction();
+        tr.priority = ex.task.priority;
+        tr.deadline = ex.task.deadline;
+        tr.deadline_met = met;
+        tr.preemptions = ex.preemptions;
+        tr.run.program_name = "surrogate";
+        tr.run.sprint_cores = ex.run_cfg.sprint_cores;
+        tr.run.num_threads = ex.run_cfg.num_threads;
+        tr.run.dvfs_boost = ex.run_cfg.dvfs_boost;
+        tr.run.task_time = ramp + service;
+        tr.run.dynamic_energy = pred.energy;
+        tr.run.peak_junction = peak;
+        tr.run.final_melt_fraction = package.meltFraction();
+        tr.run.sprint_exhausted = pred.sprint_exhausted;
+        tr.run.hardware_throttled = pred.hardware_throttled;
+        tr.run.sprint_duration = sprint_t;
+        tr.run.sprint_energy = sprint_e;
+        tr.run.avg_power =
+            service > 0.0 ? pred.energy / service : 0.0;
+        ck.tasks.push_back(std::move(tr));
+    }
+}
+
 } // namespace
 
 bool
@@ -652,6 +793,16 @@ advanceScenario(const ScenarioConfig &cfg, ScenarioCheckpoint &ck,
     // million-task timelines never build a queue (see
     // SprintPolicy::preemptive).
     const bool preemptive = policy->preemptive();
+    // Admissibility contract (PERF.md, "Surrogate fidelity tier"):
+    // preemption cuts tasks at sample boundaries a bypassed pump does
+    // not have, and a suspended task's remaining work is not a class
+    // property. This also guarantees every dispatched task completes
+    // inside this advance call — no checkpoint boundary can cut an
+    // audit in half.
+    const bool surrogate_on =
+        cfg.surrogate.tier != FidelityTier::CycleAccurate;
+    SPRINT_ASSERT(!surrogate_on || !preemptive,
+                  "surrogate tiers require a non-preemptive policy");
 
     // The shard's package is rebuilt from the snapshot; step() output
     // depends only on the restored state and the (deterministically
@@ -724,6 +875,31 @@ advanceScenario(const ScenarioConfig &cfg, ScenarioCheckpoint &ck,
                 current->run_cfg = current->sprint_granted
                                        ? cfg.platform
                                        : denied_cfg;
+                if (surrogate_on) {
+                    const std::uint32_t key = TaskSurrogate::classKey(
+                        current->task.kernel, current->task.size,
+                        current->sprint_granted);
+                    switch (ck.surrogate.route(key, cfg.surrogate)) {
+                      case TaskSurrogate::Route::Surrogate:
+                        // Fast path: no program, no machine, no pump.
+                        current->started = true;
+                        runSurrogateTask(cfg, ck, package, *policy,
+                                         *current,
+                                         ck.surrogate.predict(key));
+                        ++completed;
+                        current.reset();
+                        continue;
+                      case TaskSurrogate::Route::Audit:
+                        // Grade this prediction against the pump's
+                        // ground truth at completion.
+                        current->audit = true;
+                        current->audit_prediction =
+                            ck.surrogate.predict(key);
+                        break;
+                      case TaskSurrogate::Route::Exact:
+                        break;
+                    }
+                }
                 current->program = prebuild.take(current->task);
                 if (!current->program) {
                     current->program = std::make_unique<ParallelProgram>(
@@ -839,10 +1015,33 @@ advanceScenario(const ScenarioConfig &cfg, ScenarioCheckpoint &ck,
 
         // Task complete: fold it into the aggregates.
         const TaskSnapshot done_snap = snapshotOf(*current);
+        const Seconds ramp_paid = current->pump.ramp_time;
         RunResult run = finalizePump(std::move(current->pump),
                                      *current->machine,
                                      current->run_cfg, package);
         run.program_name = current->program->name();
+
+        if (surrogate_on) {
+            // Every exact pump calibrates its class — audits grade
+            // the prediction first, then feed the truth like any
+            // other observation (demoted classes keep learning too).
+            const std::uint32_t key = TaskSurrogate::classKey(
+                current->task.kernel, current->task.size,
+                current->sprint_granted);
+            SurrogateObservation ob;
+            ob.service = run.task_time - ramp_paid;
+            ob.energy = run.dynamic_energy;
+            ob.sprint_time = run.sprint_duration;
+            ob.sprint_energy = run.sprint_energy;
+            ob.heat_time = run.sampled_time;
+            ob.heat_energy = run.sampled_energy;
+            ob.sprint_exhausted = run.sprint_exhausted;
+            ob.hardware_throttled = run.hardware_throttled;
+            if (current->audit)
+                ck.surrogate.finishAudit(key, current->audit_prediction,
+                                         ob, cfg.surrogate);
+            ck.surrogate.observeExact(key, ob);
+        }
 
         if (current->sprint_granted && run.sprint_exhausted)
             ++ck.sprints_exhausted;
@@ -937,6 +1136,9 @@ finishScenario(const ScenarioConfig &cfg, ScenarioCheckpoint &&ck)
     out.total_sprint_energy = ck.total_sprint_energy;
     out.peak_melt_fraction = ck.peak_melt;
     out.sprint_rest_cycles = ck.melt_cycles.cycles();
+    out.surrogate_tasks = ck.surrogate.surrogateTasks();
+    out.audit_tasks = ck.surrogate.auditTasks();
+    out.surrogate_demotions = ck.surrogate.demotions();
 
     if (cfg.keep_task_results) {
         // Exact nearest-rank quantiles: one sort serves both ranks.

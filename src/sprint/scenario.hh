@@ -45,6 +45,7 @@
 #include "common/stats.hh"
 #include "sprint/policy.hh"
 #include "sprint/simulation.hh"
+#include "sprint/surrogate.hh"
 #include "workloads/workload.hh"
 
 namespace csprint {
@@ -222,6 +223,18 @@ struct ScenarioConfig
      */
     bool verify_pipeline_build = false;
 
+    // --- Surrogate fidelity tier (default = cycle-accurate) --------
+
+    /**
+     * Execution fidelity of the task pumps (PERF.md, "Surrogate
+     * fidelity tier"). The CycleAccurate default keeps the engine
+     * bit-identical to the classic behaviour; Surrogate/Auto let
+     * calibrated per-class task models replace machine pumps on the
+     * bulk of a fleet-scale train. Restricted to non-preemptive
+     * policies with cold caches (the admissibility contract).
+     */
+    SurrogateParams surrogate;
+
     /**
      * Paranoia mode: run validateCheckpoint() (checkpoint.hh) on the
      * checkpoint at every advanceScenario boundary — finite
@@ -370,6 +383,11 @@ struct ScenarioResult
      */
     int sprint_rest_cycles = 0;
 
+    // --- Surrogate fidelity tier tallies (0 under CycleAccurate) ---
+    std::uint64_t surrogate_tasks = 0; ///< tasks served by prediction
+    std::uint64_t audit_tasks = 0;     ///< exact audits sampled (Auto)
+    int surrogate_demotions = 0;       ///< classes demoted by audits
+
     TimeSeries junction_trace; ///< full-timeline junction temperature
     TimeSeries power_trace;    ///< full-timeline die power
     TimeSeries melt_trace;     ///< full-timeline PCM melt fraction
@@ -432,6 +450,17 @@ struct ScenarioTaskExecution
     std::unique_ptr<ParallelProgram> program;
     std::unique_ptr<Machine> machine;
     PumpState pump;
+
+    /**
+     * Auto-tier audit in flight: the class prediction was taken at
+     * dispatch and will be graded against the pump's ground truth at
+     * completion. Never serialized — non-preemptive tasks (the only
+     * ones the surrogate tier admits) complete inside the advance
+     * call that dispatched them, so no checkpoint boundary can cut an
+     * audit in half.
+     */
+    bool audit = false;
+    SurrogatePrediction audit_prediction;
 };
 
 /**
@@ -475,6 +504,12 @@ struct ScenarioCheckpoint
     P2Quantile p95{0.95};
     MeltCycleCounter melt_cycles;
     ScenarioTraceSink traces;
+    /**
+     * Surrogate calibration state and audit cursor (value-semantic;
+     * serialized, so Auto-tier sharded replay is bit-exact even when
+     * a shard cut lands mid-calibration).
+     */
+    TaskSurrogate surrogate;
     std::vector<ScenarioTaskResult> tasks; ///< when keep_task_results
 
     // --- Preemptive scheduler state at the boundary ----------------

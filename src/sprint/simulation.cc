@@ -132,6 +132,8 @@ pumpTaskSlice(Machine &machine, const SprintConfig &cfg,
                 st.above_tdp_time += dt;
                 st.above_tdp_energy += energy;
             }
+            st.sampled_time += dt;
+            st.sampled_energy += energy;
 
             const SprintDecision decision =
                 policy.onSample(package, dt, energy);
@@ -200,6 +202,8 @@ finalizePump(PumpState &&st, Machine &machine, const SprintConfig &cfg,
     result.sprint_exhausted = st.sprint_exhausted;
     result.sprint_duration = st.above_tdp_time;
     result.sprint_energy = st.above_tdp_energy;
+    result.sampled_time = st.sampled_time;
+    result.sampled_energy = st.sampled_energy;
     result.avg_power =
         result.task_time > 0.0 ? result.dynamic_energy / result.task_time
                                : 0.0;

@@ -109,6 +109,15 @@ struct RunResult
     Seconds cooldown_estimate = 0.0; ///< Section 4.5 approximation
     Watts avg_power = 0.0;
 
+    /**
+     * Time/energy the pump actually stepped into the thermal package
+     * (whole 1000-cycle sample quanta; the final partial quantum of a
+     * run never fires the hook, so its heat stays out of the package
+     * — the surrogate tier reproduces exactly that envelope).
+     */
+    Seconds sampled_time = 0.0;
+    Joules sampled_energy = 0.0;
+
     TimeSeries junction_trace;     ///< sampled junction temperature
     TimeSeries power_trace;        ///< sampled die power
     TimeSeries melt_trace;         ///< sampled PCM melt fraction
@@ -149,6 +158,8 @@ struct PumpState
     Seconds ramp_time = 0.0;     ///< activation ramps applied so far
     Seconds above_tdp_time = 0.0;
     Joules above_tdp_energy = 0.0;
+    Seconds sampled_time = 0.0;  ///< sample time stepped into the package
+    Joules sampled_energy = 0.0; ///< sample energy stepped into the package
     Celsius peak_junction = 0.0;
     bool sprint_exhausted = false;
     bool hardware_throttled = false;

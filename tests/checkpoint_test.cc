@@ -92,6 +92,9 @@ expectResultsEqual(const ScenarioResult &a, const ScenarioResult &b)
     EXPECT_EQ(a.total_sprint_energy, b.total_sprint_energy);
     EXPECT_EQ(a.peak_melt_fraction, b.peak_melt_fraction);
     EXPECT_EQ(a.sprint_rest_cycles, b.sprint_rest_cycles);
+    EXPECT_EQ(a.surrogate_tasks, b.surrogate_tasks);
+    EXPECT_EQ(a.audit_tasks, b.audit_tasks);
+    EXPECT_EQ(a.surrogate_demotions, b.surrogate_demotions);
     EXPECT_EQ(a.junction_trace.timeData(), b.junction_trace.timeData());
     EXPECT_EQ(a.junction_trace.valueData(), b.junction_trace.valueData());
     EXPECT_EQ(a.power_trace.timeData(), b.power_trace.timeData());
@@ -302,6 +305,63 @@ TEST(CheckpointRejection, WrongConfigurationDigest)
     } catch (const CheckpointError &e) {
         EXPECT_EQ(e.kind(), CheckpointError::Kind::BadDigest);
     }
+}
+
+TEST(CheckpointRejection, FidelityTierChangesTheDigest)
+{
+    // Every surrogate knob shapes the replayed trajectory, so each
+    // must be covered by the configuration digest — a checkpoint
+    // written under one tier must not load under another.
+    ScenarioConfig cfg = baseScenario(SprintPolicyKind::GreedyActivity,
+                                      ArrivalPattern::Periodic, 3);
+    ScenarioCheckpoint ck = beginScenario(cfg);
+    const std::vector<std::uint8_t> blob = serializeCheckpoint(cfg, ck);
+
+    std::vector<ScenarioConfig> variants;
+    ScenarioConfig v = cfg;
+    v.surrogate.tier = FidelityTier::Auto;
+    variants.push_back(v);
+    v = cfg;
+    v.surrogate.min_calibration = cfg.surrogate.min_calibration + 1;
+    variants.push_back(v);
+    v = cfg;
+    v.surrogate.audit_period = cfg.surrogate.audit_period + 1.0;
+    variants.push_back(v);
+    v = cfg;
+    v.surrogate.tolerance = cfg.surrogate.tolerance + 0.1;
+    variants.push_back(v);
+    v = cfg;
+    v.surrogate.profile_samples = cfg.surrogate.profile_samples + 1;
+    variants.push_back(v);
+    v = cfg;
+    v.policy.risk_quantile = 0.95;
+    variants.push_back(v);
+
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        SCOPED_TRACE("variant " + std::to_string(i));
+        EXPECT_NE(scenarioConfigDigest(cfg),
+                  scenarioConfigDigest(variants[i]));
+        try {
+            deserializeCheckpoint(variants[i], blob);
+            FAIL() << "a checkpoint crossed a fidelity-knob change";
+        } catch (const CheckpointError &e) {
+            EXPECT_EQ(e.kind(), CheckpointError::Kind::BadDigest);
+        }
+    }
+}
+
+TEST(CheckpointRoundTrip, SurrogateCalibrationMidStream)
+{
+    // Cut an Auto-tier run mid-calibration (2 tasks < K) and again in
+    // the calibrated regime (surrogate models live, audit RNG cursor
+    // advanced): the serialized learning state must resume exactly.
+    ScenarioConfig cfg = baseScenario(SprintPolicyKind::GreedyActivity,
+                                      ArrivalPattern::BackToBack, 24);
+    cfg.surrogate.tier = FidelityTier::Auto;
+    cfg.surrogate.min_calibration = 4;
+    cfg.surrogate.audit_period = 4.0;
+    roundTripAndFinish(cfg, 2);
+    roundTripAndFinish(cfg, 10);
 }
 
 TEST(CheckpointRejection, DebugKnobsDoNotChangeTheDigest)

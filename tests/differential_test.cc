@@ -26,6 +26,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "archsim/opstream.hh"
 #include "common/rng.hh"
 #include "sprint/experiment.hh"
 #include "sprint/scenario.hh"
@@ -112,6 +113,9 @@ expectSameScenario(const ScenarioResult &a, const ScenarioResult &b)
     EXPECT_EQ(a.total_sprint_time, b.total_sprint_time);
     EXPECT_EQ(a.total_sprint_energy, b.total_sprint_energy);
     EXPECT_EQ(a.peak_melt_fraction, b.peak_melt_fraction);
+    EXPECT_EQ(a.surrogate_tasks, b.surrogate_tasks);
+    EXPECT_EQ(a.audit_tasks, b.audit_tasks);
+    EXPECT_EQ(a.surrogate_demotions, b.surrogate_demotions);
     ASSERT_EQ(a.tasks.size(), b.tasks.size());
     for (std::size_t i = 0; i < a.tasks.size(); ++i) {
         const ScenarioTaskResult &ta = a.tasks[i];
@@ -348,6 +352,128 @@ TEST(Differential, HeunIntegratorTracksReferenceEuler)
             << "integrator divergence at replay " << i;
         EXPECT_NEAR(heun.meltFraction(), euler.meltFraction(), 0.02);
     }
+}
+
+/** Tiny synthetic per-task program for the surrogate differentials. */
+ParallelProgram
+surrogateMicroProgram(const ScenarioTask &task, int num_ops)
+{
+    ParallelProgram prog("micro");
+    Phase phase;
+    phase.name = "work";
+    phase.kind = PhaseKind::ParallelStatic;
+    phase.num_tasks = 2;
+    const std::uint64_t seed = task.seed;
+    phase.make_task = [seed, num_ops](std::size_t t) {
+        std::vector<MicroOp> ops;
+        ops.reserve(static_cast<std::size_t>(num_ops));
+        const std::uint64_t base =
+            0x10000000ULL + (seed % 64) * 4096 + t * 8192;
+        for (int i = 0; i < num_ops; ++i) {
+            if (i % 4 == 0)
+                ops.push_back(MicroOp::load(base + (i % 32) * 64));
+            else
+                ops.push_back(MicroOp::intAlu());
+        }
+        return std::make_unique<VectorOpStream>(std::move(ops));
+    };
+    prog.addPhase(std::move(phase));
+    return prog;
+}
+
+/** Non-preemptive cold-cache train the surrogate tiers admit. */
+ScenarioConfig
+surrogateTrainScenario(int tasks, std::uint64_t seed)
+{
+    ScenarioConfig cfg;
+    cfg.platform = SprintConfig::parallelSprint(2, 0.015);
+    cfg.platform.machine.l1_bytes = 8 * 1024;
+    cfg.platform.machine.l2.size_bytes = 64 * 1024;
+    cfg.policy.kind = SprintPolicyKind::GreedyActivity;
+    cfg.pattern = ArrivalPattern::BackToBack;
+    cfg.num_tasks = tasks;
+    cfg.seed = seed;
+    cfg.program_factory = [](const ScenarioTask &task) {
+        return surrogateMicroProgram(task, 1024);
+    };
+    return cfg;
+}
+
+TEST(Differential, SurrogateTierTracksExactWithinTolerance)
+{
+    // The surrogate tier is tolerance-gated, not bit-exact: the
+    // analytically advanced train must stay within the declared
+    // envelope of the cycle-accurate run while actually routing the
+    // bulk of the tasks through the learned models.
+    Rng rng(diffSeed() ^ 0x5e77a9a7ULL);
+    ScenarioConfig cfg = surrogateTrainScenario(400, rng.next());
+    cfg.keep_task_results = false;
+    cfg.trace_mode = TraceMode::Off;
+    SCOPED_TRACE(describe(cfg, 0));
+    const ScenarioResult exact = runScenario(cfg);
+
+    ScenarioConfig sur = cfg;
+    sur.surrogate.tier = FidelityTier::Surrogate;
+    sur.surrogate.min_calibration = 8;
+    sur.surrogate.profile_samples = 4;
+    const ScenarioResult fast = runScenario(sur);
+
+    EXPECT_EQ(fast.tasks_completed, exact.tasks_completed);
+    EXPECT_GT(fast.surrogate_tasks, exact.tasks_completed / 2);
+    EXPECT_EQ(fast.audit_tasks, 0u);  // pure Surrogate never audits
+    EXPECT_NEAR(fast.p50_response, exact.p50_response,
+                0.25 * exact.p50_response);
+    EXPECT_NEAR(fast.p95_response, exact.p95_response,
+                0.25 * exact.p95_response);
+    EXPECT_NEAR(fast.total_energy, exact.total_energy,
+                0.25 * exact.total_energy);
+    EXPECT_NEAR(fast.peak_junction, exact.peak_junction, 2.0);
+}
+
+TEST(Differential, AutoTierShardedBitExact)
+{
+    // Auto-tier routing draws the audit RNG only at calibrated
+    // dispatches, so a checkpointed shard chain must replay the whole
+    // run bit for bit — including shard cuts inside the calibration
+    // window and between audits.
+    Rng rng(diffSeed() ^ 0xab17e8a6ULL);
+    ScenarioConfig cfg = surrogateTrainScenario(200, rng.next());
+    cfg.surrogate.tier = FidelityTier::Auto;
+    cfg.surrogate.min_calibration = 16;
+    cfg.surrogate.audit_period = 8.0;
+    cfg.surrogate.tolerance = 0.9;
+    SCOPED_TRACE(describe(cfg, 0));
+    const ScenarioResult whole = runScenario(cfg);
+    EXPECT_GT(whole.surrogate_tasks, 0u);
+    EXPECT_GT(whole.audit_tasks, 0u);
+    for (std::uint64_t shard : {1u, 7u, 64u}) {
+        SCOPED_TRACE("shard=" + std::to_string(shard));
+        expectSameScenario(whole, runScenarioSharded(cfg, shard));
+    }
+}
+
+TEST(Differential, AuditDemotionDeterminism)
+{
+    // A bimodal task class the single-mode surrogate cannot price:
+    // a tight audit tolerance must demote it, and the demotion point
+    // must be identical run to run and across a shard chain.
+    Rng rng(diffSeed() ^ 0xde30770aULL);
+    ScenarioConfig cfg = surrogateTrainScenario(160, rng.next());
+    cfg.program_factory = [](const ScenarioTask &task) {
+        // 1-in-8 tasks are ~16x heavier than the rest.
+        Rng mode(task.seed ^ 0xb1030da1ULL);
+        const int num_ops = mode.uniform() < 0.125 ? 8192 : 512;
+        return surrogateMicroProgram(task, num_ops);
+    };
+    cfg.surrogate.tier = FidelityTier::Auto;
+    cfg.surrogate.min_calibration = 6;
+    cfg.surrogate.audit_period = 4.0;
+    cfg.surrogate.tolerance = 0.05;
+    SCOPED_TRACE(describe(cfg, 0));
+    const ScenarioResult first = runScenario(cfg);
+    EXPECT_GT(first.surrogate_demotions, 0);
+    expectSameScenario(first, runScenario(cfg));
+    expectSameScenario(first, runScenarioSharded(cfg, 13));
 }
 
 } // namespace
