@@ -84,7 +84,14 @@ P2Quantile::add(double x)
     for (int i = 0; i < 5; ++i)
         desired[i] += rate[i];
 
+    adjustMarkers();
+}
+
+bool
+P2Quantile::adjustMarkers()
+{
     // Nudge the three interior markers toward their desired positions.
+    bool moved = false;
     for (int i = 1; i <= 3; ++i) {
         const double d = desired[i] - pos[i];
         if ((d >= 1.0 && pos[i + 1] - pos[i] > 1.0) ||
@@ -110,8 +117,81 @@ P2Quantile::add(double x)
                              (pos[j] - pos[i]);
             }
             pos[i] = np;
+            moved = true;
         }
     }
+    return moved;
+}
+
+void
+P2Quantile::addWeighted(double x, std::size_t w)
+{
+    SPRINT_ASSERT(n >= 5, "weighted add requires a primed estimator");
+    if (w == 0)
+        return;
+    const double dw = static_cast<double>(w);
+    n += w;
+
+    int k;
+    if (x < height[0]) {
+        height[0] = x;
+        k = 0;
+    } else if (x >= height[4]) {
+        height[4] = x;
+        k = 3;
+    } else {
+        k = 0;
+        while (k < 3 && x >= height[k + 1])
+            ++k;
+    }
+    for (int i = k + 1; i < 5; ++i)
+        pos[i] += dw;
+    for (int i = 0; i < 5; ++i)
+        desired[i] += rate[i] * dw;
+
+    // A weight-w sample can leave markers several positions behind
+    // their desired spots; sweep until they settle (each sweep moves
+    // every eligible marker by one position, so w sweeps always
+    // suffice — the cap only guards degenerate float states).
+    for (std::size_t sweep = 0; sweep < w + 4; ++sweep) {
+        if (!adjustMarkers())
+            break;
+    }
+}
+
+void
+P2Quantile::merge(const P2Quantile &other)
+{
+    SPRINT_ASSERT(q_ == other.q_,
+                  "cannot merge estimators of different quantiles");
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    if (other.n <= 5) {
+        // The other side still holds its raw bootstrap samples.
+        for (std::size_t i = 0; i < other.n; ++i)
+            add(other.height[i]);
+        return;
+    }
+    if (n <= 5) {
+        // We hold raw samples, the other side is primed: fold our
+        // samples into a copy of it instead (exact either way).
+        P2Quantile merged = other;
+        for (std::size_t i = 0; i < n; ++i)
+            merged.add(height[i]);
+        *this = merged;
+        return;
+    }
+    // Both primed: the other's five markers summarize its whole
+    // stream — fold them in as count-weighted samples, ascending, the
+    // extra going to the median marker.
+    const std::size_t base = other.n / 5;
+    const std::size_t extra = other.n - base * 5;
+    for (int i = 0; i < 5; ++i)
+        addWeighted(other.height[i], base + (i == 2 ? extra : 0));
 }
 
 void

@@ -77,6 +77,20 @@ class P2Quantile
     /** Fold one sample into the estimate. */
     void add(double x);
 
+    /**
+     * Fold another estimator of the SAME quantile into this one, so
+     * per-shard streaming estimates combine into a fleet-level one
+     * (sprint/fleet.hh). Small estimators (five or fewer samples)
+     * still hold their raw samples and merge exactly; beyond that the
+     * other's five markers are folded in as count-weighted samples —
+     * an approximation, but a deterministic one: equal inputs merged
+     * in equal order yield bit-equal state, which is what the
+     * multi-process fleet parity gate needs. Merge order shifts the
+     * estimate only within the estimator's own accuracy (property-
+     * tested in tests/fleet_test.cc); count() is exact regardless.
+     */
+    void merge(const P2Quantile &other);
+
     /** Current estimate (exact when five or fewer samples). */
     double value() const;
 
@@ -97,6 +111,12 @@ class P2Quantile
 
   private:
     friend struct CheckpointIO;
+
+    /** One interior-marker adjustment sweep; true when any marker moved. */
+    bool adjustMarkers();
+
+    /** Fold @p x in as @p w identical samples (requires n >= 5). */
+    void addWeighted(double x, std::size_t w);
 
     double q_;
     std::size_t n = 0;

@@ -7,6 +7,10 @@
 #include <fstream>
 #include <string>
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
 #include "archsim/machine.hh"
 #include "archsim/opstream.hh"
 #include "workloads/workload.hh"
@@ -1529,6 +1533,41 @@ CheckpointStore::CheckpointStore(std::string dir) : dir_(std::move(dir))
 {
 }
 
+CheckpointStore::~CheckpointStore()
+{
+    for (const auto &lock : writer_locks_)
+        ::close(lock.second); // closing the fd releases the flock
+}
+
+std::string
+CheckpointStore::lockPath(int shard) const
+{
+    char name[32];
+    std::snprintf(name, sizeof(name), "shard%04d.lock", shard);
+    return dir_ + "/" + name;
+}
+
+void
+CheckpointStore::lockShardWriter(int shard)
+{
+    for (const auto &lock : writer_locks_) {
+        if (lock.first == shard)
+            return; // already ours for this store's lifetime
+    }
+    const std::string path = lockPath(shard);
+    const int fd = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC,
+                          0644);
+    if (fd < 0)
+        ioError("cannot open writer lock " + path);
+    if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+        ::close(fd);
+        ioError("another live writer holds shard " +
+                std::to_string(shard) + "'s checkpoint lock (" + path +
+                "); refusing to publish or prune its files");
+    }
+    writer_locks_.emplace_back(shard, fd);
+}
+
 std::string
 CheckpointStore::checkpointPath(int shard, std::uint64_t seq) const
 {
@@ -1555,6 +1594,10 @@ CheckpointStore::save(int shard, std::uint64_t seq,
     if (ec)
         ioError("cannot create checkpoint directory " + dir_ + ": " +
                 ec.message());
+
+    // Single-writer enforcement: hold this shard's advisory lock
+    // before publishing or pruning anything (see the class comment).
+    lockShardWriter(shard);
 
     // Publish the checkpoint, then the manifest naming it; both via
     // write-temp-then-rename so a crash at any instant leaves either

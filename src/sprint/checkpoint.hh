@@ -94,12 +94,30 @@ void validateCheckpoint(const ScenarioConfig &cfg,
  * nothing exotic — atomicity comes from rename(2) — then publishes
  * the manifest the same way and prunes all but the two newest
  * checkpoints, so a torn write can never shadow the last good state.
+ *
+ * Single-writer contract: save() prunes, and pruning assumes no other
+ * live writer is publishing the same shard — a respawned worker
+ * racing a stalled-but-alive predecessor could otherwise prune the
+ * other's newest checkpoint and then shadow it with older state. The
+ * store ENFORCES the contract with a per-shard advisory lockfile
+ * (flock, held from a shard's first save() until the store is
+ * destroyed or the owning process dies — including by SIGKILL, which
+ * releases kernel flocks): a save() on a shard whose lock another
+ * live store holds throws CheckpointError with Kind::Io instead of
+ * touching the shard's files. Readers (loadCandidates) never lock.
  */
 class CheckpointStore
 {
   public:
     /** Operate under @p dir (created on first save). */
     explicit CheckpointStore(std::string dir);
+
+    /** Releases every held per-shard writer lock. */
+    ~CheckpointStore();
+
+    // The writer locks are tied to this instance's lifetime.
+    CheckpointStore(const CheckpointStore &) = delete;
+    CheckpointStore &operator=(const CheckpointStore &) = delete;
 
     /**
      * Persist @p blob as shard @p shard's checkpoint number @p seq
@@ -137,8 +155,19 @@ class CheckpointStore
     /** The manifest file naming shard @p shard's newest checkpoint. */
     std::string manifestPath(int shard) const;
 
+    /** The advisory writer lockfile guarding shard @p shard. */
+    std::string lockPath(int shard) const;
+
   private:
+    /**
+     * Take (or verify we already hold) shard @p shard's writer lock.
+     * Throws CheckpointError with Kind::Io when another live writer
+     * holds it.
+     */
+    void lockShardWriter(int shard);
+
     std::string dir_;
+    std::vector<std::pair<int, int>> writer_locks_; ///< (shard, fd)
 };
 
 } // namespace csprint

@@ -25,8 +25,22 @@ faultKindName(FaultKind kind)
         return "worker-exception";
     case FaultKind::Stall:
         return "stall";
+    case FaultKind::KillWorker:
+        return "kill-worker";
+    case FaultKind::StallWorker:
+        return "stall-worker";
+    case FaultKind::CorruptPipe:
+        return "corrupt-pipe";
     }
     return "unknown";
+}
+
+bool
+faultKindIsProcessLevel(FaultKind kind)
+{
+    return kind == FaultKind::KillWorker ||
+           kind == FaultKind::StallWorker ||
+           kind == FaultKind::CorruptPipe;
 }
 
 FaultPlan
@@ -47,6 +61,39 @@ FaultPlan::randomized(std::uint64_t seed, int num_shards,
     return plan;
 }
 
+FaultPlan
+FaultPlan::randomizedProcess(std::uint64_t seed, int num_shards,
+                             std::uint64_t max_seq)
+{
+    // Every kind the process transport recovers from, Stall excluded
+    // (StallWorker covers it without the per-shard watchdog wait).
+    static const FaultKind kinds[] = {
+        FaultKind::CrashAtCheckpoint, FaultKind::BitFlip,
+        FaultKind::Truncate,          FaultKind::WorkerException,
+        FaultKind::KillWorker,        FaultKind::StallWorker,
+        FaultKind::CorruptPipe};
+    FaultPlan plan;
+    Rng rng(seed ^ 0xf1ee7ull);
+    if (max_seq == 0)
+        max_seq = 1;
+    for (int shard = 0; shard < num_shards; ++shard) {
+        FaultSpec f;
+        f.shard = shard;
+        f.kind = kinds[rng.next() % (sizeof(kinds) / sizeof(kinds[0]))];
+        f.at_seq = 1 + rng.next() % max_seq;
+        plan.faults.push_back(f);
+    }
+    return plan;
+}
+
+double
+retryBackoffSeconds(double backoff_initial, int attempt)
+{
+    if (backoff_initial <= 0.0 || attempt < 1)
+        return 0.0;
+    return backoff_initial * std::ldexp(1.0, attempt - 1);
+}
+
 bool
 SupervisedBatchResult::allOk() const
 {
@@ -57,13 +104,8 @@ SupervisedBatchResult::allOk() const
     return true;
 }
 
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-/** Flip one bit in the middle of @p path (injected bit rot). */
 void
-flipBitInFile(const std::string &path)
+faultFlipBitInFile(const std::string &path)
 {
     std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
     if (!f)
@@ -81,9 +123,8 @@ flipBitInFile(const std::string &path)
     f.write(&byte, 1);
 }
 
-/** Cut @p path down to half its length (injected torn write). */
 void
-truncateFile(const std::string &path)
+faultTruncateFile(const std::string &path)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)
@@ -95,6 +136,94 @@ truncateFile(const std::string &path)
     out.write(bytes.data(),
               static_cast<std::streamsize>(bytes.size() / 2));
 }
+
+ScenarioResult
+runShardToCompletion(const ScenarioConfig &cfg, int shard,
+                     CheckpointStore &store,
+                     std::uint64_t checkpoint_every_tasks,
+                     bool paranoia, const ShardBeatFn &beat,
+                     const ShardPersistHook &beforePersist,
+                     const ShardPersistHook &afterPersist,
+                     ShardProgress &progress,
+                     std::vector<std::uint8_t> *final_blob)
+{
+    // Recover from the newest checkpoint that deserializes cleanly;
+    // corrupt or truncated candidates are rejected by their CRC /
+    // structure checks and the retained predecessor is used instead.
+    ScenarioCheckpoint ck;
+    std::uint64_t seq = 0;
+    bool recovered = false;
+    for (CheckpointStore::Candidate &cand : store.loadCandidates(shard)) {
+        try {
+            ck = deserializeCheckpoint(cfg, cand.blob);
+            seq = cand.seq;
+            recovered = true;
+            break;
+        } catch (const CheckpointError &) {
+            // fall through to the next (older) candidate
+        }
+    }
+    if (recovered)
+        ++progress.recoveries;
+    else
+        ck = beginScenario(cfg);
+
+    // Monotonicity gates: a resumed trajectory must only move
+    // forward. A violation means the serializer or the engine lost
+    // state, and retrying would silently produce wrong numbers.
+    double prev_now = ck.now;
+    std::uint64_t prev_completed = ck.tasks_completed;
+    double prev_energy = ck.total_energy;
+
+    // A shard recovered at its final checkpoint (ck.done) still
+    // re-persists nothing below; its final blob is the recovered
+    // candidate's bytes re-serialized — bit-identical, since the
+    // round-trip is (serialize ∘ deserialize)-exact.
+    std::vector<std::uint8_t> last_blob;
+    if (ck.done && final_blob)
+        last_blob = serializeCheckpoint(cfg, ck);
+
+    bool done = ck.done;
+    while (!done) {
+        if (beat)
+            beat();
+        done = advanceScenario(cfg, ck, checkpoint_every_tasks);
+        if (beat)
+            beat();
+
+        if (ck.now < prev_now - 1e-12 ||
+            ck.tasks_completed < prev_completed ||
+            ck.total_energy < prev_energy - 1e-12)
+            throw CheckpointError(
+                CheckpointError::Kind::Invariant,
+                "shard " + std::to_string(shard) +
+                    " moved backwards across a checkpoint boundary");
+        prev_now = ck.now;
+        prev_completed = ck.tasks_completed;
+        prev_energy = ck.total_energy;
+
+        if (paranoia)
+            validateCheckpoint(cfg, ck);
+        std::vector<std::uint8_t> blob = serializeCheckpoint(cfg, ck);
+        ++seq;
+
+        if (beforePersist)
+            beforePersist(seq);
+        store.save(shard, seq, blob);
+        ++progress.checkpoints_persisted;
+        if (final_blob)
+            last_blob = std::move(blob);
+        if (afterPersist)
+            afterPersist(seq);
+    }
+    if (final_blob)
+        *final_blob = std::move(last_blob);
+    return finishScenario(cfg, std::move(ck));
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
 
 /** Shared between one shard's worker thread and the watchdog. */
 struct WorkerControl
@@ -122,10 +251,10 @@ struct WorkerControl
 };
 
 /**
- * One worker attempt: recover or begin, advance in checkpoint-sized
- * slices, persist each boundary, fire any due faults. Returns the
- * finished result. Throws on injected faults, watchdog cancellation,
- * or genuine engine errors.
+ * One worker attempt: the shared shard core with this transport's
+ * heartbeat and thread-level fault injection wired into the hooks.
+ * Returns the finished result. Throws on injected faults, watchdog
+ * cancellation, or genuine engine errors.
  */
 ScenarioResult
 workerAttempt(const ScenarioConfig &cfg, int shard,
@@ -133,113 +262,86 @@ workerAttempt(const ScenarioConfig &cfg, int shard,
               std::vector<bool> &fired, CheckpointStore &store,
               WorkerControl &control, ShardOutcome &outcome)
 {
-    // Recover from the newest checkpoint that deserializes cleanly;
-    // corrupt or truncated candidates are rejected by their CRC /
-    // structure checks and the retained predecessor is used instead.
-    ScenarioCheckpoint ck;
-    std::uint64_t seq = 0;
-    bool recovered = false;
-    for (CheckpointStore::Candidate &cand : store.loadCandidates(shard)) {
-        try {
-            ck = deserializeCheckpoint(cfg, cand.blob);
-            seq = cand.seq;
-            recovered = true;
-            break;
-        } catch (const CheckpointError &) {
-            // fall through to the next (older) candidate
-        }
-    }
-    if (recovered)
-        ++outcome.recoveries;
-    else
-        ck = beginScenario(cfg);
-
-    // Monotonicity gates: a resumed trajectory must only move
-    // forward. A violation means the serializer or the engine lost
-    // state, and retrying would silently produce wrong numbers.
-    double prev_now = ck.now;
-    std::uint64_t prev_completed = ck.tasks_completed;
-    double prev_energy = ck.total_energy;
-
-    bool done = ck.done;
-    while (!done) {
-        control.beat();
-        done = advanceScenario(cfg, ck, opts.checkpoint_every_tasks);
-        control.beat();
-
-        if (ck.now < prev_now - 1e-12 ||
-            ck.tasks_completed < prev_completed ||
-            ck.total_energy < prev_energy - 1e-12)
-            throw CheckpointError(
-                CheckpointError::Kind::Invariant,
-                "shard " + std::to_string(shard) +
-                    " moved backwards across a checkpoint boundary");
-        prev_now = ck.now;
-        prev_completed = ck.tasks_completed;
-        prev_energy = ck.total_energy;
-
-        if (opts.paranoia)
-            validateCheckpoint(cfg, ck);
-        std::vector<std::uint8_t> blob = serializeCheckpoint(cfg, ck);
-        ++seq;
-
-        // An injected fault due at this checkpoint fires exactly
-        // once across all attempts of the batch.
-        const FaultSpec *fault = nullptr;
-        std::size_t fault_idx = 0;
+    // An injected fault due at this checkpoint fires exactly once
+    // across all attempts of the batch.
+    auto dueFault = [&](std::uint64_t seq) -> std::size_t {
         for (std::size_t i = 0; i < plan.faults.size(); ++i) {
             const FaultSpec &f = plan.faults[i];
-            if (!fired[i] && f.shard == shard && f.at_seq == seq) {
-                fault = &f;
-                fault_idx = i;
-                break;
-            }
+            if (!fired[i] && f.shard == shard && f.at_seq == seq)
+                return i;
         }
+        return plan.faults.size();
+    };
 
-        if (fault && fault->kind == FaultKind::CrashAtCheckpoint) {
-            fired[fault_idx] = true;
-            throw SimulatedCrash("injected crash before persisting "
-                                 "checkpoint " +
+    auto beforePersist = [&](std::uint64_t seq) {
+        const std::size_t i = dueFault(seq);
+        if (i == plan.faults.size() ||
+            plan.faults[i].kind != FaultKind::CrashAtCheckpoint)
+            return;
+        fired[i] = true;
+        throw SimulatedCrash("injected crash before persisting "
+                             "checkpoint " +
+                             std::to_string(seq));
+    };
+
+    auto afterPersist = [&](std::uint64_t seq) {
+        const std::size_t i = dueFault(seq);
+        if (i == plan.faults.size())
+            return;
+        const FaultKind kind = plan.faults[i].kind;
+        if (kind == FaultKind::CrashAtCheckpoint)
+            return; // handled before the persist
+        fired[i] = true;
+        switch (kind) {
+        case FaultKind::BitFlip:
+            faultFlipBitInFile(store.checkpointPath(shard, seq));
+            throw SimulatedCrash("injected crash after bit-flip "
+                                 "of checkpoint " +
                                  std::to_string(seq));
-        }
-
-        store.save(shard, seq, blob);
-        ++outcome.checkpoints_persisted;
-
-        if (fault) {
-            fired[fault_idx] = true;
-            switch (fault->kind) {
-            case FaultKind::BitFlip:
-                flipBitInFile(store.checkpointPath(shard, seq));
-                throw SimulatedCrash("injected crash after bit-flip "
-                                     "of checkpoint " +
+        case FaultKind::Truncate:
+            faultTruncateFile(store.checkpointPath(shard, seq));
+            throw SimulatedCrash("injected crash after "
+                                 "truncation of checkpoint " +
+                                 std::to_string(seq));
+        case FaultKind::WorkerException:
+            throw std::runtime_error("injected worker exception "
+                                     "at checkpoint " +
                                      std::to_string(seq));
-            case FaultKind::Truncate:
-                truncateFile(store.checkpointPath(shard, seq));
-                throw SimulatedCrash("injected crash after "
-                                     "truncation of checkpoint " +
-                                     std::to_string(seq));
-            case FaultKind::WorkerException:
-                throw std::runtime_error("injected worker exception "
-                                         "at checkpoint " +
-                                         std::to_string(seq));
-            case FaultKind::Stall:
-                // Stop beating and wait for the watchdog; beat()
-                // turns the cancel flag into WatchdogTimeout.
-                for (;;) {
-                    if (control.cancel.load(std::memory_order_relaxed))
-                        throw WatchdogTimeout(
-                            "worker cancelled by the watchdog "
-                            "during an injected stall");
-                    std::this_thread::sleep_for(
-                        std::chrono::milliseconds(1));
-                }
-            case FaultKind::CrashAtCheckpoint:
-                break; // handled above
+        case FaultKind::Stall:
+            // Stop beating and wait for the watchdog; beat()
+            // turns the cancel flag into WatchdogTimeout.
+            for (;;) {
+                if (control.cancel.load(std::memory_order_relaxed))
+                    throw WatchdogTimeout(
+                        "worker cancelled by the watchdog "
+                        "during an injected stall");
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
             }
+        default:
+            break; // process-level kinds rejected at batch entry
         }
+    };
+
+    // Fold the attempt's tallies into the outcome whether it finishes
+    // or dies mid-run — a crashed attempt's persisted checkpoints and
+    // recovery still happened.
+    ShardProgress progress;
+    auto fold = [&]() {
+        outcome.checkpoints_persisted += progress.checkpoints_persisted;
+        outcome.recoveries += progress.recoveries;
+    };
+    try {
+        ScenarioResult result = runShardToCompletion(
+            cfg, shard, store, opts.checkpoint_every_tasks,
+            opts.paranoia, [&control]() { control.beat(); },
+            beforePersist, afterPersist, progress);
+        fold();
+        return result;
+    } catch (...) {
+        fold();
+        throw;
     }
-    return finishScenario(cfg, std::move(ck));
 }
 
 } // namespace
@@ -253,6 +355,15 @@ runSupervisedScenarioBatch(const std::vector<ScenarioConfig> &shards,
         throw CheckpointError(CheckpointError::Kind::Io,
                               "supervisor requires a checkpoint "
                               "store directory");
+    for (const FaultSpec &f : plan.faults) {
+        if (faultKindIsProcessLevel(f.kind))
+            throw CheckpointError(
+                CheckpointError::Kind::Unsupported,
+                std::string("fault kind ") + faultKindName(f.kind) +
+                    " needs the process transport "
+                    "(runFleetMultiProcess), not the thread "
+                    "supervisor");
+    }
     CheckpointStore store(opts.store_dir);
     std::vector<bool> fired(plan.faults.size(), false);
 
@@ -265,12 +376,11 @@ runSupervisedScenarioBatch(const std::vector<ScenarioConfig> &shards,
         for (int attempt = 0; attempt <= opts.max_retries; ++attempt) {
             if (attempt > 0) {
                 ++outcome.retries;
-                if (opts.backoff_initial > 0.0) {
-                    const double s = opts.backoff_initial *
-                                     std::ldexp(1.0, attempt - 1);
+                const double s =
+                    retryBackoffSeconds(opts.backoff_initial, attempt);
+                if (s > 0.0)
                     std::this_thread::sleep_for(
                         std::chrono::duration<double>(s));
-                }
             }
 
             WorkerControl control;

@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <exception>
+#include <functional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -36,6 +37,8 @@
 #include "sprint/scenario.hh"
 
 namespace csprint {
+
+class CheckpointStore;
 
 /** The failure modes the supervisor can inject and recover from. */
 enum class FaultKind
@@ -73,6 +76,31 @@ enum class FaultKind
      * must notice the stale heartbeat, cancel the worker, and retry.
      */
     Stall,
+
+    // --- Process-level kinds (the fleet driver's transport, ---------
+    // --- sprint/fleet.hh; Unsupported on the thread transport) ------
+
+    /**
+     * The worker process SIGKILLs itself right after persisting the
+     * checkpoint — the real uncatchable kill, no destructors, no
+     * flushes. The parent must reap it and respawn the shard range,
+     * resuming from the newest valid persisted checkpoint.
+     */
+    KillWorker,
+
+    /**
+     * The worker process stops sending frames without dying: the
+     * parent's watchdog must notice the silent pipe, SIGKILL the
+     * process, and respawn it.
+     */
+    StallWorker,
+
+    /**
+     * The worker writes a garbage frame onto the result pipe (torn
+     * protocol state): the parent must reject the frame by its
+     * magic/CRC, kill the worker, and respawn it.
+     */
+    CorruptPipe,
 };
 
 /** Human-readable name of @p kind (for logs and reports). */
@@ -93,12 +121,28 @@ struct FaultPlan
 
     /**
      * A seed-derived plan that hits every shard in [0, num_shards)
-     * with one fault of a seed-chosen kind at a seed-chosen
-     * checkpoint in [1, max_seq]. Equal seeds yield equal plans.
+     * with one fault of a seed-chosen thread-transport kind at a
+     * seed-chosen checkpoint in [1, max_seq]. Equal seeds yield equal
+     * plans.
      */
     static FaultPlan randomized(std::uint64_t seed, int num_shards,
                                 std::uint64_t max_seq);
+
+    /**
+     * Like randomized(), but drawing from the full kind set including
+     * the process-level faults (KillWorker / StallWorker /
+     * CorruptPipe) — for the fleet driver's process transport, which
+     * recovers from all of them. Stall is excluded: each stall costs
+     * a full watchdog deadline of wall time, and StallWorker already
+     * covers the silent-worker case.
+     */
+    static FaultPlan randomizedProcess(std::uint64_t seed,
+                                       int num_shards,
+                                       std::uint64_t max_seq);
 };
+
+/** True for the process-transport-only kinds (fleet driver faults). */
+bool faultKindIsProcessLevel(FaultKind kind);
 
 /** Thrown by an injected CrashAtCheckpoint/BitFlip/Truncate fault. */
 struct SimulatedCrash : std::runtime_error
@@ -182,6 +226,64 @@ struct SupervisedBatchResult
     /** True when no shard is degraded. */
     bool allOk() const;
 };
+
+// --- Shared shard-attempt core ------------------------------------------
+//
+// Both supervision transports — the in-process thread supervisor
+// below and the multi-process fleet driver (sprint/fleet.hh) — run
+// the same loop per shard: recover from the newest valid persisted
+// checkpoint (corrupt candidates rejected by CRC, falling back to the
+// retained predecessor), advance in checkpoint-sized slices, enforce
+// the forward-motion invariants, and persist every boundary. Only the
+// transport differs (heartbeat atomics + cooperative cancel vs. pipe
+// frames + SIGKILL), so the core is shared and the transports inject
+// their behaviour through the hooks.
+
+/** Progress tallies one shard accumulates across attempts. */
+struct ShardProgress
+{
+    std::uint64_t checkpoints_persisted = 0;
+    std::uint64_t recoveries = 0;
+};
+
+/** Heartbeat hook; may throw to cancel the attempt cooperatively. */
+using ShardBeatFn = std::function<void()>;
+
+/**
+ * Persistence hook, fired with the checkpoint sequence number either
+ * immediately before or immediately after the store publishes it.
+ * Fault injection lives here: throw to simulate a crash, corrupt the
+ * persisted file first to simulate bit rot, or (process transport)
+ * never return at all.
+ */
+using ShardPersistHook = std::function<void(std::uint64_t seq)>;
+
+/**
+ * One attempt at running shard @p shard of @p cfg to completion:
+ * recover-or-begin, advance in @p checkpoint_every_tasks slices,
+ * persist each boundary into @p store, finish. @p beat is called
+ * around every slice; @p beforePersist / @p afterPersist bracket
+ * every store publish (either may be null). When @p final_blob is
+ * non-null it receives the bytes of the final persisted checkpoint —
+ * the exact bytes a parent process reaps over the wire, so per-shard
+ * digests agree between transports. Throws on hook-injected faults,
+ * violated monotonicity invariants, or genuine engine errors.
+ */
+ScenarioResult runShardToCompletion(
+    const ScenarioConfig &cfg, int shard, CheckpointStore &store,
+    std::uint64_t checkpoint_every_tasks, bool paranoia,
+    const ShardBeatFn &beat, const ShardPersistHook &beforePersist,
+    const ShardPersistHook &afterPersist, ShardProgress &progress,
+    std::vector<std::uint8_t> *final_blob = nullptr);
+
+/** Sleep length before retry @p attempt (attempt >= 1): initial*2^(a-1). */
+double retryBackoffSeconds(double backoff_initial, int attempt);
+
+/** Flip one bit in the middle of @p path (injected bit rot). */
+void faultFlipBitInFile(const std::string &path);
+
+/** Cut @p path down to half its length (injected torn write). */
+void faultTruncateFile(const std::string &path);
 
 /**
  * Run every ScenarioConfig in @p shards to completion under

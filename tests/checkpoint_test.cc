@@ -488,6 +488,60 @@ TEST(CheckpointStoreTest, CorruptNewestFallsBackToPredecessor)
     EXPECT_EQ(r.tasks_completed, 4u);
 }
 
+TEST(CheckpointStoreTest, SecondWriterOnSameShardIsLockedOut)
+{
+    // Regression: pruning assumed a single writer per shard, so two
+    // live stores interleaving saves could delete each other's newest
+    // file. save() now takes a per-shard flock; a conflicting writer
+    // fails typed instead of corrupting the store.
+    const std::string dir = freshDir("lock");
+    CheckpointStore first(dir);
+    first.save(0, 1, {1, 2, 3});
+
+    {
+        CheckpointStore second(dir);
+        try {
+            second.save(0, 2, {9, 9});
+            FAIL() << "conflicting writer acquired shard 0";
+        } catch (const CheckpointError &e) {
+            EXPECT_EQ(e.kind(), CheckpointError::Kind::Io);
+        }
+        // A different shard is a different lock: unaffected.
+        EXPECT_NO_THROW(second.save(1, 1, {4, 4}));
+    }
+
+    // The loser never touched shard 0's files.
+    auto cands = first.loadCandidates(0);
+    ASSERT_EQ(cands.size(), 1u);
+    EXPECT_EQ(cands[0].seq, 1u);
+    EXPECT_EQ(cands[0].blob, (std::vector<std::uint8_t>{1, 2, 3}));
+
+    // Destroying the holder releases the flock; a later writer
+    // proceeds normally.
+    first.save(0, 2, {7});
+    {
+        CheckpointStore third(dir);
+        EXPECT_THROW(third.save(0, 3, {8}), CheckpointError);
+    }
+    CheckpointStore fourth(dir);
+    // `first` is still alive and holds shard 0 until scope exit.
+    EXPECT_THROW(fourth.save(0, 3, {8}), CheckpointError);
+}
+
+TEST(CheckpointStoreTest, LockReleasedOnDestructionAdmitsNewWriter)
+{
+    const std::string dir = freshDir("relock");
+    {
+        CheckpointStore writer(dir);
+        writer.save(2, 1, {1});
+    }
+    CheckpointStore next(dir);
+    EXPECT_NO_THROW(next.save(2, 2, {2}));
+    const auto cands = next.loadCandidates(2);
+    ASSERT_EQ(cands.size(), 2u);
+    EXPECT_EQ(cands[0].seq, 2u);
+}
+
 TEST(CheckpointUnsupported, ForeignStreamTypeFailsTheSave)
 {
     // A custom program factory yielding a custom OpStream cannot be

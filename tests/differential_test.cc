@@ -24,11 +24,15 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "archsim/opstream.hh"
 #include "common/rng.hh"
 #include "sprint/experiment.hh"
+#include "sprint/fleet.hh"
 #include "sprint/scenario.hh"
 #include "thermal/network.hh"
 #include "workloads/workload.hh"
@@ -474,6 +478,105 @@ TEST(Differential, AuditDemotionDeterminism)
     EXPECT_GT(first.surrogate_demotions, 0);
     expectSameScenario(first, runScenario(cfg));
     expectSameScenario(first, runScenarioSharded(cfg, 13));
+}
+
+/** Draw one random fleet population for the transport differential. */
+FleetSpec
+randomFleetSpec(Rng &rng)
+{
+    FleetSpec spec;
+    spec.seed = rng.next();
+    spec.num_devices = 4 + static_cast<int>(rng.uniformInt(3));
+    for (int c = 0; c < 2; ++c) {
+        FleetDeviceClass cls;
+        cls.weight = rng.uniform(0.5, 2.0);
+        cls.cores = c == 0 ? 4 : 8;
+        cls.pcm_mass_lo = kSmallPcm;
+        cls.pcm_mass_hi = kSmallPcm * rng.uniform(1.0, 3.0);
+        cls.ambient_lo = 22.0;
+        cls.ambient_hi = rng.uniform(25.0, 32.0);
+        cls.policy = rng.uniform() < 0.5
+                         ? SprintPolicyKind::GreedyActivity
+                         : SprintPolicyKind::DutyCycle;
+        cls.pacing_period = 2.5e-3;
+        cls.num_tasks = 3 + static_cast<int>(rng.uniformInt(2));
+        cls.period = rng.uniform(1e-3, 3e-3);
+        cls.hi_priority_fraction = rng.uniform() < 0.5 ? 0.5 : 0.0;
+        cls.deadline_hi = rng.uniform(5e-4, 2e-3);
+        if (rng.uniform() < 0.5)
+            cls.mix = {{KernelId::Sobel, InputSize::A, 2.0},
+                       {KernelId::Kmeans, InputSize::A, 1.0}};
+        spec.classes.push_back(cls);
+    }
+    return spec;
+}
+
+std::string
+diffFreshDir(const char *tag)
+{
+    std::string tmpl = std::string("/tmp/csprint-") + tag + "-XXXXXX";
+    std::vector<char> buf(tmpl.begin(), tmpl.end());
+    buf.push_back('\0');
+    const char *dir = mkdtemp(buf.data());
+    EXPECT_NE(dir, nullptr);
+    return std::string(dir ? dir : "/tmp");
+}
+
+TEST(Differential, FleetMultiProcessMatchesInProcess)
+{
+    // The process transport against the thread transport on a
+    // seed-rotated random fleet: bit-exact on the merged response
+    // quantile state, melt cycles, deadline counters, and every
+    // per-device checkpoint digest.
+    Rng rng(diffSeed() ^ 0xf1ee7d1fULL);
+    for (int i = 0; i < 2; ++i) {
+        const FleetSpec spec = randomFleetSpec(rng);
+        SCOPED_TRACE("fleet " + std::to_string(i) + ": devices=" +
+                     std::to_string(spec.num_devices) + " seed=" +
+                     std::to_string(spec.seed));
+
+        FleetOptions ip_opts;
+        ip_opts.num_workers = 2;
+        ip_opts.checkpoint_every_tasks = 2;
+        ip_opts.store_dir = diffFreshDir("dfip");
+        FleetOptions mp_opts = ip_opts;
+        mp_opts.store_dir = diffFreshDir("dfmp");
+
+        const FleetResult ip = runFleetInProcess(spec, ip_opts);
+        const FleetResult mp = runFleetMultiProcess(spec, mp_opts);
+        ASSERT_TRUE(ip.allOk());
+        ASSERT_TRUE(mp.allOk());
+
+        EXPECT_EQ(ip.aggregates.tasks_completed,
+                  mp.aggregates.tasks_completed);
+        EXPECT_EQ(ip.aggregates.melt_cycles,
+                  mp.aggregates.melt_cycles);
+        EXPECT_EQ(ip.aggregates.deadlines_met,
+                  mp.aggregates.deadlines_met);
+        EXPECT_EQ(ip.aggregates.deadlines_missed,
+                  mp.aggregates.deadlines_missed);
+        EXPECT_EQ(ip.aggregates.thermal_violations,
+                  mp.aggregates.thermal_violations);
+        EXPECT_EQ(ip.aggregates.peak_junction,
+                  mp.aggregates.peak_junction);
+        EXPECT_EQ(ip.aggregates.total_energy,
+                  mp.aggregates.total_energy);
+        double sa[P2Quantile::kStateSize];
+        double sb[P2Quantile::kStateSize];
+        ip.aggregates.response_p50.save(sa);
+        mp.aggregates.response_p50.save(sb);
+        EXPECT_EQ(0, std::memcmp(sa, sb, sizeof(sa)));
+        ip.aggregates.response_p95.save(sa);
+        mp.aggregates.response_p95.save(sb);
+        EXPECT_EQ(0, std::memcmp(sa, sb, sizeof(sa)));
+
+        ASSERT_EQ(ip.devices.size(), mp.devices.size());
+        for (std::size_t d = 0; d < ip.devices.size(); ++d) {
+            EXPECT_EQ(ip.devices[d].checkpoint_digest,
+                      mp.devices[d].checkpoint_digest)
+                << "device " << d;
+        }
+    }
 }
 
 } // namespace

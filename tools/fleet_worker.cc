@@ -1,0 +1,15 @@
+/**
+ * @file
+ * csprint-fleet-worker: the per-shard-range worker process of the
+ * fleet driver (sprint/fleet.hh). The parent fork/execs one of these
+ * per shard range; all logic lives in fleetWorkerMain so the library
+ * and its tests share it.
+ */
+
+#include "sprint/fleet.hh"
+
+int
+main(int argc, char **argv)
+{
+    return csprint::fleetWorkerMain(argc, argv);
+}
